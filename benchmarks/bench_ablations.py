@@ -1,0 +1,133 @@
+"""Ablations (ours, per DESIGN.md): design choices GBR depends on.
+
+1. Variable order: dependency order vs raw declaration order — the
+   paper proves termination for any order but notes quality depends on
+   picking < well (§4.4's suboptimality example).
+2. Prefix search: binary search vs a linear scan — the log-factor in
+   the predicate-invocation budget.
+3. The learned-clause machinery: how many iterations (learned sets) GBR
+   needs per instance.
+"""
+
+from repro.decompiler.oracle import build_reduction_problem
+from repro.harness.metrics import geometric_mean
+from repro.reduction import (
+    declaration_order,
+    generalized_binary_reduction,
+)
+from repro.reduction.predicate import InstrumentedPredicate
+
+
+def _instances(corpus, limit=4):
+    pairs = []
+    for benchmark in corpus:
+        for instance in benchmark.instances:
+            pairs.append((benchmark, instance))
+    return pairs[:limit]
+
+
+def test_bench_variable_order_ablation(benchmark, corpus, emit):
+    pairs = _instances(corpus)
+
+    def run(order_kind):
+        sizes, calls = [], []
+        for bench, instance in pairs:
+            problem = build_reduction_problem(
+                bench.app, instance.oracle.decompiler
+            )
+            order = (
+                declaration_order(problem.variables)
+                if order_kind == "declaration"
+                else None
+            )
+            result = generalized_binary_reduction(problem, order=order)
+            sizes.append(max(len(result.solution), 1))
+            calls.append(result.predicate_calls)
+        return geometric_mean(sizes), geometric_mean(calls)
+
+    dep_sizes, dep_calls = benchmark.pedantic(
+        run, args=("dependency",), rounds=1, iterations=1
+    )
+    dec_sizes, dec_calls = run("declaration")
+    emit(
+        "ablation_variable_order",
+        "\n".join(
+            [
+                "Ablation: variable order < for MSA/progressions",
+                "-----------------------------------------------",
+                f"dependency order : geo-mean {dep_sizes:7.1f} items kept, "
+                f"{dep_calls:6.1f} predicate runs",
+                f"declaration order: geo-mean {dec_sizes:7.1f} items kept, "
+                f"{dec_calls:6.1f} predicate runs",
+            ]
+        ),
+    )
+
+
+def test_bench_prefix_search_ablation(benchmark, corpus, emit):
+    """Binary vs linear prefix search: same answers, different budgets."""
+    import repro.reduction.gbr as gbr_module
+
+    pairs = _instances(corpus)
+    original = gbr_module._shortest_satisfying_prefix
+
+    def linear(predicate, progression):
+        for r in range(1, len(progression)):
+            if predicate(progression.prefix_union(r)):
+                return r
+        raise gbr_module.ReductionError("predicate not monotone")
+
+    def run_all():
+        collected = []
+        for label, finder in (("binary", original), ("linear", linear)):
+            gbr_module._shortest_satisfying_prefix = finder
+            try:
+                calls = []
+                for bench, instance in pairs:
+                    problem = build_reduction_problem(
+                        bench.app, instance.oracle.decompiler
+                    )
+                    result = generalized_binary_reduction(problem)
+                    calls.append(result.predicate_calls)
+                collected.append((label, geometric_mean(calls)))
+            finally:
+                gbr_module._shortest_satisfying_prefix = original
+        return collected
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    emit(
+        "ablation_prefix_search",
+        "\n".join(
+            ["Ablation: prefix search inside GBR", "-" * 34]
+            + [
+                f"{label:<7s}: geo-mean {calls:6.1f} predicate runs"
+                for label, calls in rows
+            ]
+        ),
+    )
+    assert rows[0][1] <= rows[1][1] * 1.05  # binary never meaningfully worse
+
+
+def test_bench_learned_set_counts(benchmark, corpus, emit):
+    """How many learned sets (iterations) GBR needs per instance."""
+    def run_all():
+        collected = []
+        for bench, instance in _instances(corpus, limit=6):
+            problem = build_reduction_problem(
+                bench.app, instance.oracle.decompiler
+            )
+            result = generalized_binary_reduction(problem)
+            collected.append(
+                f"{bench.benchmark_id}/{instance.decompiler}: "
+                f"{result.iterations} learned sets, "
+                f"{result.predicate_calls} predicate runs, "
+                f"{len(result.solution)} items kept"
+            )
+        return collected
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit(
+        "ablation_learned_sets",
+        "\n".join(["GBR learned-set counts", "-" * 22] + rows),
+    )

@@ -1,0 +1,47 @@
+"""Figure 8a — cumulative frequency diagrams.
+
+Three panels: time spent, final relative size in classes, and final
+relative size in bytes, per strategy.  "In all figures, steeper is
+better."  The quantile rows below are the text rendering of each curve.
+"""
+
+from repro.harness import render_cfd_table, run_instance
+from repro.harness.experiments import ExperimentConfig
+
+
+def test_bench_single_instance_our_reducer(benchmark, corpus):
+    benchmark_obj = next(b for b in corpus if b.instances)
+    instance = benchmark_obj.instances[0]
+    outcome = benchmark.pedantic(
+        run_instance,
+        args=(benchmark_obj, instance, "our-reducer", ExperimentConfig()),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.relative_bytes <= 1.0
+
+
+def test_bench_fig8a_tables(benchmark, outcomes, emit):
+    def render_all():
+        return "\n\n".join(
+            [
+                render_cfd_table(
+                    outcomes, "time", "Figure 8a-1: time spent (simulated)"
+                ),
+                render_cfd_table(
+                    outcomes,
+                    "classes",
+                    "Figure 8a-2: final relative size (classes) "
+                    "[paper geo-means: ours 8.4%, J-Reduce 22.8%]",
+                ),
+                render_cfd_table(
+                    outcomes,
+                    "bytes",
+                    "Figure 8a-3: final relative size (bytes) "
+                    "[paper geo-means: ours 4.6%, J-Reduce 24.3%]",
+                ),
+            ]
+        )
+
+    text = benchmark(render_all)
+    emit("fig8a_cfd", text)

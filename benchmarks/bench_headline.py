@@ -1,0 +1,31 @@
+"""Section 5 headline numbers.
+
+Paper: "Our tool reduces Java bytecode to 4.6% of its original size,
+which is 5.3 times better than the 24.3% achieved by J-Reduce.  It does
+this while only being 3.1 times slower."
+"""
+
+from repro.harness import render_headline
+from repro.harness.metrics import geometric_mean
+from repro.harness.report import by_strategy
+
+
+def test_bench_headline(benchmark, outcomes, emit):
+    text = benchmark(render_headline, outcomes)
+    emit("headline", text)
+
+    groups = by_strategy(outcomes)
+    ours = geometric_mean(
+        [o.relative_bytes for o in groups["our-reducer"]]
+    )
+    jreduce = geometric_mean([o.relative_bytes for o in groups["jreduce"]])
+    # The qualitative claims of the paper, asserted:
+    assert ours < 0.25, "our reducer should reach deep reduction"
+    assert jreduce / ours > 2.0, "our reducer should beat J-Reduce clearly"
+    time_ours = geometric_mean(
+        [o.simulated_seconds for o in groups["our-reducer"]]
+    )
+    time_jreduce = geometric_mean(
+        [o.simulated_seconds for o in groups["jreduce"]]
+    )
+    assert time_ours > time_jreduce, "the extra reduction costs extra runs"

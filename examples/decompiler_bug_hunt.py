@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Reducing a bytecode application that crashes a decompiler.
+
+The Section 5 scenario at single-benchmark scale: generate a synthetic
+application, find a decompiler whose output fails to compile on it, then
+shrink the application with every strategy while preserving the full set
+of compiler error messages.
+
+Run:  python examples/decompiler_bug_hunt.py [seed]
+"""
+
+import sys
+
+from repro.bytecode import (
+    application_size_bytes,
+    class_dependency_graph,
+    items_of,
+    reduce_application,
+)
+from repro.decompiler import DECOMPILERS
+from repro.decompiler.oracle import DecompilerOracle, build_reduction_problem
+from repro.reduction import (
+    LossyVariant,
+    binary_reduction,
+    generalized_binary_reduction,
+    lossy_reduce,
+)
+from repro.workloads import generate_application
+from repro.workloads.generator import WorkloadConfig
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    app = generate_application(
+        seed, WorkloadConfig(num_classes=40, num_interfaces=6)
+    )
+    total = application_size_bytes(app)
+    print(f"Generated application: {len(app.classes)} classes, "
+          f"{total:,} bytes, {len(items_of(app))} reducible items.")
+
+    oracle = None
+    for name in DECOMPILERS:
+        candidate = DecompilerOracle(app, name)
+        if candidate.is_buggy:
+            oracle = candidate
+            break
+    if oracle is None:
+        print("All three decompilers translate this app cleanly; "
+              "try another seed.")
+        return
+
+    print(f"\nDecompiler {oracle.decompiler.name!r} produces "
+          f"{len(oracle.original_errors)} compiler errors:")
+    for message in sorted(oracle.original_errors):
+        print(f"  {message}")
+
+    problem = build_reduction_problem(app, oracle.decompiler)
+
+    print("\n--- Our reducer (GBR over the logical model) ---")
+    result = generalized_binary_reduction(problem)
+    reduced = reduce_application(app, result.solution)
+    print(f"kept {len(reduced.classes)} classes, "
+          f"{application_size_bytes(reduced):,} bytes "
+          f"({application_size_bytes(reduced) / total:.1%}) "
+          f"in {result.predicate_calls} decompiler runs")
+
+    print("\n--- J-Reduce (binary reduction over the class graph) ---")
+    jresult = binary_reduction(
+        class_dependency_graph(app),
+        oracle.class_predicate,
+        required=[app.entry_class],
+    )
+    japp = app.replace_classes(
+        tuple(c for c in app.classes if c.name in jresult.solution)
+    )
+    print(f"kept {len(japp.classes)} classes, "
+          f"{application_size_bytes(japp):,} bytes "
+          f"({application_size_bytes(japp) / total:.1%}) "
+          f"in {jresult.predicate_calls} decompiler runs")
+
+    for variant in LossyVariant:
+        print(f"\n--- Lossy encoding ({variant.value}) + binary reduction ---")
+        lresult = lossy_reduce(problem, variant)
+        lapp = reduce_application(app, lresult.solution)
+        print(f"kept {len(lapp.classes)} classes, "
+              f"{application_size_bytes(lapp):,} bytes "
+              f"({application_size_bytes(lapp) / total:.1%}) "
+              f"in {lresult.predicate_calls} decompiler runs")
+
+    # Show that the reduced app still exhibits exactly the same errors.
+    assert oracle.errors_of(reduced) == oracle.original_errors
+    print("\nThe GBR-reduced application still produces exactly the "
+          "original error messages — ready for the bug report.")
+
+
+if __name__ == "__main__":
+    main()

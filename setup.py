@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no `wheel` package (and no network to fetch one), so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".  This
+shim enables the legacy path:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — a Python reproduction of "Logical Bytecode Reduction" (PLDI 2021).
+
+Kalhauge & Palsberg's insight: model *all* internal dependencies of a
+failure-inducing input in propositional Boolean logic, so that reduction
+only ever evaluates valid sub-inputs, then search with Generalized
+Binary Reduction — a polynomial-time loop interleaving runs of the buggy
+tool with approximate minimal-satisfying-assignment computations.
+
+Package map (see README.md for the tour):
+
+- :mod:`repro.logic` — CNF, SAT, MSA_<, #SAT, DIMACS,
+- :mod:`repro.graphs` — digraphs, SCCs, closures,
+- :mod:`repro.reduction` — the Input Reduction Problem, GBR, binary
+  reduction, lossy encodings, ddmin,
+- :mod:`repro.fji` — Featherweight Java with Interfaces (Section 3),
+- :mod:`repro.bytecode` — the class-file substrate and its logical model,
+- :mod:`repro.decompiler` — simulated buggy decompilers + mini-javac,
+- :mod:`repro.workloads` — seeded program generators and the corpus,
+- :mod:`repro.harness` — the Section 5 experiment harness,
+- :mod:`repro.cli` — the ``jlreduce`` command-line tool.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Christian Gram Kalhauge and Jens Palsberg. 2021. Logical Bytecode "
+    "Reduction. PLDI 2021. https://doi.org/10.1145/3453483.3454091"
+)
+
+__all__ = ["__version__", "__paper__"]

@@ -1,0 +1,96 @@
+"""The Java-bytecode-like substrate.
+
+Python has no production-grade JVM class-file stack, so — per the
+substitution rule in DESIGN.md — this package implements one at the
+fidelity the reducer needs:
+
+- :mod:`repro.bytecode.descriptors` — JVM-style field/method descriptors,
+- :mod:`repro.bytecode.constant_pool` — a deduplicating constant pool,
+- :mod:`repro.bytecode.instructions` — a JVM-like instruction set whose
+  instructions expose their symbolic references,
+- :mod:`repro.bytecode.classfile` — class files (classes *and*
+  interfaces), fields, methods, code attributes, applications,
+- :mod:`repro.bytecode.serializer` — a deterministic binary format (the
+  honest "bytes" metric of the evaluation),
+- :mod:`repro.bytecode.hierarchy` — subtyping, method/field resolution,
+- :mod:`repro.bytecode.items` — the 11 reducible item kinds,
+- :mod:`repro.bytecode.constraints` — the logical dependency model
+  (Section 3's "Java Bytecode" extension of FJI),
+- :mod:`repro.bytecode.reducer` — applies a truth assignment to an app,
+- :mod:`repro.bytecode.validator` — structural validity (the bytecode
+  analogue of Theorem 3.1's "reduced program type checks"),
+- :mod:`repro.bytecode.metrics` — class/byte size measures.
+"""
+
+from repro.bytecode.classfile import (
+    Application,
+    ClassFile,
+    Code,
+    Field,
+    MethodDef,
+)
+from repro.bytecode.descriptors import (
+    ArrayType,
+    MethodDescriptor,
+    ObjectType,
+    PrimitiveType,
+    parse_field_descriptor,
+    parse_method_descriptor,
+)
+from repro.bytecode.items import (
+    AttributeItem,
+    ClassItem,
+    CodeItem,
+    ConstructorCodeItem,
+    ConstructorItem,
+    FieldItem,
+    ImplementsItem,
+    InterfaceItem,
+    Item,
+    MethodItem,
+    SignatureItem,
+    SuperClassItem,
+    items_of,
+)
+from repro.bytecode.constraints import generate_constraints, class_dependency_graph
+from repro.bytecode.reducer import reduce_application
+from repro.bytecode.validator import validate_application, ValidationError
+from repro.bytecode.serializer import serialize_application, deserialize_application
+from repro.bytecode.metrics import application_size_bytes, SizeMetrics, size_metrics
+
+__all__ = [
+    "Application",
+    "ClassFile",
+    "Code",
+    "Field",
+    "MethodDef",
+    "PrimitiveType",
+    "ObjectType",
+    "ArrayType",
+    "MethodDescriptor",
+    "parse_field_descriptor",
+    "parse_method_descriptor",
+    "Item",
+    "ClassItem",
+    "InterfaceItem",
+    "SuperClassItem",
+    "ImplementsItem",
+    "MethodItem",
+    "CodeItem",
+    "ConstructorItem",
+    "ConstructorCodeItem",
+    "FieldItem",
+    "SignatureItem",
+    "AttributeItem",
+    "items_of",
+    "generate_constraints",
+    "class_dependency_graph",
+    "reduce_application",
+    "validate_application",
+    "ValidationError",
+    "serialize_application",
+    "deserialize_application",
+    "application_size_bytes",
+    "size_metrics",
+    "SizeMetrics",
+]

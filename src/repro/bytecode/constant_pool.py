@@ -1,0 +1,49 @@
+"""A deduplicating constant pool.
+
+Real class files store every name, descriptor, and string once in a
+constant pool and reference it by index; sharing is what makes removing
+a method shrink the file by more than its code bytes.  Our serializer
+uses the same design, so the "bytes" metric responds to reduction the
+way real class files do.
+
+Indices are 1-based, as on the JVM (index 0 is reserved).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+__all__ = ["ConstantPool"]
+
+
+class ConstantPool:
+    """A UTF-8 constant pool with stable, deduplicated 1-based indices."""
+
+    def __init__(self) -> None:
+        self._entries: List[str] = []
+        self._index: Dict[str, int] = {}
+
+    def add(self, text: str) -> int:
+        """Intern ``text`` and return its (1-based) index."""
+        existing = self._index.get(text)
+        if existing is not None:
+            return existing
+        self._entries.append(text)
+        index = len(self._entries)
+        self._index[text] = index
+        return index
+
+    def get(self, index: int) -> str:
+        """Look up an entry by its 1-based index."""
+        if not 1 <= index <= len(self._entries):
+            raise IndexError(f"constant pool index {index} out of range")
+        return self._entries[index - 1]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._index

@@ -1,0 +1,231 @@
+"""Class-hierarchy analysis: chains, resolution, subtype paths.
+
+This is the bytecode analogue of FJI's helper rules (Figure 6):
+
+- ``superclass_chain`` — the ``fields``/``mtype`` walk,
+- ``resolve_method`` / ``method_candidates`` — ``mtype`` and ``mAny``,
+- ``resolve_field`` / ``field_candidates`` — field lookup,
+- ``subtype_paths`` — the subtyping judgment, returning every acyclic
+  derivation as the list of *reducible relation items* it relies on
+  (extends relations and implements entries).  Multiple paths are what
+  push the dependency model beyond graphs: keeping the cast needs *some*
+  path, a disjunction of conjunctions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bytecode.classfile import (
+    Application,
+    BUILTIN_CLASSES,
+    ClassFile,
+    Field,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.items import ImplementsItem, Item, SuperClassItem
+
+__all__ = ["Hierarchy", "RelationEdge"]
+
+#: One hierarchy edge a subtype path may use; None marks a free edge
+#: (extending java/lang/Object is not reducible).
+RelationEdge = Optional[Item]
+
+
+class Hierarchy:
+    """Resolution and subtyping over one application."""
+
+    def __init__(self, app: Application):
+        self.app = app
+
+    # ------------------------------------------------------------------
+    # Existence and chains
+    # ------------------------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return self.app.has_class(name)
+
+    def is_interface(self, name: str) -> bool:
+        decl = self.app.class_file(name)
+        return decl is not None and decl.is_interface
+
+    def superclass_chain(self, name: str) -> List[str]:
+        """``name`` and its ancestors up to (and including) Object.
+
+        Stops early at a missing ancestor; cycles raise ValueError.
+        """
+        chain: List[str] = []
+        seen = set()
+        current: Optional[str] = name
+        while current is not None:
+            if current in seen:
+                raise ValueError(f"cyclic superclass chain at {current!r}")
+            seen.add(current)
+            chain.append(current)
+            if current == JAVA_OBJECT:
+                break
+            if current in BUILTIN_CLASSES:
+                chain.append(JAVA_OBJECT)
+                break
+            decl = self.app.class_file(current)
+            current = decl.superclass if decl is not None else None
+        return chain
+
+    def all_interfaces(self, name: str) -> FrozenSet[str]:
+        """Every interface reachable from ``name`` (classes + supers)."""
+        out: set = set()
+        stack = [name]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            decl = self.app.class_file(current)
+            if decl is None:
+                continue
+            for iface in decl.interfaces:
+                out.add(iface)
+                stack.append(iface)
+            if not decl.is_interface and decl.superclass != JAVA_OBJECT:
+                stack.append(decl.superclass)
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Method and field resolution
+    # ------------------------------------------------------------------
+
+    def method_candidates(
+        self, owner: str, name: str, descriptor: str
+    ) -> List[Tuple[str, MethodDef]]:
+        """All declarations of name:descriptor visible on ``owner``.
+
+        For classes: the superclass chain.  For interfaces: the interface
+        plus its superinterfaces.  The first entry is the JVM resolution;
+        the whole list feeds ``mAny``.
+        """
+        results: List[Tuple[str, MethodDef]] = []
+        decl = self.app.class_file(owner)
+        if decl is not None and decl.is_interface:
+            for iface_name in self._interface_order(owner):
+                iface = self.app.class_file(iface_name)
+                if iface is None:
+                    continue
+                found = iface.method(name, descriptor)
+                if found is not None:
+                    results.append((iface_name, found))
+            return results
+        for class_name in self.superclass_chain(owner):
+            class_decl = self.app.class_file(class_name)
+            if class_decl is None:
+                continue
+            found = class_decl.method(name, descriptor)
+            if found is not None:
+                results.append((class_name, found))
+        return results
+
+    def resolve_method(
+        self, owner: str, name: str, descriptor: str
+    ) -> Optional[Tuple[str, MethodDef]]:
+        candidates = self.method_candidates(owner, name, descriptor)
+        return candidates[0] if candidates else None
+
+    def field_candidates(
+        self, owner: str, name: str
+    ) -> List[Tuple[str, Field]]:
+        """All declarations of field ``name`` on ``owner``'s chain."""
+        results: List[Tuple[str, Field]] = []
+        for class_name in self.superclass_chain(owner):
+            decl = self.app.class_file(class_name)
+            if decl is None:
+                continue
+            found = decl.field(name)
+            if found is not None:
+                results.append((class_name, found))
+        return results
+
+    def resolve_field(self, owner: str, name: str) -> Optional[Tuple[str, Field]]:
+        candidates = self.field_candidates(owner, name)
+        return candidates[0] if candidates else None
+
+    def _interface_order(self, name: str) -> List[str]:
+        """The interface and its superinterfaces, BFS order."""
+        order: List[str] = []
+        seen = set()
+        queue = [name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(current)
+            decl = self.app.class_file(current)
+            if decl is not None:
+                queue.extend(decl.interfaces)
+        return order
+
+    # ------------------------------------------------------------------
+    # Subtyping
+    # ------------------------------------------------------------------
+
+    def relation_edges(
+        self, name: str
+    ) -> List[Tuple[str, RelationEdge]]:
+        """Immediate supertypes of ``name`` with their relation items.
+
+        Extends edges to Object are free (not reducible); other extends
+        edges cost a :class:`SuperClassItem`, implements entries an
+        :class:`ImplementsItem`.
+        """
+        decl = self.app.class_file(name)
+        edges: List[Tuple[str, RelationEdge]] = []
+        if decl is None:
+            if name in BUILTIN_CLASSES and name != JAVA_OBJECT:
+                edges.append((JAVA_OBJECT, None))
+            return edges
+        if not decl.is_interface:
+            if decl.superclass == JAVA_OBJECT:
+                edges.append((JAVA_OBJECT, None))
+            else:
+                edges.append((decl.superclass, SuperClassItem(name)))
+        else:
+            edges.append((JAVA_OBJECT, None))  # interfaces sit below Object
+        for iface in decl.interfaces:
+            edges.append((iface, ImplementsItem(name, iface)))
+        return edges
+
+    def subtype_paths(
+        self, sub: str, sup: str, max_paths: int = 4
+    ) -> List[FrozenSet[Item]]:
+        """All acyclic derivations of ``sub <= sup``.
+
+        Each derivation is returned as the frozenset of relation items it
+        keeps alive.  An empty frozenset means the relation holds
+        unconditionally.  At most ``max_paths`` (shortest-first) are
+        returned; an empty list means ``sub`` is never a subtype.
+        """
+        if sub == sup or sup == JAVA_OBJECT:
+            return [frozenset()]
+        found: List[FrozenSet[Item]] = []
+        stack: List[Tuple[str, Tuple[Item, ...], FrozenSet[str]]] = [
+            (sub, (), frozenset({sub}))
+        ]
+        while stack and len(found) < max_paths:
+            current, items, visited = stack.pop()
+            for target, edge in self.relation_edges(current):
+                if target in visited:
+                    continue
+                extended = items if edge is None else items + (edge,)
+                if target == sup:
+                    requirement = frozenset(extended)
+                    if requirement not in found:
+                        found.append(requirement)
+                    continue
+                stack.append((target, extended, visited | {target}))
+        found.sort(key=lambda s: (len(s), sorted(map(str, s))))
+        return found
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Does a derivation exist in the *current* application?"""
+        return bool(self.subtype_paths(sub, sup, max_paths=1))

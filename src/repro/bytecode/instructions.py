@@ -1,0 +1,309 @@
+"""A JVM-like instruction set.
+
+Each instruction knows its opcode byte (for serialization) and exposes
+the symbolic references the constraint generator needs:
+``type_refs()`` (class/interface names), ``method_ref()`` and
+``field_ref()``.
+
+``CheckCast`` carries an optional ``known_from`` — the statically known
+operand type.  Real bytecode carries this information implicitly in the
+verifier's dataflow; threading it through explicitly is our stand-in for
+that analysis (documented in DESIGN.md).  When set, validity requires a
+subtype path from ``known_from`` to the target, which is exactly the
+source of the paper's beyond-graph constraints ("we cast A to I ...
+unless A is a subtype of I").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple, Union
+
+__all__ = [
+    "Instruction",
+    "Load",
+    "Store",
+    "ConstInt",
+    "ConstNull",
+    "Dup",
+    "Pop",
+    "New",
+    "CheckCast",
+    "InstanceOf",
+    "InvokeVirtual",
+    "InvokeSpecial",
+    "InvokeStatic",
+    "InvokeInterface",
+    "GetField",
+    "PutField",
+    "GetStatic",
+    "PutStatic",
+    "LoadClassConstant",
+    "Return",
+    "Goto",
+    "IfEq",
+    "MethodRef",
+    "FieldRef",
+    "OPCODES",
+]
+
+
+@dataclass(frozen=True)
+class MethodRef:
+    """A symbolic method reference ``owner.name:descriptor``."""
+
+    owner: str
+    name: str
+    descriptor: str
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.name}{self.descriptor}"
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """A symbolic field reference ``owner.name:descriptor``."""
+
+    owner: str
+    name: str
+    descriptor: str
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.name}:{self.descriptor}"
+
+
+class Instruction:
+    """Base class; subclasses are frozen dataclasses."""
+
+    opcode: int = 0x00
+
+    def type_refs(self) -> FrozenSet[str]:
+        """Class/interface names this instruction mentions directly."""
+        return frozenset()
+
+    def method_ref(self) -> Optional[MethodRef]:
+        return None
+
+    def field_ref(self) -> Optional[FieldRef]:
+        return None
+
+
+@dataclass(frozen=True)
+class Load(Instruction):
+    """Load local variable ``slot`` onto the stack (aload/iload)."""
+
+    slot: int
+    opcode = 0x19
+
+
+@dataclass(frozen=True)
+class Store(Instruction):
+    """Store the stack top into local ``slot`` (astore/istore)."""
+
+    slot: int
+    opcode = 0x3A
+
+
+@dataclass(frozen=True)
+class ConstInt(Instruction):
+    """Push an int constant (bipush/sipush/ldc)."""
+
+    value: int
+    opcode = 0x10
+
+
+@dataclass(frozen=True)
+class ConstNull(Instruction):
+    """aconst_null."""
+
+    opcode = 0x01
+
+
+@dataclass(frozen=True)
+class Dup(Instruction):
+    opcode = 0x59
+
+
+@dataclass(frozen=True)
+class Pop(Instruction):
+    opcode = 0x57
+
+
+@dataclass(frozen=True)
+class New(Instruction):
+    """``new C``."""
+
+    class_name: str
+    opcode = 0xBB
+
+    def type_refs(self) -> FrozenSet[str]:
+        return frozenset({self.class_name})
+
+
+@dataclass(frozen=True)
+class CheckCast(Instruction):
+    """``checkcast T`` (see module docstring for ``known_from``)."""
+
+    class_name: str
+    known_from: Optional[str] = None
+    opcode = 0xC0
+
+    def type_refs(self) -> FrozenSet[str]:
+        refs = {self.class_name}
+        if self.known_from is not None:
+            refs.add(self.known_from)
+        return frozenset(refs)
+
+
+@dataclass(frozen=True)
+class InstanceOf(Instruction):
+    """``instanceof T``."""
+
+    class_name: str
+    opcode = 0xC1
+
+    def type_refs(self) -> FrozenSet[str]:
+        return frozenset({self.class_name})
+
+
+@dataclass(frozen=True)
+class _Invoke(Instruction):
+    owner: str
+    name: str
+    descriptor: str
+
+    def type_refs(self) -> FrozenSet[str]:
+        return frozenset({self.owner})
+
+    def method_ref(self) -> MethodRef:
+        return MethodRef(self.owner, self.name, self.descriptor)
+
+
+@dataclass(frozen=True)
+class InvokeVirtual(_Invoke):
+    opcode = 0xB6
+
+
+@dataclass(frozen=True)
+class InvokeSpecial(_Invoke):
+    """Constructors (``<init>``), private and super calls.
+
+    ``is_super_call`` marks an explicit ``super(...)`` /
+    ``super.m(...)`` dispatch.  Real bytecode distinguishes these via
+    verifier dataflow (the receiver is ``this``); carrying the bit
+    explicitly is the same simplification as CheckCast.known_from.
+    """
+
+    is_super_call: bool = False
+    opcode = 0xB7
+
+
+@dataclass(frozen=True)
+class InvokeStatic(_Invoke):
+    opcode = 0xB8
+
+
+@dataclass(frozen=True)
+class InvokeInterface(_Invoke):
+    opcode = 0xB9
+
+
+@dataclass(frozen=True)
+class _FieldAccess(Instruction):
+    owner: str
+    name: str
+    descriptor: str
+
+    def type_refs(self) -> FrozenSet[str]:
+        return frozenset({self.owner})
+
+    def field_ref(self) -> FieldRef:
+        return FieldRef(self.owner, self.name, self.descriptor)
+
+
+@dataclass(frozen=True)
+class GetField(_FieldAccess):
+    opcode = 0xB4
+
+
+@dataclass(frozen=True)
+class PutField(_FieldAccess):
+    opcode = 0xB5
+
+
+@dataclass(frozen=True)
+class GetStatic(_FieldAccess):
+    opcode = 0xB2
+
+
+@dataclass(frozen=True)
+class PutStatic(_FieldAccess):
+    opcode = 0xB3
+
+
+@dataclass(frozen=True)
+class LoadClassConstant(Instruction):
+    """``ldc [class C]`` — reflection on C (the generics approximation:
+    bodies doing reflection on C depend on C's whole superclass chain)."""
+
+    class_name: str
+    opcode = 0x12
+
+    def type_refs(self) -> FrozenSet[str]:
+        return frozenset({self.class_name})
+
+
+@dataclass(frozen=True)
+class Return(Instruction):
+    """return / areturn / ireturn, selected by ``kind``.
+
+    kind: 'void', 'reference', or 'int'.
+    """
+
+    kind: str = "void"
+    opcode = 0xB1
+
+
+@dataclass(frozen=True)
+class Goto(Instruction):
+    """Unconditional branch to an instruction index."""
+
+    target: int
+    opcode = 0xA7
+
+
+@dataclass(frozen=True)
+class IfEq(Instruction):
+    """Branch to ``target`` when the stack top is zero."""
+
+    target: int
+    opcode = 0x99
+
+
+#: opcode byte -> instruction class, for the serializer.
+OPCODES = {
+    cls.opcode: cls
+    for cls in (
+        Load,
+        Store,
+        ConstInt,
+        ConstNull,
+        Dup,
+        Pop,
+        New,
+        CheckCast,
+        InstanceOf,
+        InvokeVirtual,
+        InvokeSpecial,
+        InvokeStatic,
+        InvokeInterface,
+        GetField,
+        PutField,
+        GetStatic,
+        PutStatic,
+        LoadClassConstant,
+        Return,
+        Goto,
+        IfEq,
+    )
+}

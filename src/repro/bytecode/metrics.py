@@ -1,0 +1,50 @@
+"""Size metrics for applications.
+
+The evaluation reports final relative size in *classes* and in *bytes*;
+bytes are measured on the serialized binary form, so shared constant-pool
+entries, dropped methods, and removed attributes all show up the way
+they would in real class files.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.bytecode.classfile import Application
+from repro.bytecode.serializer import serialize_application
+
+__all__ = ["SizeMetrics", "size_metrics", "application_size_bytes"]
+
+
+class SizeMetrics(NamedTuple):
+    """Absolute sizes of one application."""
+
+    classes: int
+    methods: int
+    fields: int
+    instructions: int
+    bytes: int
+
+
+def application_size_bytes(app: Application) -> int:
+    """Serialized size in bytes."""
+    return len(serialize_application(app))
+
+
+def size_metrics(app: Application) -> SizeMetrics:
+    """All size measures at once."""
+    methods = sum(len(decl.methods) for decl in app.classes)
+    fields = sum(len(decl.fields) for decl in app.classes)
+    instructions = sum(
+        len(method.code)
+        for decl in app.classes
+        for method in decl.methods
+        if method.code is not None
+    )
+    return SizeMetrics(
+        classes=len(app.classes),
+        methods=methods,
+        fields=fields,
+        instructions=instructions,
+        bytes=application_size_bytes(app),
+    )

@@ -1,0 +1,206 @@
+"""Applying a truth assignment to an application.
+
+The bytecode analogue of Figure 5's ``reduce(P, phi)``:
+
+- classes/interfaces without their item are dropped wholesale,
+- a removed extends relation rewrites the superclass to
+  ``java/lang/Object``,
+- removed implements entries, attributes, and fields are dropped,
+- a method whose item survives but whose code item does not gets the
+  *trivial body*: load its own arguments and tail-call itself (the
+  infinite-recursion trick of Figure 5, which is type-correct at any
+  return type and references nothing outside the method),
+- constructors get the same treatment (``this(...)`` recursion),
+- abstract/interface methods without code are kept or dropped on their
+  signature item alone.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Optional, Tuple
+
+from repro.bytecode.classfile import (
+    Application,
+    ClassFile,
+    Code,
+    Field,
+    INIT,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.descriptors import (
+    ObjectType,
+    ArrayType,
+    PrimitiveType,
+    parse_method_descriptor,
+)
+from repro.bytecode.instructions import (
+    Instruction,
+    InvokeSpecial,
+    InvokeStatic,
+    InvokeVirtual,
+    Load,
+    Return,
+)
+from repro.bytecode.items import (
+    AttributeItem,
+    ClassItem,
+    CodeItem,
+    ConstructorCodeItem,
+    ConstructorItem,
+    FieldItem,
+    ImplementsItem,
+    InterfaceItem,
+    Item,
+    MethodItem,
+    SignatureItem,
+    SuperClassItem,
+)
+
+__all__ = ["reduce_application", "trivial_code"]
+
+
+def reduce_application(
+    app: Application, true_items: AbstractSet[Item]
+) -> Application:
+    """``reduce(app, phi)`` where ``phi``'s true set is ``true_items``."""
+    kept: List[ClassFile] = []
+    for decl in app.classes:
+        item = (
+            InterfaceItem(decl.name)
+            if decl.is_interface
+            else ClassItem(decl.name)
+        )
+        if item in true_items:
+            kept.append(_reduce_class(decl, true_items))
+    return app.replace_classes(tuple(kept))
+
+
+def _reduce_class(
+    decl: ClassFile, true_items: AbstractSet[Item]
+) -> ClassFile:
+    name = decl.name
+    superclass = decl.superclass
+    if (
+        not decl.is_interface
+        and superclass != JAVA_OBJECT
+        and SuperClassItem(name) not in true_items
+    ):
+        superclass = JAVA_OBJECT
+
+    interfaces = tuple(
+        iface
+        for iface in decl.interfaces
+        if ImplementsItem(name, iface) in true_items
+    )
+    attributes = tuple(
+        attr
+        for attr in decl.attributes
+        if AttributeItem(name, attr.name) in true_items
+    )
+    fields = tuple(
+        fdecl
+        for fdecl in decl.fields
+        if FieldItem(name, fdecl.name) in true_items
+    )
+
+    methods: List[MethodDef] = []
+    for method in decl.methods:
+        reduced = _reduce_method(decl, method, true_items)
+        if reduced is not None:
+            methods.append(reduced)
+
+    return ClassFile(
+        name=name,
+        superclass=superclass,
+        interfaces=interfaces,
+        is_interface=decl.is_interface,
+        is_abstract=decl.is_abstract,
+        fields=fields,
+        methods=tuple(methods),
+        attributes=attributes,
+    )
+
+
+def _reduce_method(
+    decl: ClassFile, method: MethodDef, true_items: AbstractSet[Item]
+) -> Optional[MethodDef]:
+    name = decl.name
+    if method.is_constructor:
+        if ConstructorItem(name, method.descriptor) not in true_items:
+            return None
+        if (
+            method.code is not None
+            and ConstructorCodeItem(name, method.descriptor) in true_items
+        ):
+            return method
+        return MethodDef(
+            name=INIT,
+            descriptor=method.descriptor,
+            is_static=False,
+            code=trivial_code(name, method),
+        )
+
+    if method.is_abstract or decl.is_interface:
+        keep = SignatureItem(name, method.name, method.descriptor)
+        return method if keep in true_items else None
+
+    if MethodItem(name, method.name, method.descriptor) not in true_items:
+        return None
+    if (
+        method.code is not None
+        and CodeItem(name, method.name, method.descriptor) in true_items
+    ):
+        return method
+    return MethodDef(
+        name=method.name,
+        descriptor=method.descriptor,
+        is_static=method.is_static,
+        code=trivial_code(name, method),
+    )
+
+
+def trivial_code(class_name: str, method: MethodDef) -> Code:
+    """The self-recursive replacement body.
+
+    Loads the receiver (unless static) and every argument, re-invokes the
+    method itself, and returns its result — the bytecode rendering of
+    Figure 5's ``return this.m(x);``.
+    """
+    descriptor = parse_method_descriptor(method.descriptor)
+    instructions: List[Instruction] = []
+    slot = 0
+    if not method.is_static:
+        instructions.append(Load(0))
+        slot = 1
+    for _param in descriptor.parameters:
+        instructions.append(Load(slot))
+        slot += 1
+
+    if method.is_constructor:
+        instructions.append(
+            InvokeSpecial(class_name, INIT, method.descriptor)
+        )
+    elif method.is_static:
+        instructions.append(
+            InvokeStatic(class_name, method.name, method.descriptor)
+        )
+    else:
+        instructions.append(
+            InvokeVirtual(class_name, method.name, method.descriptor)
+        )
+
+    instructions.append(Return(_return_kind(descriptor.return_type)))
+    return Code(
+        max_stack=max(slot, 1),
+        max_locals=max(slot, 1),
+        instructions=tuple(instructions),
+    )
+
+
+def _return_kind(return_type) -> str:
+    if return_type == PrimitiveType.VOID:
+        return "void"
+    if isinstance(return_type, (ObjectType, ArrayType)):
+        return "reference"
+    return "int"

@@ -1,0 +1,297 @@
+"""Structural validity of an application.
+
+This is the ground truth the constraint model is sound against — the
+bytecode analogue of "the reduced program type checks" (Theorem 3.1).
+The property test in ``tests/bytecode/test_soundness.py`` checks that
+every satisfying assignment of :func:`repro.bytecode.constraints.
+generate_constraints` reduces to an application this module accepts.
+
+Checked:
+
+- hierarchy closure: superclasses/interfaces exist, kinds line up,
+  no cycles;
+- descriptor closure: every mentioned class exists;
+- reference resolution: invoked methods, accessed fields, constructed
+  classes, and constructor targets all resolve;
+- explicit super calls target the *current* superclass;
+- casts with a statically known operand type have a subtype derivation;
+- every concrete class implements every (transitively) inherited
+  interface method and abstract method.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.classfile import (
+    Application,
+    BUILTIN_CLASSES,
+    ClassFile,
+    INIT,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.constraints import BUILTIN_METHODS
+from repro.bytecode.descriptors import (
+    DescriptorError,
+    parse_field_descriptor,
+    parse_method_descriptor,
+)
+from repro.bytecode.hierarchy import Hierarchy
+from repro.bytecode.instructions import (
+    CheckCast,
+    InvokeInterface,
+    InvokeSpecial,
+    New,
+)
+from repro.bytecode.items import Item
+
+__all__ = ["ValidationError", "validate_application"]
+
+
+class ValidationError(ValueError):
+    """The application is structurally invalid; ``problems`` lists why."""
+
+    def __init__(self, problems: List[str]):
+        self.problems = problems
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"invalid application: {preview}{more}")
+
+
+def validate_application(
+    app: Application, raise_on_error: bool = True
+) -> List[str]:
+    """Validate; returns the list of problems (empty when valid)."""
+    problems = _Validator(app).run()
+    if problems and raise_on_error:
+        raise ValidationError(problems)
+    return problems
+
+
+class _Validator:
+    def __init__(self, app: Application):
+        self.app = app
+        self.hierarchy = Hierarchy(app)
+        self.problems: List[str] = []
+
+    def complain(self, message: str) -> None:
+        self.problems.append(message)
+
+    def run(self) -> List[str]:
+        for decl in self.app.classes:
+            self.check_hierarchy(decl)
+        if self.problems:
+            return self.problems  # resolution needs a sane hierarchy
+        for decl in self.app.classes:
+            self.check_members(decl)
+            if not decl.is_interface and not decl.is_abstract:
+                self.check_obligations(decl)
+        self.check_entry_point()
+        return self.problems
+
+    # ------------------------------------------------------------------
+
+    def check_hierarchy(self, decl: ClassFile) -> None:
+        name = decl.name
+        superclass = self.app.class_file(decl.superclass)
+        if decl.superclass not in BUILTIN_CLASSES and superclass is None:
+            self.complain(f"{name}: missing superclass {decl.superclass}")
+        if superclass is not None and superclass.is_interface:
+            self.complain(f"{name}: superclass {decl.superclass} is an interface")
+        for iface in decl.interfaces:
+            iface_decl = self.app.class_file(iface)
+            if iface_decl is None:
+                self.complain(f"{name}: missing interface {iface}")
+            elif not iface_decl.is_interface:
+                self.complain(f"{name}: implements non-interface {iface}")
+        try:
+            self.hierarchy.superclass_chain(name)
+        except ValueError as exc:
+            self.complain(f"{name}: {exc}")
+
+    # ------------------------------------------------------------------
+
+    def check_members(self, decl: ClassFile) -> None:
+        name = decl.name
+        for fdecl in decl.fields:
+            self.check_descriptor_types(
+                name, fdecl.descriptor, is_method=False,
+                where=f"field {fdecl.name}",
+            )
+        for method in decl.methods:
+            where = f"method {method.name}{method.descriptor}"
+            self.check_descriptor_types(
+                name, method.descriptor, is_method=True, where=where
+            )
+            if decl.is_interface and method.is_constructor:
+                self.complain(f"{name}: interface has a constructor")
+            if method.code is not None:
+                self.check_code(decl, method)
+
+    def check_descriptor_types(
+        self, class_name: str, descriptor: str, is_method: bool, where: str
+    ) -> None:
+        try:
+            if is_method:
+                refs = parse_method_descriptor(descriptor).referenced_classes()
+            else:
+                refs = parse_field_descriptor(descriptor).referenced_classes()
+        except DescriptorError as exc:
+            self.complain(f"{class_name}: {where}: {exc}")
+            return
+        for ref in refs:
+            if not self.hierarchy.exists(ref):
+                self.complain(
+                    f"{class_name}: {where}: missing type {ref}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def check_code(self, decl: ClassFile, method: MethodDef) -> None:
+        name = decl.name
+        where = f"{name}.{method.name}{method.descriptor}"
+        assert method.code is not None
+        for instruction in method.code:
+            for type_name in instruction.type_refs():
+                if not self.hierarchy.exists(type_name):
+                    self.complain(f"{where}: missing type {type_name}")
+
+            if isinstance(instruction, New):
+                target = self.app.class_file(instruction.class_name)
+                if target is not None and (
+                    target.is_interface or target.is_abstract
+                ):
+                    self.complain(
+                        f"{where}: instantiates abstract type "
+                        f"{instruction.class_name}"
+                    )
+
+            method_ref = instruction.method_ref()
+            if method_ref is not None:
+                self.check_method_ref(decl, where, instruction, method_ref)
+
+            field_ref = instruction.field_ref()
+            if field_ref is not None:
+                if not self.hierarchy.exists(field_ref.owner):
+                    continue  # already complained above
+                if self.hierarchy.resolve_field(
+                    field_ref.owner, field_ref.name
+                ) is None:
+                    self.complain(
+                        f"{where}: field {field_ref} does not resolve"
+                    )
+
+            if isinstance(instruction, CheckCast):
+                known = instruction.known_from
+                if (
+                    known is not None
+                    and self.hierarchy.exists(known)
+                    and self.hierarchy.exists(instruction.class_name)
+                    and not self.hierarchy.is_subtype(
+                        known, instruction.class_name
+                    )
+                ):
+                    self.complain(
+                        f"{where}: cast from {known} to "
+                        f"{instruction.class_name} can never succeed"
+                    )
+
+    def check_method_ref(
+        self, decl: ClassFile, where: str, instruction, ref
+    ) -> None:
+        if not self.hierarchy.exists(ref.owner):
+            return  # already complained
+        if (ref.owner, ref.name, ref.descriptor) in BUILTIN_METHODS:
+            return
+        if ref.owner in BUILTIN_CLASSES:
+            self.complain(f"{where}: unknown builtin method {ref}")
+            return
+
+        if isinstance(instruction, InvokeSpecial):
+            if instruction.is_super_call and ref.owner != decl.superclass:
+                self.complain(
+                    f"{where}: super call targets {ref.owner}, but the "
+                    f"superclass is {decl.superclass}"
+                )
+            if ref.name == INIT:
+                owner = self.app.class_file(ref.owner)
+                if owner is None or owner.method(INIT, ref.descriptor) is None:
+                    self.complain(
+                        f"{where}: constructor {ref} does not resolve"
+                    )
+                return
+
+        if isinstance(instruction, InvokeInterface):
+            if not self.hierarchy.is_interface(ref.owner):
+                self.complain(
+                    f"{where}: invokeinterface on non-interface {ref.owner}"
+                )
+
+        if not self.hierarchy.method_candidates(
+            ref.owner, ref.name, ref.descriptor
+        ):
+            self.complain(f"{where}: method {ref} does not resolve")
+
+    # ------------------------------------------------------------------
+
+    def check_obligations(self, decl: ClassFile) -> None:
+        name = decl.name
+        for iface_name in sorted(self.hierarchy.all_interfaces(name)):
+            iface = self.app.class_file(iface_name)
+            if iface is None:
+                continue
+            for signature in iface.methods:
+                if signature.is_constructor:
+                    continue
+                if not self._has_concrete_impl(
+                    name, signature.name, signature.descriptor
+                ):
+                    self.complain(
+                        f"{name}: does not implement {iface_name}."
+                        f"{signature.name}{signature.descriptor}"
+                    )
+        for ancestor_name in self.hierarchy.superclass_chain(name)[1:]:
+            ancestor = self.app.class_file(ancestor_name)
+            if ancestor is None:
+                continue
+            for method in ancestor.methods:
+                if method.is_abstract and not self._has_concrete_impl(
+                    name, method.name, method.descriptor
+                ):
+                    self.complain(
+                        f"{name}: does not implement abstract "
+                        f"{ancestor_name}.{method.name}{method.descriptor}"
+                    )
+
+    def _has_concrete_impl(
+        self, owner: str, name: str, descriptor: str
+    ) -> bool:
+        for declaring, method in self.hierarchy.method_candidates(
+            owner, name, descriptor
+        ):
+            declaring_decl = self.app.class_file(declaring)
+            if method.is_abstract:
+                continue
+            if declaring_decl is not None and declaring_decl.is_interface:
+                continue
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def check_entry_point(self) -> None:
+        if not self.app.entry_class:
+            return
+        entry = self.app.class_file(self.app.entry_class)
+        if entry is None:
+            self.complain(f"entry class {self.app.entry_class} is missing")
+            return
+        if entry.method(
+            self.app.entry_method, self.app.entry_descriptor
+        ) is None:
+            self.complain(
+                f"entry method {self.app.entry_class}."
+                f"{self.app.entry_method}{self.app.entry_descriptor} "
+                "is missing"
+            )

@@ -1,0 +1,230 @@
+"""The ``jlreduce`` command-line tool.
+
+Subcommands:
+
+- ``jlreduce demo`` — the paper's Section 2 running example end to end.
+- ``jlreduce count FILE.fji`` — type check an FJI file and count its
+  valid sub-inputs with the #SAT engine.
+- ``jlreduce reduce FILE.fji --keep ITEM ...`` — reduce an FJI program
+  to the smallest valid sub-program whose kept-item set contains the
+  named items (a containment predicate stands in for the buggy tool;
+  item syntax matches the bracket rendering, e.g. ``[A.m()!code]``).
+- ``jlreduce bench [--profile small|paper]`` — run the corpus experiment
+  and print the Section 5 reports.
+
+Exit status is 0 on success, 1 on user errors (bad file, unknown item),
+2 on argument errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jlreduce",
+        description=(
+            "Logical bytecode reduction (PLDI 2021 reproduction): "
+            "dependency-aware input reduction via propositional logic "
+            "and Generalized Binary Reduction."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's running example")
+
+    count = sub.add_parser(
+        "count", help="count valid sub-inputs of an FJI file"
+    )
+    count.add_argument("file", help="path to an .fji source file")
+
+    reduce_cmd = sub.add_parser(
+        "reduce", help="reduce an FJI file around required items"
+    )
+    reduce_cmd.add_argument("file", help="path to an .fji source file")
+    reduce_cmd.add_argument(
+        "--keep",
+        action="append",
+        default=[],
+        metavar="ITEM",
+        help="item that must survive, e.g. '[A.m()!code]' (repeatable)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the corpus experiment and print the reports"
+    )
+    bench.add_argument(
+        "--profile",
+        choices=("small", "paper"),
+        default="small",
+        help="corpus size profile (default: small)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _demo()
+    if args.command == "count":
+        return _count(args.file)
+    if args.command == "reduce":
+        return _reduce(args.file, args.keep)
+    if args.command == "bench":
+        return _bench(args.profile)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+# ---------------------------------------------------------------------------
+
+
+def _demo() -> int:
+    from repro.fji.examples import (
+        MAIN_CODE,
+        figure1_constraints,
+        figure1_problem,
+        figure1_program,
+    )
+    from repro.fji.pretty import pretty_program
+    from repro.fji.reducer import reduce_program
+    from repro.logic import count_models
+    from repro.reduction import generalized_binary_reduction
+
+    program = figure1_program()
+    constraints = figure1_constraints(include_main_requirement=False)
+    print(pretty_program(program))
+    print(f"constraints: {len(constraints)}; valid sub-inputs: "
+          f"{count_models(constraints):,}")
+    result = generalized_binary_reduction(
+        figure1_problem(), require_true=frozenset({MAIN_CODE})
+    )
+    print(f"GBR: {len(result.solution)} items in "
+          f"{result.predicate_calls} tool runs\n")
+    print(pretty_program(reduce_program(program, result.solution)))
+    return 0
+
+
+def _load_program(path: str):
+    from repro.fji import ParseError, TypeError_, check_program, parse_program
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"jlreduce: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    try:
+        program = parse_program(source)
+        constraints = check_program(program)
+    except (ParseError, TypeError_) as exc:
+        print(f"jlreduce: {path}: {exc}", file=sys.stderr)
+        return None
+    return program, constraints
+
+
+def _count(path: str) -> int:
+    from repro.fji.variables import variables_of
+    from repro.logic import count_models
+
+    loaded = _load_program(path)
+    if loaded is None:
+        return 1
+    program, constraints = loaded
+    variables = variables_of(program)
+    print(f"variables    : {len(variables)}")
+    print(f"constraints  : {len(constraints)}")
+    print(f"graph clauses: {constraints.graph_clause_fraction():.1%}")
+    print(f"valid inputs : {count_models(constraints):,} "
+          f"of {2 ** len(variables):,}")
+    return 0
+
+
+def _reduce(path: str, keep: List[str]) -> int:
+    from repro.fji.pretty import pretty_program
+    from repro.fji.reducer import reduce_program
+    from repro.fji.variables import variables_of
+    from repro.reduction import ReductionProblem, generalized_binary_reduction
+
+    loaded = _load_program(path)
+    if loaded is None:
+        return 1
+    program, constraints = loaded
+    variables = variables_of(program)
+    by_name = {str(v): v for v in variables}
+    required = set()
+    for name in keep:
+        if name not in by_name:
+            known = ", ".join(sorted(by_name))
+            print(f"jlreduce: unknown item {name!r}; known items: {known}",
+                  file=sys.stderr)
+            return 1
+        required.add(by_name[name])
+
+    target = frozenset(required)
+    problem = ReductionProblem(
+        variables=variables,
+        predicate=lambda kept: target <= kept,
+        constraint=constraints,
+        description=path,
+    )
+    result = generalized_binary_reduction(
+        problem, require_true=target
+    )
+    print(f"// kept {len(result.solution)} of {len(variables)} items "
+          f"in {result.predicate_calls} predicate runs")
+    print(pretty_program(reduce_program(program, result.solution)))
+    return 0
+
+
+def _bench(profile: str) -> int:
+    from repro.harness import (
+        corpus_statistics,
+        mean_reduction_over_time,
+        render_cfd_table,
+        render_headline,
+        render_lossy_comparison,
+        render_statistics,
+        render_timeline,
+        run_corpus_experiment,
+    )
+    from repro.harness.report import by_strategy
+    from repro.workloads.corpus import CorpusConfig, build_corpus
+
+    config = (
+        CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
+    )
+    print(f"building corpus ({profile} profile) ...")
+    corpus = build_corpus(config)
+    print(render_statistics(corpus_statistics(corpus)))
+    print("\nrunning strategies ...")
+    outcomes = run_corpus_experiment(
+        corpus, progress=lambda line: print(f"  {line}")
+    )
+    print()
+    print(render_headline(outcomes))
+    print()
+    print(render_lossy_comparison(outcomes))
+    print()
+    for metric, title in (
+        ("time", "Figure 8a-1: time spent (simulated)"),
+        ("classes", "Figure 8a-2: final relative size (classes)"),
+        ("bytes", "Figure 8a-3: final relative size (bytes)"),
+    ):
+        print(render_cfd_table(outcomes, metric, title))
+        print()
+    series = {
+        name: mean_reduction_over_time(group)
+        for name, group in by_strategy(outcomes).items()
+        if name in ("our-reducer", "jreduce")
+    }
+    print(render_timeline(series))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Simulated decompilers and the compile-check oracle.
+
+The paper's evaluation: "a decompiler is buggy if the output does not
+compile", running three real decompilers on each benchmark and reducing
+while "preserving the full error message of the compiler".  We have no
+JVM or network, so this package simulates the whole loop:
+
+- :mod:`repro.decompiler.source` — a Java source model with rendering,
+- :mod:`repro.decompiler.decompile` — a real instruction-to-source
+  decompiler (a small symbolic stack machine) parameterized by style,
+- :mod:`repro.decompiler.bugs` — seedable decompiler defects: when a
+  trigger pattern of items is present, the emitted source is wrong,
+- :mod:`repro.decompiler.javac` — a mini-javac that scope-checks and
+  type-checks decompiled source and produces stable error messages,
+- :mod:`repro.decompiler.oracle` — glues it into the black-box predicate
+  "the reduced input still produces exactly the original error messages",
+  which is monotone on valid sub-inputs (each bug triggers on a monotone
+  item pattern).
+
+The three decompilers ("alpha", "beta", "gamma") have distinct bug sets,
+mirroring the paper's three decompilers with different failure modes.
+"""
+
+from repro.decompiler.source import SourceClass, SourceMethod, render_source
+from repro.decompiler.decompile import Decompiler, DECOMPILERS, get_decompiler
+from repro.decompiler.bugs import BUG_KINDS, BugSite
+from repro.decompiler.javac import check_sources, JavacError
+from repro.decompiler.oracle import DecompilerOracle, build_reduction_problem
+
+__all__ = [
+    "SourceClass",
+    "SourceMethod",
+    "render_source",
+    "Decompiler",
+    "DECOMPILERS",
+    "get_decompiler",
+    "BUG_KINDS",
+    "BugSite",
+    "check_sources",
+    "JavacError",
+    "DecompilerOracle",
+    "build_reduction_problem",
+]

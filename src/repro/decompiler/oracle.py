@@ -1,0 +1,123 @@
+"""The black-box predicate: decompile, compile-check, compare messages.
+
+``DecompilerOracle`` packages the paper's evaluation loop for one
+(application, decompiler) pair:
+
+1. decompile the (sub-)application,
+2. run the mini-javac over the output,
+3. the predicate holds iff the error-message set equals the original's
+   ("the goal of the evaluation is to reduce the input program while
+   preserving the full error message of the compiler").
+
+Because every bug site's presence is monotone in the kept items (see
+:mod:`repro.decompiler.bugs`) and messages of *valid* sub-inputs are
+always a subset of the original's, the predicate is monotone on valid
+sub-inputs, matching Definition 4.1.
+
+:func:`build_reduction_problem` assembles the full Input Reduction
+Problem instance — items, constraint CNF (with the entry point required
+by unit clauses, like the paper's hand-added ``[M.main()!code]``), and
+the instrumented predicate.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.bytecode.classfile import Application
+from repro.bytecode.constraints import generate_constraints
+from repro.bytecode.items import (
+    ClassItem,
+    CodeItem,
+    Item,
+    MethodItem,
+    items_of,
+)
+from repro.bytecode.reducer import reduce_application
+from repro.decompiler.decompile import Decompiler, get_decompiler
+from repro.decompiler.javac import check_sources
+from repro.logic.cnf import Clause
+from repro.reduction.problem import ReductionProblem
+
+__all__ = ["DecompilerOracle", "build_reduction_problem", "entry_items"]
+
+
+def entry_items(app: Application) -> Tuple[Item, ...]:
+    """The items the tool always needs: the entry point and its body."""
+    return (
+        ClassItem(app.entry_class),
+        MethodItem(app.entry_class, app.entry_method, app.entry_descriptor),
+        CodeItem(app.entry_class, app.entry_method, app.entry_descriptor),
+    )
+
+
+class DecompilerOracle:
+    """Decompile + compile-check for one (application, decompiler) pair."""
+
+    def __init__(self, app: Application, decompiler) -> None:
+        if isinstance(decompiler, str):
+            decompiler = get_decompiler(decompiler)
+        self.app = app
+        self.decompiler: Decompiler = decompiler
+        self.original_errors = self.errors_of(app)
+
+    def errors_of(self, app: Application) -> FrozenSet[str]:
+        """The compiler error messages the decompiled output produces."""
+        sources = self.decompiler.decompile(app)
+        return check_sources(sources)
+
+    @property
+    def is_buggy(self) -> bool:
+        """Does this decompiler mistranslate this application at all?"""
+        return bool(self.original_errors)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def item_predicate(self, kept_items: FrozenSet[Item]) -> bool:
+        """P over item sets: reduce, decompile, compare messages."""
+        reduced = reduce_application(self.app, kept_items)
+        return self.errors_of(reduced) == self.original_errors
+
+    def class_predicate(self, kept_classes: FrozenSet[str]) -> bool:
+        """P over *class* sets (J-Reduce granularity): whole classes."""
+        reduced = self.app.replace_classes(
+            tuple(c for c in self.app.classes if c.name in kept_classes)
+        )
+        return self.errors_of(reduced) == self.original_errors
+
+
+def build_reduction_problem(
+    app: Application,
+    decompiler,
+    require_entry: bool = True,
+) -> ReductionProblem:
+    """The Input Reduction Problem for one (application, decompiler) pair.
+
+    The returned problem's constraint includes unit clauses for the entry
+    point when ``require_entry`` is set — the analogue of the paper's
+    hand-added ``[M.main()!code]`` requirement.
+
+    Raises ValueError when the decompiler is not buggy on this input
+    (nothing to reduce; the paper's benchmarks keep only buggy pairs).
+    """
+    oracle = DecompilerOracle(app, decompiler)
+    if not oracle.is_buggy:
+        raise ValueError(
+            f"decompiler {oracle.decompiler.name!r} translates this "
+            "application cleanly; no failure to preserve"
+        )
+    constraint = generate_constraints(app)
+    if require_entry:
+        for item in entry_items(app):
+            constraint.add_clause(Clause.unit(item))
+    return ReductionProblem(
+        variables=items_of(app),
+        predicate=oracle.item_predicate,
+        constraint=constraint,
+        description=(
+            f"{oracle.decompiler.name} on {app.entry_class} "
+            f"({len(oracle.original_errors)} errors)"
+        ),
+    )

@@ -1,0 +1,316 @@
+"""The Java source model the decompilers emit and the checker consumes.
+
+Types are represented as plain strings (JVM internal names for classes,
+``"int"`` for int, ``"Class"`` for class literals).  The model is small
+but renders to readable Java, and — crucially — the checker works on the
+model, not the text, so "does the decompiled output compile" is a real
+semantic question rather than a string match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "SourceExpr",
+    "VarRef",
+    "IntLit",
+    "NullLit",
+    "NewExpr",
+    "CallExpr",
+    "StaticCallExpr",
+    "FieldExpr",
+    "CastExpr",
+    "ClassLit",
+    "Statement",
+    "DeclStmt",
+    "ExprStmt",
+    "AssignFieldStmt",
+    "ReturnStmt",
+    "SuperCallStmt",
+    "ThisCallStmt",
+    "SourceMethod",
+    "SourceField",
+    "SourceClass",
+    "render_source",
+    "simple_name",
+]
+
+
+def simple_name(internal: str) -> str:
+    """``app/C03`` -> ``C03`` (for rendering and messages)."""
+    return internal.rsplit("/", 1)[-1]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+    def render(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class NullLit:
+    def render(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class NewExpr:
+    type_name: str
+    args: Tuple["SourceExpr", ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"new {simple_name(self.type_name)}({args})"
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    receiver: "SourceExpr"
+    method: str
+    args: Tuple["SourceExpr", ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"{self.receiver.render()}.{self.method}({args})"
+
+
+@dataclass(frozen=True)
+class StaticCallExpr:
+    owner: str
+    method: str
+    args: Tuple["SourceExpr", ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"{simple_name(self.owner)}.{self.method}({args})"
+
+
+@dataclass(frozen=True)
+class FieldExpr:
+    receiver: "SourceExpr"
+    field: str
+
+    def render(self) -> str:
+        return f"{self.receiver.render()}.{self.field}"
+
+
+@dataclass(frozen=True)
+class CastExpr:
+    type_name: str
+    expr: "SourceExpr"
+
+    def render(self) -> str:
+        return f"(({simple_name(self.type_name)}) {self.expr.render()})"
+
+
+@dataclass(frozen=True)
+class ClassLit:
+    type_name: str
+
+    def render(self) -> str:
+        return f"{simple_name(self.type_name)}.class"
+
+
+SourceExpr = Union[
+    VarRef,
+    IntLit,
+    NullLit,
+    NewExpr,
+    CallExpr,
+    StaticCallExpr,
+    FieldExpr,
+    CastExpr,
+    ClassLit,
+]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeclStmt:
+    """``T v = expr;``"""
+
+    type_name: str
+    var: str
+    expr: SourceExpr
+
+    def render(self) -> str:
+        return f"{_render_type(self.type_name)} {self.var} = {self.expr.render()};"
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: SourceExpr
+
+    def render(self) -> str:
+        return f"{self.expr.render()};"
+
+
+@dataclass(frozen=True)
+class AssignFieldStmt:
+    """``recv.f = expr;``"""
+
+    receiver: SourceExpr
+    field: str
+    expr: SourceExpr
+
+    def render(self) -> str:
+        return f"{self.receiver.render()}.{self.field} = {self.expr.render()};"
+
+
+@dataclass(frozen=True)
+class ReturnStmt:
+    expr: Optional[SourceExpr] = None
+
+    def render(self) -> str:
+        if self.expr is None:
+            return "return;"
+        return f"return {self.expr.render()};"
+
+
+@dataclass(frozen=True)
+class SuperCallStmt:
+    """``super(args);`` — only in constructors."""
+
+    args: Tuple[SourceExpr, ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"super({args});"
+
+
+@dataclass(frozen=True)
+class ThisCallStmt:
+    """``this(args);`` — only in constructors."""
+
+    args: Tuple[SourceExpr, ...] = ()
+
+    def render(self) -> str:
+        args = ", ".join(a.render() for a in self.args)
+        return f"this({args});"
+
+
+Statement = Union[
+    DeclStmt,
+    ExprStmt,
+    AssignFieldStmt,
+    ReturnStmt,
+    SuperCallStmt,
+    ThisCallStmt,
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceField:
+    type_name: str
+    name: str
+
+
+@dataclass(frozen=True)
+class SourceMethod:
+    name: str  # "<init>" for constructors
+    return_type: str  # "void", "int", internal class name, ...
+    params: Tuple[Tuple[str, str], ...]  # (type, name)
+    statements: Tuple[Statement, ...]
+    is_static: bool = False
+    is_abstract: bool = False
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.name == "<init>"
+
+
+@dataclass(frozen=True)
+class SourceClass:
+    name: str  # internal name, e.g. app/C03
+    superclass: str
+    interfaces: Tuple[str, ...]
+    is_interface: bool
+    is_abstract: bool
+    fields: Tuple[SourceField, ...]
+    methods: Tuple[SourceMethod, ...]
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+_INDENT = "    "
+
+
+def _render_type(type_name: str) -> str:
+    if type_name in ("int", "void", "Class"):
+        return type_name
+    return simple_name(type_name)
+
+
+def render_source(decl: SourceClass) -> str:
+    """Render one class to Java text."""
+    kind = "interface" if decl.is_interface else "class"
+    header = ""
+    if decl.is_abstract and not decl.is_interface:
+        header += "abstract "
+    header += f"{kind} {simple_name(decl.name)}"
+    if decl.superclass not in ("java/lang/Object", ""):
+        header += f" extends {simple_name(decl.superclass)}"
+    if decl.interfaces:
+        joiner = "extends" if decl.is_interface else "implements"
+        names = ", ".join(simple_name(i) for i in decl.interfaces)
+        header += f" {joiner} {names}"
+    lines: List[str] = [header + " {"]
+    for fdecl in decl.fields:
+        lines.append(f"{_INDENT}{_render_type(fdecl.type_name)} {fdecl.name};")
+    for method in decl.methods:
+        lines.extend(_render_method(decl, method))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_method(decl: SourceClass, method: SourceMethod) -> List[str]:
+    params = ", ".join(
+        f"{_render_type(t)} {n}" for (t, n) in method.params
+    )
+    modifiers = ""
+    if method.is_static:
+        modifiers += "static "
+    if method.is_abstract:
+        modifiers += "abstract "
+    if method.is_constructor:
+        signature = f"{modifiers}{simple_name(decl.name)}({params})"
+    else:
+        signature = (
+            f"{modifiers}{_render_type(method.return_type)} "
+            f"{method.name}({params})"
+        )
+    if method.is_abstract or decl.is_interface:
+        return [f"{_INDENT}{signature};"]
+    lines = [f"{_INDENT}{signature} {{"]
+    for statement in method.statements:
+        lines.append(f"{_INDENT * 2}{statement.render()}")
+    lines.append(f"{_INDENT}}}")
+    return lines

@@ -1,0 +1,84 @@
+"""Featherweight Java with Interfaces (FJI) — Section 3 of the paper.
+
+FJI is Featherweight Java extended so that each class implements a single
+interface.  This package implements the whole formal development:
+
+- the syntax (:mod:`repro.fji.ast`, Figure 4) with a textual concrete
+  syntax (:mod:`repro.fji.lexer` / :mod:`repro.fji.parser`) and a
+  pretty-printer (:mod:`repro.fji.pretty`),
+- the Boolean-variable universe ``V(P)`` (:mod:`repro.fji.variables`),
+- the type checker that *simultaneously* type-checks and generates the
+  dependency constraints (:mod:`repro.fji.typecheck`, Figures 6 & 7),
+- the reducer ``reduce(P, phi)`` (:mod:`repro.fji.reducer`, Figure 5),
+- the paper's running example (:mod:`repro.fji.examples`, Figures 1 & 2).
+
+The headline property (Theorem 3.1): if ``P`` type checks with constraint
+``sigma`` and ``phi |= sigma``, then ``reduce(P, phi)`` type checks.  The
+test suite checks this with hypothesis over randomly generated programs.
+"""
+
+from repro.fji.ast import (
+    Cast,
+    ClassDecl,
+    Constructor,
+    FieldAccess,
+    FieldDecl,
+    InterfaceDecl,
+    Method,
+    MethodCall,
+    New,
+    Param,
+    Program,
+    Signature,
+    VarExpr,
+    EMPTY_INTERFACE,
+    OBJECT,
+    STRING,
+)
+from repro.fji.variables import (
+    ClassVar,
+    CodeVar,
+    ImplementsVar,
+    InterfaceVar,
+    ItemVar,
+    MethodVar,
+    SignatureVar,
+    variables_of,
+)
+from repro.fji.typecheck import TypeError_, check_program
+from repro.fji.reducer import reduce_program
+from repro.fji.parser import parse_program, ParseError
+from repro.fji.pretty import pretty_program
+
+__all__ = [
+    "Program",
+    "ClassDecl",
+    "InterfaceDecl",
+    "Constructor",
+    "Method",
+    "Signature",
+    "FieldDecl",
+    "Param",
+    "VarExpr",
+    "FieldAccess",
+    "MethodCall",
+    "New",
+    "Cast",
+    "OBJECT",
+    "STRING",
+    "EMPTY_INTERFACE",
+    "ItemVar",
+    "ClassVar",
+    "InterfaceVar",
+    "ImplementsVar",
+    "MethodVar",
+    "SignatureVar",
+    "CodeVar",
+    "variables_of",
+    "check_program",
+    "TypeError_",
+    "reduce_program",
+    "parse_program",
+    "ParseError",
+    "pretty_program",
+]

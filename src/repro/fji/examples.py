@@ -1,0 +1,185 @@
+"""The paper's running example (Figures 1 and 2, Sections 2 and 4.5).
+
+:func:`figure1_program` builds the input program of Figure 1a as FJI;
+:func:`figure1_problem` wraps it into a full reduction problem whose
+black-box predicate is the paper's hypothetical buggy tool: the bug shows
+"when the body of M.x(), M.main(), and A.m() are present at the same
+time", and the tool "always requires M.main() to run at all".
+
+Headline numbers this example reproduces (tested):
+
+- 20 variables (Figure 2),
+- 32 unique dependency constraints (Figure 2: "32 + 1 duplicate"),
+- 6,766 valid sub-inputs counted by #SAT (Section 2),
+- the optimal 11-variable reduction of Figure 1b found by GBR.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.fji.ast import (
+    ClassDecl,
+    Constructor,
+    InterfaceDecl,
+    Method,
+    MethodCall,
+    New,
+    OBJECT,
+    Param,
+    Program,
+    Signature,
+    STRING,
+    VarExpr,
+)
+from repro.fji.typecheck import check_program
+from repro.fji.variables import (
+    ClassVar,
+    CodeVar,
+    ImplementsVar,
+    InterfaceVar,
+    ItemVar,
+    MethodVar,
+    SignatureVar,
+    variables_of,
+)
+from repro.logic.cnf import CNF, Clause
+from repro.reduction.problem import ReductionProblem
+
+__all__ = [
+    "figure1_program",
+    "figure1_constraints",
+    "figure1_problem",
+    "figure1_bug_trigger",
+    "figure1_optimal_solution",
+    "MAIN_CODE",
+]
+
+MAIN_CODE = CodeVar("M", "main")
+
+_BUG_TRIGGER: FrozenSet[ItemVar] = frozenset(
+    {CodeVar("M", "x"), CodeVar("M", "main"), CodeVar("A", "m")}
+)
+
+
+def figure1_program() -> Program:
+    """The input program of Figure 1a.
+
+    The method bodies are chosen so they generate exactly the Figure 2
+    constraints: ``m`` returns ``new String()`` (no constraints, like the
+    paper's elided bodies) and ``n`` returns its own ``B`` parameter.
+    """
+    def m_method() -> Method:
+        return Method(
+            return_type=STRING,
+            name="m",
+            params=(),
+            body=New(STRING),
+        )
+
+    def n_method() -> Method:
+        return Method(
+            return_type="B",
+            name="n",
+            params=(Param("B", "b"),),
+            body=VarExpr("b"),
+        )
+
+    class_a = ClassDecl(
+        name="A",
+        superclass=OBJECT,
+        interface="I",
+        fields=(),
+        constructor=Constructor(class_name="A"),
+        methods=(m_method(), n_method()),
+    )
+    class_b = ClassDecl(
+        name="B",
+        superclass=OBJECT,
+        interface="I",
+        fields=(),
+        constructor=Constructor(class_name="B"),
+        methods=(m_method(), n_method()),
+    )
+    interface_i = InterfaceDecl(
+        name="I",
+        signatures=(
+            Signature(return_type=STRING, name="m", params=()),
+            Signature(return_type="B", name="n", params=(Param("B", "b"),)),
+        ),
+    )
+    class_m = ClassDecl(
+        name="M",
+        superclass=OBJECT,
+        interface="EmptyInterface",
+        fields=(),
+        constructor=Constructor(class_name="M"),
+        methods=(
+            Method(
+                return_type=STRING,
+                name="x",
+                params=(Param("I", "a"),),
+                body=MethodCall(VarExpr("a"), "m", ()),
+            ),
+            Method(
+                return_type=STRING,
+                name="main",
+                params=(),
+                body=MethodCall(New("M"), "x", (New("A"),)),
+            ),
+        ),
+    )
+    return Program(declarations=(class_a, class_b, interface_i, class_m))
+
+
+def figure1_constraints(include_main_requirement: bool = True) -> CNF:
+    """The Figure 2 constraint CNF.
+
+    The final unit clause ``[M.main()!code]`` is "added after constraint
+    generation because we know the tool will not work without" it; pass
+    ``include_main_requirement=False`` to get the pure type-rule output.
+    """
+    cnf = check_program(figure1_program())
+    if include_main_requirement:
+        cnf.add_clause(Clause.unit(MAIN_CODE))
+    return cnf
+
+
+def figure1_bug_trigger() -> FrozenSet[ItemVar]:
+    """The items whose joint presence makes the hypothetical tool crash."""
+    return _BUG_TRIGGER
+
+
+def figure1_problem() -> ReductionProblem:
+    """The example as a full Input Reduction Problem instance."""
+    program = figure1_program()
+    trigger = figure1_bug_trigger()
+
+    def predicate(sub_input) -> bool:
+        return trigger <= sub_input
+
+    return ReductionProblem(
+        variables=variables_of(program),
+        predicate=predicate,
+        constraint=figure1_constraints(),
+        description="Figure 1a running example",
+    )
+
+
+def figure1_optimal_solution() -> FrozenSet[ItemVar]:
+    """The 11-variable optimum of Section 2 / Figure 1b."""
+    return frozenset(
+        {
+            ImplementsVar("A", "I"),
+            MethodVar("A", "m"),
+            CodeVar("A", "m"),
+            ClassVar("A"),
+            SignatureVar("I", "m"),
+            InterfaceVar("I"),
+            CodeVar("M", "x"),
+            MethodVar("M", "x"),
+            CodeVar("M", "main"),
+            MethodVar("M", "main"),
+            ClassVar("M"),
+        }
+    )

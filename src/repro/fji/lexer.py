@@ -1,0 +1,110 @@
+"""A hand-written scanner for the FJI concrete syntax.
+
+Tokens: identifiers/keywords, punctuation, and EOF.  Supports ``//`` line
+comments and ``/* */`` block comments.  Positions are tracked for error
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "implements",
+        "interface",
+        "new",
+        "return",
+        "super",
+        "this",
+    }
+)
+
+PUNCTUATION = frozenset("(){};,.=")
+
+
+class LexError(ValueError):
+    """Raised for characters the FJI grammar has no use for."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: kind is 'ident', 'keyword', 'punct', or 'eof'."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+    def describe(self) -> str:
+        if self.kind == "eof":
+            return "end of input"
+        return f"{self.text!r}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan the whole source, returning tokens ending with one EOF."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, column
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            end = n if end == -1 else end
+            advance(source[i:end])
+            i = end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {line}")
+            advance(source[i : end + 2])
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            advance(text)
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, line, column))
+            advance(ch)
+            i += 1
+            continue
+        raise LexError(
+            f"unexpected character {ch!r} at line {line}, column {column}"
+        )
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

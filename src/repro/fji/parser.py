@@ -1,0 +1,393 @@
+"""A recursive-descent parser for the FJI concrete syntax.
+
+Grammar (see :mod:`repro.fji.ast` for the abstract syntax)::
+
+    program    := decl* [expr ';'] EOF
+    decl       := classDecl | interfaceDecl
+    classDecl  := 'class' ID 'extends' ID ['implements' ID]
+                  '{' field* [ctor] method* '}'
+    field      := ID ID ';'
+    ctor       := ID '(' params ')' '{' 'super' '(' names ')' ';'
+                  ('this' '.' ID '=' ID ';')* '}'
+    method     := ID ID '(' params ')' '{' 'return' expr ';' '}'
+    interfaceDecl := 'interface' ID '{' sig* '}'
+    sig        := ID ID '(' params ')' ';'
+    expr       := unary ('.' ID ['(' exprs ')'])*
+    unary      := ID | 'this' | 'new' ID '(' exprs ')'
+                | '(' ID ')' unary          -- cast
+                | '(' expr ')'              -- grouping
+
+Conveniences beyond the paper's grammar:
+
+- ``implements`` may be omitted (defaults to ``EmptyInterface``),
+- the constructor may be omitted; the canonical one (inherited fields
+  first, forwarded to ``super``) is synthesized in a post-parse pass,
+- the trailing main expression may be omitted (defaults to
+  ``new Object()``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.fji.ast import (
+    Cast,
+    ClassDecl,
+    Constructor,
+    EMPTY_INTERFACE,
+    Expr,
+    FieldAccess,
+    FieldDecl,
+    InterfaceDecl,
+    Method,
+    MethodCall,
+    New,
+    OBJECT,
+    Param,
+    Program,
+    Signature,
+    STRING,
+    TypeDecl,
+    VarExpr,
+)
+from repro.fji.lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expr", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Syntax error with line/column context."""
+
+
+def parse_program(source: str) -> Program:
+    """Parse FJI source text into a :class:`Program`."""
+    parser = _Parser(tokenize(source))
+    return parser.program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single FJI expression (useful in tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self._implicit_ctors: set = set()
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} at line {token.line}, column {token.column} "
+            f"(found {token.describe()})"
+        )
+
+    def expect_punct(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_punct(text):
+            raise self.error(f"expected {text!r}")
+        return self.next()
+
+    def expect_keyword(self, text: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(text):
+            raise self.error(f"expected keyword {text!r}")
+        return self.next()
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error(f"expected {what}")
+        return self.next().text
+
+    def expect_eof(self) -> None:
+        if self.peek().kind != "eof":
+            raise self.error("expected end of input")
+
+    # -- grammar --------------------------------------------------------------
+
+    def program(self) -> Program:
+        declarations: List[TypeDecl] = []
+        main: Optional[Expr] = None
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.is_keyword("class"):
+                declarations.append(self.class_decl())
+            elif token.is_keyword("interface"):
+                declarations.append(self.interface_decl())
+            else:
+                main = self.expr()
+                self.expect_punct(";")
+                break
+        self.expect_eof()
+        declarations = _synthesize_constructors(declarations, self._implicit_ctors)
+        if main is None:
+            return Program(declarations=tuple(declarations))
+        return Program(declarations=tuple(declarations), main=main)
+
+    def class_decl(self) -> ClassDecl:
+        self.expect_keyword("class")
+        name = self.expect_ident("class name")
+        self.expect_keyword("extends")
+        superclass = self.expect_ident("superclass name")
+        interface = EMPTY_INTERFACE
+        if self.peek().is_keyword("implements"):
+            self.next()
+            interface = self.expect_ident("interface name")
+        self.expect_punct("{")
+
+        fields: List[FieldDecl] = []
+        constructor: Optional[Constructor] = None
+        methods: List[Method] = []
+        while not self.peek().is_punct("}"):
+            if (
+                self.peek().kind == "ident"
+                and self.peek().text == name
+                and self.peek(1).is_punct("(")
+            ):
+                if constructor is not None:
+                    raise self.error(f"class {name}: second constructor")
+                constructor = self.constructor(name)
+                continue
+            first = self.expect_ident("member type or constructor")
+            second = self.expect_ident("member name")
+            if self.peek().is_punct(";"):
+                self.next()
+                fields.append(FieldDecl(first, second))
+            elif self.peek().is_punct("("):
+                methods.append(self.method_rest(first, second))
+            else:
+                raise self.error("expected ';' or '(' after member name")
+        self.expect_punct("}")
+
+        if constructor is None:
+            self._implicit_ctors.add(name)
+        placeholder = constructor or Constructor(class_name=name)
+        return ClassDecl(
+            name=name,
+            superclass=superclass,
+            interface=interface,
+            fields=tuple(fields),
+            constructor=placeholder,
+            methods=tuple(methods),
+        )
+
+    def constructor(self, class_name: str) -> Constructor:
+        self.expect_ident()  # the class name, already checked
+        params = self.params()
+        self.expect_punct("{")
+        self.expect_keyword("super")
+        self.expect_punct("(")
+        super_args: List[str] = []
+        if not self.peek().is_punct(")"):
+            super_args.append(self.expect_ident("super argument"))
+            while self.peek().is_punct(","):
+                self.next()
+                super_args.append(self.expect_ident("super argument"))
+        self.expect_punct(")")
+        self.expect_punct(";")
+        while self.peek().is_keyword("this"):
+            self.next()
+            self.expect_punct(".")
+            field = self.expect_ident("field name")
+            self.expect_punct("=")
+            value = self.expect_ident("parameter name")
+            if field != value:
+                raise self.error(
+                    f"constructor assignment must be this.{field} = {field}"
+                )
+            self.expect_punct(";")
+        self.expect_punct("}")
+        return Constructor(
+            class_name=class_name,
+            params=tuple(params),
+            super_args=tuple(super_args),
+        )
+
+    def method_rest(self, return_type: str, name: str) -> Method:
+        params = self.params()
+        self.expect_punct("{")
+        self.expect_keyword("return")
+        body = self.expr()
+        self.expect_punct(";")
+        self.expect_punct("}")
+        return Method(
+            return_type=return_type,
+            name=name,
+            params=tuple(params),
+            body=body,
+        )
+
+    def interface_decl(self) -> InterfaceDecl:
+        self.expect_keyword("interface")
+        name = self.expect_ident("interface name")
+        self.expect_punct("{")
+        signatures: List[Signature] = []
+        while not self.peek().is_punct("}"):
+            return_type = self.expect_ident("signature return type")
+            sig_name = self.expect_ident("signature name")
+            params = self.params()
+            self.expect_punct(";")
+            signatures.append(
+                Signature(
+                    return_type=return_type,
+                    name=sig_name,
+                    params=tuple(params),
+                )
+            )
+        self.expect_punct("}")
+        return InterfaceDecl(name=name, signatures=tuple(signatures))
+
+    def params(self) -> List[Param]:
+        self.expect_punct("(")
+        params: List[Param] = []
+        if not self.peek().is_punct(")"):
+            params.append(self.param())
+            while self.peek().is_punct(","):
+                self.next()
+                params.append(self.param())
+        self.expect_punct(")")
+        return params
+
+    def param(self) -> Param:
+        type_name = self.expect_ident("parameter type")
+        name = self.expect_ident("parameter name")
+        return Param(type_name, name)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self) -> Expr:
+        result = self.unary()
+        while self.peek().is_punct("."):
+            self.next()
+            member = self.expect_ident("member name")
+            if self.peek().is_punct("("):
+                args = self.call_args()
+                result = MethodCall(result, member, tuple(args))
+            else:
+                result = FieldAccess(result, member)
+        return result
+
+    def unary(self) -> Expr:
+        token = self.peek()
+        if token.is_keyword("this"):
+            self.next()
+            return VarExpr("this")
+        if token.is_keyword("new"):
+            self.next()
+            class_name = self.expect_ident("class name")
+            args = self.call_args()
+            return New(class_name, tuple(args))
+        if token.kind == "ident":
+            self.next()
+            return VarExpr(token.text)
+        if token.is_punct("("):
+            # '(' ID ')' <expr-start> is a cast; otherwise grouping.
+            if (
+                self.peek(1).kind == "ident"
+                and self.peek(2).is_punct(")")
+                and self._starts_expression(self.peek(3))
+            ):
+                self.next()
+                type_name = self.expect_ident()
+                self.expect_punct(")")
+                return Cast(type_name, self.unary_with_postfix())
+            self.next()
+            inner = self.expr()
+            self.expect_punct(")")
+            return inner
+        raise self.error("expected an expression")
+
+    def unary_with_postfix(self) -> Expr:
+        """Cast operand: a unary with any trailing member accesses."""
+        result = self.unary()
+        while self.peek().is_punct("."):
+            self.next()
+            member = self.expect_ident("member name")
+            if self.peek().is_punct("("):
+                args = self.call_args()
+                result = MethodCall(result, member, tuple(args))
+            else:
+                result = FieldAccess(result, member)
+        return result
+
+    def call_args(self) -> List[Expr]:
+        self.expect_punct("(")
+        args: List[Expr] = []
+        if not self.peek().is_punct(")"):
+            args.append(self.expr())
+            while self.peek().is_punct(","):
+                self.next()
+                args.append(self.expr())
+        self.expect_punct(")")
+        return args
+
+    @staticmethod
+    def _starts_expression(token: Token) -> bool:
+        return (
+            token.kind == "ident"
+            or token.is_keyword("this")
+            or token.is_keyword("new")
+            or token.is_punct("(")
+        )
+
+
+def _synthesize_constructors(
+    declarations: List[TypeDecl],
+    implicit: set,
+) -> List[TypeDecl]:
+    """Fill in canonical constructors for classes that omitted them.
+
+    The canonical constructor takes the inherited fields (walking the
+    superclass chain) followed by the class's own fields, forwards the
+    inherited ones to ``super`` and assigns the rest.
+    """
+    by_name: Dict[str, TypeDecl] = {d.name: d for d in declarations}
+
+    def inherited_fields(class_name: str) -> List[FieldDecl]:
+        if class_name in (OBJECT, STRING):
+            return []
+        decl = by_name.get(class_name)
+        if not isinstance(decl, ClassDecl):
+            return []  # the type checker reports unknown ancestors
+        return inherited_fields(decl.superclass) + list(decl.fields)
+
+    out: List[TypeDecl] = []
+    for decl in declarations:
+        if isinstance(decl, ClassDecl) and decl.name in implicit:
+            inherited = inherited_fields(decl.superclass)
+            if inherited or decl.fields:
+                params = tuple(
+                    Param(f.type_name, f.name)
+                    for f in inherited + list(decl.fields)
+                )
+                ctor = Constructor(
+                    class_name=decl.name,
+                    params=params,
+                    super_args=tuple(f.name for f in inherited),
+                )
+                decl = ClassDecl(
+                    name=decl.name,
+                    superclass=decl.superclass,
+                    interface=decl.interface,
+                    fields=decl.fields,
+                    constructor=ctor,
+                    methods=decl.methods,
+                )
+        out.append(decl)
+    return out

@@ -1,0 +1,112 @@
+"""The FJI reducer ``reduce(P, phi)`` (Figure 5 of the paper).
+
+Given a truth assignment ``phi`` over ``V(P)`` (written as the set of
+true variables), the reducer keeps, rewrites, or drops each item:
+
+- class ``C``: kept iff ``[C]``; dropped wholesale otherwise,
+- ``implements I``: kept iff ``[C <| I]``; otherwise the class
+  implements ``EmptyInterface``,
+- method ``C.m``: body kept iff ``[C.m()!code]``; with ``[C.m()]`` but
+  not the code, the body becomes the trivial ``return this.m(x);`` —
+  an infinitely-recursive body that type checks at any return type;
+  without ``[C.m()]`` the method is dropped,
+- interface ``I`` and signature ``I.m``: kept iff their variables are.
+
+Fields and constructors are not reducible in FJI (they are in the
+bytecode substrate) and travel with their class.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Tuple
+
+from repro.fji.ast import (
+    ClassDecl,
+    EMPTY_INTERFACE,
+    InterfaceDecl,
+    Method,
+    MethodCall,
+    Program,
+    Signature,
+    TypeDecl,
+    VarExpr,
+)
+from repro.fji.variables import (
+    ClassVar,
+    CodeVar,
+    ImplementsVar,
+    InterfaceVar,
+    ItemVar,
+    MethodVar,
+    SignatureVar,
+)
+
+__all__ = ["reduce_program", "trivial_body"]
+
+
+def reduce_program(
+    program: Program, true_vars: AbstractSet[ItemVar]
+) -> Program:
+    """``reduce(P, phi)`` where ``phi``'s true set is ``true_vars``."""
+    reduced: List[TypeDecl] = []
+    for decl in program.declarations:
+        if isinstance(decl, ClassDecl):
+            if ClassVar(decl.name) in true_vars:
+                reduced.append(_reduce_class(decl, true_vars))
+        else:
+            if InterfaceVar(decl.name) in true_vars:
+                reduced.append(_reduce_interface(decl, true_vars))
+    return Program(declarations=tuple(reduced), main=program.main)
+
+
+def _reduce_class(
+    decl: ClassDecl, true_vars: AbstractSet[ItemVar]
+) -> ClassDecl:
+    interface = decl.interface
+    if interface != EMPTY_INTERFACE:
+        if ImplementsVar(decl.name, interface) not in true_vars:
+            interface = EMPTY_INTERFACE
+
+    methods: List[Method] = []
+    for method in decl.methods:
+        if MethodVar(decl.name, method.name) not in true_vars:
+            continue
+        if CodeVar(decl.name, method.name) in true_vars:
+            methods.append(method)
+        else:
+            methods.append(
+                Method(
+                    return_type=method.return_type,
+                    name=method.name,
+                    params=method.params,
+                    body=trivial_body(method),
+                )
+            )
+    return ClassDecl(
+        name=decl.name,
+        superclass=decl.superclass,
+        interface=interface,
+        fields=decl.fields,
+        constructor=decl.constructor,
+        methods=tuple(methods),
+    )
+
+
+def trivial_body(method: Method) -> MethodCall:
+    """``return this.m(x);`` — the code-removed body from Figure 5."""
+    return MethodCall(
+        receiver=VarExpr("this"),
+        method=method.name,
+        args=tuple(VarExpr(p.name) for p in method.params),
+    )
+
+
+def _reduce_interface(
+    decl: InterfaceDecl, true_vars: AbstractSet[ItemVar]
+) -> InterfaceDecl:
+    signatures: Tuple[Signature, ...] = tuple(
+        s
+        for s in decl.signatures
+        if SignatureVar(decl.name, s.name) in true_vars
+    )
+    return InterfaceDecl(name=decl.name, signatures=signatures)

@@ -1,0 +1,494 @@
+"""Type checking + constraint generation for FJI (Figures 6 and 7).
+
+The judgment ``|- P | sigma`` simultaneously type-checks the program and
+produces a propositional formula ``sigma`` over ``V(P)`` such that every
+satisfying assignment describes a sub-input that still type checks
+(Theorem 3.1).  :func:`check_program` raises :class:`TypeError_` when the
+program itself does not type check, and otherwise returns the constraints
+as a :class:`repro.logic.cnf.CNF` whose universe is ``V(P)``.
+
+Built-in types (Object, String, EmptyInterface) are not reducible; their
+variables are the constant TRUE, which simply vanishes from conjunctions
+— exactly the paper's "since we do not reduce String and Object we
+replace their variables with true".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fji.ast import (
+    BUILTIN_TYPES,
+    Cast,
+    ClassDecl,
+    Constructor,
+    EMPTY_INTERFACE,
+    Expr,
+    FieldAccess,
+    FieldDecl,
+    InterfaceDecl,
+    Method,
+    MethodCall,
+    New,
+    OBJECT,
+    Program,
+    Signature,
+    STRING,
+    VarExpr,
+)
+from repro.fji.variables import (
+    ClassVar,
+    CodeVar,
+    ImplementsVar,
+    InterfaceVar,
+    MethodVar,
+    SignatureVar,
+    variables_of,
+)
+from repro.logic.cnf import CNF
+from repro.logic.formula import FALSE, TRUE, And, Formula, Implies, Or, Var, conj
+
+__all__ = ["TypeError_", "check_program", "Checker"]
+
+
+class TypeError_(Exception):
+    """The program does not type check (the underscore dodges the builtin)."""
+
+
+MethodType = Tuple[Tuple[str, ...], str]  # (parameter types, return type)
+
+
+def check_program(program: Program) -> CNF:
+    """``|- P | sigma``: type check and return the constraint CNF.
+
+    Raises :class:`TypeError_` if the program is ill-typed.
+    """
+    return Checker(program).check()
+
+
+class Checker:
+    """One type-checking/constraint-generation run over a program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.universe = variables_of(program)
+
+    # ------------------------------------------------------------------
+    # Entry point (program typing)
+    # ------------------------------------------------------------------
+
+    def check(self) -> CNF:
+        cnf = CNF(variables=self.universe)
+        self._check_wellformed_hierarchy()
+        for decl in self.program.declarations:
+            if isinstance(decl, ClassDecl):
+                cnf.add_formula(self.check_class(decl))
+            else:
+                cnf.add_formula(self.check_interface(decl))
+        main_type, main_constraint = self.check_expr({}, self.program.main)
+        cnf.add_formula(main_constraint)
+        return cnf
+
+    # ------------------------------------------------------------------
+    # Variable helpers (TRUE for builtins)
+    # ------------------------------------------------------------------
+
+    def class_formula(self, name: str) -> Formula:
+        if name in (OBJECT, STRING):
+            return TRUE
+        if self.program.class_decl(name) is None:
+            raise TypeError_(f"unknown class {name!r}")
+        return Var(ClassVar(name))
+
+    def interface_formula(self, name: str) -> Formula:
+        if name == EMPTY_INTERFACE:
+            return TRUE
+        if self.program.interface_decl(name) is None:
+            raise TypeError_(f"unknown interface {name!r}")
+        return Var(InterfaceVar(name))
+
+    def type_formula(self, name: str) -> Formula:
+        """``[T]`` for any type name (class or interface)."""
+        if name in BUILTIN_TYPES:
+            return TRUE
+        if self.program.class_decl(name) is not None:
+            return Var(ClassVar(name))
+        if self.program.interface_decl(name) is not None:
+            return Var(InterfaceVar(name))
+        raise TypeError_(f"unknown type {name!r}")
+
+    def implements_formula(self, class_name: str, interface: str) -> Formula:
+        if interface == EMPTY_INTERFACE:
+            return TRUE
+        return Var(ImplementsVar(class_name, interface))
+
+    # ------------------------------------------------------------------
+    # Helper rules (Figure 6)
+    # ------------------------------------------------------------------
+
+    def fields(self, class_name: str) -> List[FieldDecl]:
+        """``fields(P, C)``: superclass fields first, then own fields."""
+        if class_name in (OBJECT, STRING):
+            return []
+        decl = self.program.class_decl(class_name)
+        if decl is None:
+            raise TypeError_(f"fields: unknown class {class_name!r}")
+        return self.fields(decl.superclass) + list(decl.fields)
+
+    def mtype(self, method: str, type_name: str) -> Optional[MethodType]:
+        """``mtype(P, m, T)`` for class or interface receivers."""
+        if type_name in (OBJECT, STRING):
+            return None
+        decl = self.program.class_decl(type_name)
+        if decl is not None:
+            found = decl.method(method)
+            if found is not None:
+                return (tuple(p.type_name for p in found.params),
+                        found.return_type)
+            return self.mtype(method, decl.superclass)
+        iface = self.program.interface_decl(type_name)
+        if iface is not None:
+            signature = iface.signature(method)
+            if signature is None:
+                return None
+            return (tuple(p.type_name for p in signature.params),
+                    signature.return_type)
+        raise TypeError_(f"mtype: unknown type {type_name!r}")
+
+    def m_any(self, method: str, type_name: str) -> Formula:
+        """``mAny(P, m, T)``: a disjunction of method/signature variables.
+
+        Requiring it true makes the reducer keep at least one
+        implementation of ``m`` visible on ``T``.
+        """
+        if type_name in (OBJECT, STRING):
+            return FALSE
+        decl = self.program.class_decl(type_name)
+        if decl is not None:
+            rest = self.m_any(method, decl.superclass)
+            if decl.method(method) is not None:
+                own: Formula = Var(MethodVar(type_name, method))
+                return own if rest == FALSE else Or((own, rest))
+            return rest
+        iface = self.program.interface_decl(type_name)
+        if iface is not None:
+            if iface.signature(method) is None:
+                return FALSE
+            return Var(SignatureVar(type_name, method))
+        raise TypeError_(f"mAny: unknown type {type_name!r}")
+
+    def subtype(self, sub: str, sup: str) -> Formula:
+        """``P |- T <= T' | pi``; raises when no derivation exists.
+
+        Paths go up through ``extends`` (no constraint: the superclass
+        relation is not reducible in FJI) and through ``implements``
+        (constraint ``[C <| I]``), conjoined transitively.
+        """
+        if sub == sup:
+            return TRUE
+        if not (self.program.is_class_name(sub)
+                or self.program.is_interface_name(sub)):
+            raise TypeError_(f"subtype: unknown type {sub!r}")
+        # BFS over the (acyclic) supertype lattice, collecting the
+        # cheapest constraint path (fewest implements hops).
+        frontier: List[Tuple[str, Tuple[Formula, ...]]] = [(sub, ())]
+        seen = {sub}
+        while frontier:
+            next_frontier: List[Tuple[str, Tuple[Formula, ...]]] = []
+            for name, path in frontier:
+                decl = self.program.class_decl(name)
+                steps: List[Tuple[str, Optional[Formula]]] = []
+                if decl is not None:
+                    steps.append((decl.superclass, None))
+                    if decl.interface != EMPTY_INTERFACE:
+                        steps.append(
+                            (
+                                decl.interface,
+                                self.implements_formula(name, decl.interface),
+                            )
+                        )
+                elif name == STRING:
+                    steps.append((OBJECT, None))
+                elif self.program.is_interface_name(name):
+                    # As in Java, every interface type is below Object.
+                    steps.append((OBJECT, None))
+                for target, label in steps:
+                    extended = path if label is None else path + (label,)
+                    if target == sup:
+                        return conj(extended)
+                    if target not in seen:
+                        seen.add(target)
+                        next_frontier.append((target, extended))
+            frontier = next_frontier
+        raise TypeError_(f"{sub!r} is not a subtype of {sup!r}")
+
+    def check_override(
+        self, method: str, superclass: str, mt: MethodType
+    ) -> None:
+        """``override(P, m, D, T -> T)`` (Figure 6)."""
+        inherited = self.mtype(method, superclass)
+        if inherited is not None and inherited != mt:
+            raise TypeError_(
+                f"method {method!r} overrides {superclass}.{method} "
+                f"with an incompatible type {mt!r} != {inherited!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Type rules (Figure 7)
+    # ------------------------------------------------------------------
+
+    def check_class(self, decl: ClassDecl) -> Formula:
+        """``class C ... OK in P | pi``"""
+        class_name = decl.name
+        if not self.program.is_class_name(decl.superclass):
+            raise TypeError_(
+                f"class {class_name}: unknown superclass {decl.superclass!r}"
+            )
+        if not self.program.is_interface_name(decl.interface):
+            raise TypeError_(
+                f"class {class_name}: unknown interface {decl.interface!r}"
+            )
+        self._check_constructor(decl)
+
+        parts: List[Formula] = []
+        # [C] => [D] /\ [U...] /\ [T...]  (superclass + all field types)
+        requirements = [self.class_formula(decl.superclass)]
+        for fdecl in self.fields(class_name):
+            requirements.append(self.type_formula(fdecl.type_name))
+        body = conj(requirements)
+        if body != TRUE:
+            parts.append(Implies(Var(ClassVar(class_name)), body))
+
+        # [C <| I] => [C] /\ [I]
+        if decl.interface != EMPTY_INTERFACE:
+            parts.append(
+                Implies(
+                    Var(ImplementsVar(class_name, decl.interface)),
+                    And(
+                        (
+                            Var(ClassVar(class_name)),
+                            self.interface_formula(decl.interface),
+                        )
+                    ),
+                )
+            )
+
+        # Methods: P |- M OK in C | pi
+        for method in decl.methods:
+            parts.append(self.check_method(decl, method))
+
+        # Signatures of I relative to C: P |- S OK in I for C | pi'
+        iface = self.program.interface_decl(decl.interface)
+        if iface is not None:
+            for signature in iface.signatures:
+                parts.append(
+                    self.check_signature_for_class(decl, signature)
+                )
+        return conj(parts)
+
+    def _check_constructor(self, decl: ClassDecl) -> None:
+        """Constructor shape check: K = C(U g, T f){super(g); this.f=f;}"""
+        ctor = decl.constructor
+        if ctor.class_name != decl.name:
+            raise TypeError_(
+                f"class {decl.name}: constructor named {ctor.class_name!r}"
+            )
+        super_fields = self.fields(decl.superclass)
+        expected = [
+            (f.type_name, f.name) for f in super_fields
+        ] + [(f.type_name, f.name) for f in decl.fields]
+        actual = [(p.type_name, p.name) for p in ctor.params]
+        if actual != expected:
+            raise TypeError_(
+                f"class {decl.name}: constructor parameters {actual!r} "
+                f"do not match fields {expected!r}"
+            )
+        if list(ctor.super_args) != [f.name for f in super_fields]:
+            raise TypeError_(
+                f"class {decl.name}: super(...) must forward the "
+                "superclass fields in order"
+            )
+
+    def check_method(self, decl: ClassDecl, method: Method) -> Formula:
+        """``P |- T m(T x){ return e; } OK in C | pi``"""
+        class_name = decl.name
+        mt: MethodType = (
+            tuple(p.type_name for p in method.params),
+            method.return_type,
+        )
+        self.check_override(method.name, decl.superclass, mt)
+
+        env: Dict[str, str] = {p.name: p.type_name for p in method.params}
+        if len(env) != len(method.params):
+            raise TypeError_(
+                f"{class_name}.{method.name}: duplicate parameter names"
+            )
+        env["this"] = class_name
+        body_type, pi1 = self.check_expr(env, method.body)
+        pi2 = self.subtype(body_type, method.return_type)
+
+        method_var = Var(MethodVar(class_name, method.name))
+        code_var = Var(CodeVar(class_name, method.name))
+
+        requirements = [self.class_formula(class_name)]
+        requirements.extend(
+            self.type_formula(p.type_name) for p in method.params
+        )
+        requirements.append(self.type_formula(method.return_type))
+
+        parts: List[Formula] = []
+        decl_req = conj(requirements)
+        if decl_req != TRUE:
+            parts.append(Implies(method_var, decl_req))
+        parts.append(Implies(code_var, conj([method_var, pi1, pi2])))
+        return conj(parts)
+
+    def check_interface(self, decl: InterfaceDecl) -> Formula:
+        """``interface I { S } OK in P | pi``"""
+        parts: List[Formula] = []
+        seen = set()
+        for signature in decl.signatures:
+            if signature.name in seen:
+                raise TypeError_(
+                    f"interface {decl.name}: duplicate signature "
+                    f"{signature.name!r}"
+                )
+            seen.add(signature.name)
+            parts.append(self.check_signature(decl, signature))
+        return conj(parts)
+
+    def check_signature(
+        self, decl: InterfaceDecl, signature: Signature
+    ) -> Formula:
+        """``P |- T m(T x) OK in I | [I.m()] => [I] /\\ [T...] /\\ [T]``"""
+        requirements = [self.interface_formula(decl.name)]
+        for param in signature.params:
+            requirements.append(self.type_formula(param.type_name))
+        requirements.append(self.type_formula(signature.return_type))
+        body = conj(requirements)
+        sig_var = Var(SignatureVar(decl.name, signature.name))
+        return Implies(sig_var, body) if body != TRUE else TRUE
+
+    def check_signature_for_class(
+        self, decl: ClassDecl, signature: Signature
+    ) -> Formula:
+        """``P |- T m(T x) OK in I for C``:
+
+        checks ``mtype(P, m, C)`` matches the signature, and generates
+        ``([C <| I] /\\ [I.m()]) => mAny(P, m, C)``.
+        """
+        mt = self.mtype(signature.name, decl.name)
+        expected: MethodType = (
+            tuple(p.type_name for p in signature.params),
+            signature.return_type,
+        )
+        if mt is None:
+            raise TypeError_(
+                f"class {decl.name} does not implement "
+                f"{decl.interface}.{signature.name}"
+            )
+        if mt != expected:
+            raise TypeError_(
+                f"class {decl.name} implements {decl.interface}."
+                f"{signature.name} at type {mt!r}, expected {expected!r}"
+            )
+        antecedent = And(
+            (
+                self.implements_formula(decl.name, decl.interface),
+                Var(SignatureVar(decl.interface, signature.name)),
+            )
+        )
+        return Implies(antecedent, self.m_any(signature.name, decl.name))
+
+    # ------------------------------------------------------------------
+    # Expression typing
+    # ------------------------------------------------------------------
+
+    def check_expr(
+        self, env: Dict[str, str], expr: Expr
+    ) -> Tuple[str, Formula]:
+        """``P, Gamma |- e : T | pi``"""
+        if isinstance(expr, VarExpr):
+            if expr.name not in env:
+                raise TypeError_(f"unbound variable {expr.name!r}")
+            return env[expr.name], TRUE
+
+        if isinstance(expr, FieldAccess):
+            recv_type, pi = self.check_expr(env, expr.receiver)
+            if not self.program.is_class_name(recv_type):
+                raise TypeError_(
+                    f"field access on non-class type {recv_type!r}"
+                )
+            for fdecl in self.fields(recv_type):
+                if fdecl.name == expr.field:
+                    return fdecl.type_name, pi
+            raise TypeError_(
+                f"class {recv_type!r} has no field {expr.field!r}"
+            )
+
+        if isinstance(expr, MethodCall):
+            recv_type, pi0 = self.check_expr(env, expr.receiver)
+            mt = self.mtype(expr.method, recv_type)
+            if mt is None:
+                raise TypeError_(
+                    f"type {recv_type!r} has no method {expr.method!r}"
+                )
+            param_types, return_type = mt
+            if len(param_types) != len(expr.args):
+                raise TypeError_(
+                    f"call to {recv_type}.{expr.method}: expected "
+                    f"{len(param_types)} arguments, got {len(expr.args)}"
+                )
+            parts: List[Formula] = [
+                self.type_formula(recv_type),  # dispatch type must exist
+                pi0,
+                self.m_any(expr.method, recv_type),
+            ]
+            for arg, expected in zip(expr.args, param_types):
+                arg_type, pi_arg = self.check_expr(env, arg)
+                parts.append(pi_arg)
+                parts.append(self.subtype(arg_type, expected))
+            return return_type, conj(parts)
+
+        if isinstance(expr, New):
+            if not self.program.is_class_name(expr.class_name):
+                raise TypeError_(f"new of unknown class {expr.class_name!r}")
+            field_decls = self.fields(expr.class_name)
+            if len(field_decls) != len(expr.args):
+                raise TypeError_(
+                    f"new {expr.class_name}: expected "
+                    f"{len(field_decls)} arguments, got {len(expr.args)}"
+                )
+            parts = [self.class_formula(expr.class_name)]
+            for arg, fdecl in zip(expr.args, field_decls):
+                arg_type, pi_arg = self.check_expr(env, arg)
+                parts.append(pi_arg)
+                parts.append(self.subtype(arg_type, fdecl.type_name))
+            return expr.class_name, conj(parts)
+
+        if isinstance(expr, Cast):
+            _, pi = self.check_expr(env, expr.expr)
+            return expr.type_name, conj([self.type_formula(expr.type_name), pi])
+
+        raise TypeError_(f"unknown expression form: {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Hierarchy sanity
+    # ------------------------------------------------------------------
+
+    def _check_wellformed_hierarchy(self) -> None:
+        for decl in self.program.class_decls():
+            seen = {decl.name}
+            current = decl.superclass
+            while current not in (OBJECT, STRING):
+                if current in seen:
+                    raise TypeError_(
+                        f"cyclic class hierarchy through {current!r}"
+                    )
+                seen.add(current)
+                parent = self.program.class_decl(current)
+                if parent is None:
+                    raise TypeError_(
+                        f"class {decl.name}: undeclared ancestor {current!r}"
+                    )
+                current = parent.superclass

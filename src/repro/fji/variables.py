@@ -1,0 +1,126 @@
+"""The Boolean-variable universe V(P) of an FJI program.
+
+Six kinds of variables (Section 3, "Boolean Variables and a Program
+Reducer"):
+
+- ``[C]`` — keep class C (:class:`ClassVar`),
+- ``[I]`` — keep interface I (:class:`InterfaceVar`),
+- ``[C <| I]`` — keep the ``implements I`` clause of C
+  (:class:`ImplementsVar`); when removed, C implements EmptyInterface,
+- ``[C.m()]`` — keep method m of class C (:class:`MethodVar`),
+- ``[I.m()]`` — keep signature m of interface I (:class:`SignatureVar`),
+- ``[C.m()!code]`` — keep the *body* of method C.m
+  (:class:`CodeVar`); when removed, the body becomes the trivial
+  ``return this.m(x);``.
+
+Built-in types (Object, String, EmptyInterface) are never reducible and
+get no variables; the constraint generator substitutes TRUE for them.
+Variables are small frozen dataclasses, so they can be used directly as
+CNF variable names, graph nodes, and dict keys.  ``str()`` renders the
+paper's bracket notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.fji.ast import BUILTIN_TYPES, ClassDecl, InterfaceDecl, Program
+
+__all__ = [
+    "ClassVar",
+    "InterfaceVar",
+    "ImplementsVar",
+    "MethodVar",
+    "SignatureVar",
+    "CodeVar",
+    "ItemVar",
+    "variables_of",
+]
+
+
+@dataclass(frozen=True, order=True)
+class ClassVar:
+    """``[C]``"""
+
+    class_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.class_name}]"
+
+
+@dataclass(frozen=True, order=True)
+class InterfaceVar:
+    """``[I]``"""
+
+    interface_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.interface_name}]"
+
+
+@dataclass(frozen=True, order=True)
+class ImplementsVar:
+    """``[C <| I]``"""
+
+    class_name: str
+    interface_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.class_name}<{self.interface_name}]"
+
+
+@dataclass(frozen=True, order=True)
+class MethodVar:
+    """``[C.m()]``"""
+
+    class_name: str
+    method_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.class_name}.{self.method_name}()]"
+
+
+@dataclass(frozen=True, order=True)
+class SignatureVar:
+    """``[I.m()]``"""
+
+    interface_name: str
+    method_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.interface_name}.{self.method_name}()]"
+
+
+@dataclass(frozen=True, order=True)
+class CodeVar:
+    """``[C.m()!code]``"""
+
+    class_name: str
+    method_name: str
+
+    def __str__(self) -> str:
+        return f"[{self.class_name}.{self.method_name}()!code]"
+
+
+ItemVar = Union[
+    ClassVar, InterfaceVar, ImplementsVar, MethodVar, SignatureVar, CodeVar
+]
+
+
+def variables_of(program: Program) -> List[ItemVar]:
+    """V(P) in declaration order (the default variable order ``<``)."""
+    out: List[ItemVar] = []
+    for decl in program.declarations:
+        if isinstance(decl, ClassDecl):
+            out.append(ClassVar(decl.name))
+            if decl.interface not in BUILTIN_TYPES:
+                out.append(ImplementsVar(decl.name, decl.interface))
+            for method in decl.methods:
+                out.append(MethodVar(decl.name, method.name))
+                out.append(CodeVar(decl.name, method.name))
+        elif isinstance(decl, InterfaceDecl):
+            out.append(InterfaceVar(decl.name))
+            for signature in decl.signatures:
+                out.append(SignatureVar(decl.name, signature.name))
+    return out

@@ -1,0 +1,22 @@
+"""Dependency-graph substrate (the J-Reduce world).
+
+J-Reduce models dependencies as a directed graph whose transitive closures
+are exactly the valid sub-inputs.  This package provides the directed
+graph (:mod:`repro.graphs.digraph`), Tarjan's strongly-connected-component
+algorithm and the condensation (:mod:`repro.graphs.scc`), and closure
+computation (:mod:`repro.graphs.closure`) used by the binary-reduction
+baseline and by the lossy encodings of Section 4.3.
+"""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import strongly_connected_components, condensation
+from repro.graphs.closure import Closure, closure_of, all_item_closures
+
+__all__ = [
+    "DiGraph",
+    "strongly_connected_components",
+    "condensation",
+    "Closure",
+    "closure_of",
+    "all_item_closures",
+]

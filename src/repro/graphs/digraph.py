@@ -1,0 +1,143 @@
+"""A small directed graph over hashable nodes.
+
+An edge ``a -> b`` reads "a depends on b": keeping ``a`` in the sub-input
+forces keeping ``b`` (exactly the graph constraint ``[a] => [b]``).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Set,
+    Tuple,
+)
+
+__all__ = ["DiGraph"]
+
+Node = Hashable
+
+
+class DiGraph:
+    """Adjacency-set directed graph."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Iterable[Tuple[Node, Node]] = (),
+    ):
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        return frozenset(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self._succ.get(node, ()))
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        return frozenset(self._pred.get(node, ()))
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        return dst in self._succ.get(src, ())
+
+    def num_edges(self) -> int:
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    # -- traversal ----------------------------------------------------------------
+
+    def reachable_from(self, sources: Iterable[Node]) -> FrozenSet[Node]:
+        """All nodes reachable from ``sources`` (including the sources)."""
+        seen: Set[Node] = set()
+        stack: List[Node] = [s for s in sources if s in self._succ]
+        seen.update(stack)
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def reverse(self) -> "DiGraph":
+        """The graph with every edge flipped."""
+        out = DiGraph(nodes=self._succ)
+        for src, dst in self.edges():
+            out.add_edge(dst, src)
+        return out
+
+    def subgraph(self, keep: Iterable[Node]) -> "DiGraph":
+        """The induced subgraph on ``keep``."""
+        keep_set = set(keep)
+        out = DiGraph(nodes=(n for n in self._succ if n in keep_set))
+        for src, dst in self.edges():
+            if src in keep_set and dst in keep_set:
+                out.add_edge(src, dst)
+        return out
+
+    def topological_order(self) -> List[Node]:
+        """Kahn's algorithm; raises ValueError on cycles.
+
+        Ties are broken deterministically by node repr.
+        """
+        indegree: Dict[Node, int] = {n: 0 for n in self._succ}
+        for _, dst in self.edges():
+            indegree[dst] += 1
+        ready = sorted(
+            (n for n, d in indegree.items() if d == 0), key=repr, reverse=True
+        )
+        order: List[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            inserted = False
+            for nxt in self._succ[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+                    inserted = True
+            if inserted:
+                ready.sort(key=repr, reverse=True)
+        if len(order) != len(self._succ):
+            raise ValueError("graph has a cycle; no topological order")
+        return order
+
+    def __repr__(self) -> str:
+        return f"DiGraph({len(self)} nodes, {self.num_edges()} edges)"

@@ -1,0 +1,101 @@
+"""Strongly connected components and condensation.
+
+J-Reduce collapses dependency cycles: every member of a strongly
+connected component must be kept or removed together, so the reduction
+list is really a list of SCC closures.  We implement Tarjan's algorithm
+iteratively (the dependency graphs of large inputs overflow Python's
+recursion limit) and build the condensation DAG on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["strongly_connected_components", "condensation"]
+
+Node = Hashable
+
+
+def strongly_connected_components(graph: DiGraph) -> List[FrozenSet[Node]]:
+    """Tarjan's SCC algorithm, iteratively.
+
+    Components are returned in reverse topological order of the
+    condensation (i.e. a component precedes the components it depends
+    on... dependents come later), matching Tarjan's natural output order.
+    """
+    index_counter = 0
+    indices: Dict[Node, int] = {}
+    lowlinks: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[FrozenSet[Node]] = []
+
+    for root in sorted(graph.nodes, key=repr):
+        if root in indices:
+            continue
+        # Each frame: (node, iterator over successors).
+        work: List[Tuple[Node, List[Node]]] = [
+            (root, sorted(graph.successors(root), key=repr))
+        ]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack[root] = True
+
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            while successors:
+                nxt = successors.pop()
+                if nxt not in indices:
+                    indices[nxt] = lowlinks[nxt] = index_counter
+                    index_counter += 1
+                    stack.append(nxt)
+                    on_stack[nxt] = True
+                    work.append(
+                        (nxt, sorted(graph.successors(nxt), key=repr))
+                    )
+                    advanced = True
+                    break
+                if on_stack.get(nxt):
+                    lowlinks[node] = min(lowlinks[node], indices[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+
+    return components
+
+
+def condensation(
+    graph: DiGraph,
+) -> Tuple[DiGraph, Dict[Node, FrozenSet[Node]]]:
+    """The condensation DAG plus the node -> component mapping.
+
+    The condensation's nodes are the components (frozensets); there is an
+    edge between two components when any original edge crosses them.
+    """
+    components = strongly_connected_components(graph)
+    component_of: Dict[Node, FrozenSet[Node]] = {}
+    for component in components:
+        for node in component:
+            component_of[node] = component
+    dag = DiGraph(nodes=components)
+    for src, dst in graph.edges():
+        csrc, cdst = component_of[src], component_of[dst]
+        if csrc != cdst:
+            dag.add_edge(csrc, cdst)
+    return dag, component_of

@@ -1,0 +1,175 @@
+"""Running reduction strategies over corpus instances.
+
+One *instance* is a (benchmark application, buggy decompiler) pair; one
+*outcome* is a strategy's result on an instance: final sizes, predicate
+invocations, wall-clock, and the reduction-over-time trace.
+
+The paper's time axis is dominated by the decompile+compile cycle
+("each taking 33 seconds on average"); our simulated decompilers run in
+microseconds, so outcomes also carry a *simulated* clock that charges a
+configurable cost per fresh predicate invocation — that clock is what
+the Figure 8 reproductions plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.bytecode.constraints import class_dependency_graph
+from repro.bytecode.metrics import application_size_bytes
+from repro.bytecode.reducer import reduce_application
+from repro.reduction.binary import binary_reduction
+from repro.reduction.gbr import generalized_binary_reduction
+from repro.reduction.lossy import LossyVariant, lossy_reduce
+from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.problem import ReductionProblem, Stopwatch
+from repro.decompiler.oracle import build_reduction_problem
+from repro.workloads.corpus import Benchmark, BuggyInstance
+
+__all__ = [
+    "ExperimentConfig",
+    "InstanceOutcome",
+    "run_instance",
+    "run_corpus_experiment",
+    "STRATEGY_NAMES",
+]
+
+#: Strategies the harness knows how to run on an instance.
+STRATEGY_NAMES = ("our-reducer", "jreduce", "lossy-first", "lossy-last")
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all strategy runs."""
+
+    strategies: Tuple[str, ...] = STRATEGY_NAMES
+    #: Simulated seconds charged per fresh predicate invocation (the
+    #: paper's decompile+compile averages 33 s).
+    simulated_seconds_per_run: float = 33.0
+
+
+@dataclass
+class InstanceOutcome:
+    """One strategy's result on one instance."""
+
+    benchmark_id: str
+    decompiler: str
+    strategy: str
+    total_bytes: int
+    total_classes: int
+    final_bytes: int
+    final_classes: int
+    predicate_calls: int
+    real_seconds: float
+    simulated_seconds: float
+    #: (simulated seconds, best bytes so far) steps.
+    timeline: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def relative_bytes(self) -> float:
+        return self.final_bytes / self.total_bytes if self.total_bytes else 1.0
+
+    @property
+    def relative_classes(self) -> float:
+        return (
+            self.final_classes / self.total_classes
+            if self.total_classes
+            else 1.0
+        )
+
+
+def run_instance(
+    benchmark: Benchmark,
+    instance: BuggyInstance,
+    strategy: str,
+    config: Optional[ExperimentConfig] = None,
+) -> InstanceOutcome:
+    """Run one strategy on one instance."""
+    config = config or ExperimentConfig()
+    app = benchmark.app
+    oracle = instance.oracle
+    total_bytes = application_size_bytes(app)
+    total_classes = len(app.classes)
+    watch = Stopwatch()
+
+    if strategy == "jreduce":
+        instrumented = InstrumentedPredicate(
+            oracle.class_predicate,
+            cost_per_call=config.simulated_seconds_per_run,
+            size_of=lambda kept: application_size_bytes(
+                _class_subset(app, kept)
+            ),
+        )
+        result = binary_reduction(
+            class_dependency_graph(app),
+            instrumented,
+            required=[app.entry_class],
+        )
+        reduced = _class_subset(app, result.solution)
+    else:
+        problem = build_reduction_problem(app, oracle.decompiler)
+        instrumented = InstrumentedPredicate(
+            problem.predicate,
+            cost_per_call=config.simulated_seconds_per_run,
+            size_of=lambda kept: application_size_bytes(
+                reduce_application(app, kept)
+            ),
+        )
+        problem = ReductionProblem(
+            variables=problem.variables,
+            predicate=instrumented,
+            constraint=problem.constraint,
+            description=problem.description,
+        )
+        if strategy == "our-reducer":
+            result = generalized_binary_reduction(problem)
+        elif strategy == "lossy-first":
+            result = lossy_reduce(problem, LossyVariant.FIRST)
+        elif strategy == "lossy-last":
+            result = lossy_reduce(problem, LossyVariant.LAST)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        reduced = reduce_application(app, result.solution)
+
+    return InstanceOutcome(
+        benchmark_id=benchmark.benchmark_id,
+        decompiler=instance.decompiler,
+        strategy=strategy,
+        total_bytes=total_bytes,
+        total_classes=total_classes,
+        final_bytes=application_size_bytes(reduced),
+        final_classes=len(reduced.classes),
+        predicate_calls=instrumented.calls,
+        real_seconds=watch.elapsed(),
+        simulated_seconds=instrumented.now(),
+        timeline=list(instrumented.timeline),
+    )
+
+
+def run_corpus_experiment(
+    benchmarks: Sequence[Benchmark],
+    config: Optional[ExperimentConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[InstanceOutcome]:
+    """Run every configured strategy on every buggy instance."""
+    config = config or ExperimentConfig()
+    outcomes: List[InstanceOutcome] = []
+    for benchmark in benchmarks:
+        for instance in benchmark.instances:
+            for strategy in config.strategies:
+                outcome = run_instance(benchmark, instance, strategy, config)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(
+                        f"{benchmark.benchmark_id}/{instance.decompiler}/"
+                        f"{strategy}: {outcome.relative_bytes:.1%} bytes in "
+                        f"{outcome.predicate_calls} runs"
+                    )
+    return outcomes
+
+
+def _class_subset(app, kept_classes: FrozenSet[str]):
+    return app.replace_classes(
+        tuple(c for c in app.classes if c.name in kept_classes)
+    )

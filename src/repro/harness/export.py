@@ -1,0 +1,125 @@
+"""CSV export of experiment results.
+
+The text renderers in :mod:`repro.harness.report` are for reading; this
+module writes machine-readable CSVs so the figures can be re-plotted
+with any tool:
+
+- ``outcomes.csv`` — one row per (instance, strategy) with all sizes,
+  times and call counts,
+- ``cfd_<metric>.csv`` — the Figure 8a series, one (strategy, value,
+  count) row per step,
+- ``timeline.csv`` — the Figure 8b series, one (strategy, seconds,
+  mean_factor) row per grid point.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.experiments import InstanceOutcome
+from repro.harness.metrics import cumulative_frequency
+from repro.harness.report import by_strategy
+from repro.harness.timeline import mean_reduction_over_time
+
+__all__ = ["export_outcomes", "export_cfds", "export_timeline", "export_all"]
+
+
+def export_outcomes(
+    outcomes: Sequence[InstanceOutcome], path: pathlib.Path
+) -> None:
+    """Write the per-outcome table."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "benchmark",
+                "decompiler",
+                "strategy",
+                "total_bytes",
+                "final_bytes",
+                "relative_bytes",
+                "total_classes",
+                "final_classes",
+                "relative_classes",
+                "predicate_calls",
+                "real_seconds",
+                "simulated_seconds",
+            ]
+        )
+        for o in outcomes:
+            writer.writerow(
+                [
+                    o.benchmark_id,
+                    o.decompiler,
+                    o.strategy,
+                    o.total_bytes,
+                    o.final_bytes,
+                    f"{o.relative_bytes:.6f}",
+                    o.total_classes,
+                    o.final_classes,
+                    f"{o.relative_classes:.6f}",
+                    o.predicate_calls,
+                    f"{o.real_seconds:.6f}",
+                    f"{o.simulated_seconds:.3f}",
+                ]
+            )
+
+
+def export_cfds(
+    outcomes: Sequence[InstanceOutcome], directory: pathlib.Path
+) -> List[pathlib.Path]:
+    """Write one CFD CSV per Figure 8a metric; returns the paths."""
+    metrics = {
+        "time": lambda o: o.simulated_seconds / 3600.0,
+        "classes": lambda o: o.relative_classes,
+        "bytes": lambda o: o.relative_bytes,
+    }
+    paths = []
+    for metric, value_of in metrics.items():
+        path = directory / f"cfd_{metric}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["strategy", "value", "count"])
+            for strategy, group in by_strategy(outcomes).items():
+                series = cumulative_frequency([value_of(o) for o in group])
+                for value, count in series:
+                    writer.writerow([strategy, f"{value:.6f}", count])
+        paths.append(path)
+    return paths
+
+
+def export_timeline(
+    outcomes: Sequence[InstanceOutcome],
+    path: pathlib.Path,
+    points: int = 24,
+) -> None:
+    """Write the Figure 8b series on a shared grid."""
+    groups = by_strategy(outcomes)
+    horizon = max(o.simulated_seconds for o in outcomes)
+    grid = [horizon * i / (points - 1) for i in range(points)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["strategy", "seconds", "mean_reduction_factor"])
+        for strategy, group in groups.items():
+            for when, factor in mean_reduction_over_time(group, grid=grid):
+                writer.writerow([strategy, f"{when:.3f}", f"{factor:.4f}"])
+
+
+def export_all(
+    outcomes: Sequence[InstanceOutcome], directory
+) -> Dict[str, pathlib.Path]:
+    """Write every CSV into ``directory``; returns name -> path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, pathlib.Path] = {}
+    outcomes_path = directory / "outcomes.csv"
+    export_outcomes(outcomes, outcomes_path)
+    written["outcomes"] = outcomes_path
+    for path in export_cfds(outcomes, directory):
+        written[path.stem] = path
+    timeline_path = directory / "timeline.csv"
+    export_timeline(outcomes, timeline_path)
+    written["timeline"] = timeline_path
+    return written

@@ -1,0 +1,61 @@
+"""Aggregate metrics: geometric means, quantiles, CFD series.
+
+The paper reports geometric means throughout ("On average (geometric
+mean), those benchmarks have 184 classes ...") and plots cumulative
+frequency diagrams (Figure 8a): for each metric, how many benchmarks
+finished at or below each value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["geometric_mean", "quantile", "cumulative_frequency"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """The geometric mean; every value must be positive."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile, 0 <= q <= 1."""
+    if not values:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def cumulative_frequency(
+    values: Sequence[float],
+) -> List[Tuple[float, int]]:
+    """The CFD series: sorted (value, #values <= value) pairs.
+
+    This is exactly what Figure 8a plots per strategy per metric —
+    "steeper is better".
+    """
+    ordered = sorted(values)
+    series: List[Tuple[float, int]] = []
+    for i, value in enumerate(ordered, start=1):
+        if series and series[-1][0] == value:
+            series[-1] = (value, i)
+        else:
+            series.append((value, i))
+    return series

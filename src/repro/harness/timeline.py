@@ -1,0 +1,56 @@
+"""Reduction over time (Figure 8b).
+
+The paper: "A much more likely scenario is that we have a fixed time
+window ... We can stop both algorithms at any point in the execution and
+use the smallest input until that point that preserves the error
+message."  Figure 8b plots the mean *reduction factor* (how many times
+smaller the best-so-far input is) against time.
+
+:func:`mean_reduction_over_time` resamples each outcome's step timeline
+onto a shared grid of the simulated clock and averages the factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.experiments import InstanceOutcome
+
+__all__ = ["mean_reduction_over_time", "reduction_factor_at"]
+
+
+def reduction_factor_at(outcome: InstanceOutcome, time_s: float) -> float:
+    """total_bytes / best_bytes(best input found by ``time_s``).
+
+    Before the first bug-preserving observation the best known input is
+    the original, i.e. a factor of 1.
+    """
+    best = outcome.total_bytes
+    for (when, size) in outcome.timeline:
+        if when > time_s:
+            break
+        best = size
+    return outcome.total_bytes / best if best else float(outcome.total_bytes)
+
+
+def mean_reduction_over_time(
+    outcomes: Sequence[InstanceOutcome],
+    grid: Optional[Sequence[float]] = None,
+    points: int = 24,
+) -> List[Tuple[float, float]]:
+    """The Figure 8b series: (time, mean reduction factor) pairs.
+
+    Outcomes should all belong to one strategy; pass an explicit ``grid``
+    to compare strategies on the same axis.
+    """
+    if not outcomes:
+        raise ValueError("no outcomes to aggregate")
+    if grid is None:
+        horizon = max(o.simulated_seconds for o in outcomes)
+        horizon = max(horizon, 1.0)
+        grid = [horizon * i / (points - 1) for i in range(points)]
+    series: List[Tuple[float, float]] = []
+    for when in grid:
+        factors = [reduction_factor_at(o, when) for o in outcomes]
+        series.append((when, sum(factors) / len(factors)))
+    return series

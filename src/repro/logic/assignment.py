@@ -1,0 +1,75 @@
+"""Truth assignments written as sets of true variables.
+
+The paper writes solutions "as the set of true variables", e.g.
+``(x /\\ ~y)({x})`` is true.  :class:`Assignment` is a thin immutable
+wrapper over that convention with set algebra and pretty-printing.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Hashable, Iterable, Iterator
+
+__all__ = ["Assignment"]
+
+VarName = Hashable
+
+
+class Assignment:
+    """An immutable truth assignment: the set of variables set to true."""
+
+    __slots__ = ("true_vars",)
+
+    def __init__(self, true_vars: Iterable[VarName] = ()):
+        self.true_vars: FrozenSet[VarName] = frozenset(true_vars)
+
+    def __contains__(self, var: VarName) -> bool:
+        return var in self.true_vars
+
+    def __iter__(self) -> Iterator[VarName]:
+        return iter(self.true_vars)
+
+    def __len__(self) -> int:
+        return len(self.true_vars)
+
+    def __bool__(self) -> bool:
+        return bool(self.true_vars)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Assignment):
+            return self.true_vars == other.true_vars
+        if isinstance(other, (set, frozenset)):
+            return self.true_vars == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.true_vars)
+
+    def __or__(self, other: "Assignment") -> "Assignment":
+        return Assignment(self.true_vars | _true_set(other))
+
+    def __and__(self, other: "Assignment") -> "Assignment":
+        return Assignment(self.true_vars & _true_set(other))
+
+    def __sub__(self, other: "Assignment") -> "Assignment":
+        return Assignment(self.true_vars - _true_set(other))
+
+    def __le__(self, other: "Assignment") -> bool:
+        return self.true_vars <= _true_set(other)
+
+    def with_true(self, *names: VarName) -> "Assignment":
+        return Assignment(self.true_vars | set(names))
+
+    def without(self, *names: VarName) -> "Assignment":
+        return Assignment(self.true_vars - set(names))
+
+    def __repr__(self) -> str:
+        shown = ", ".join(sorted(map(str, self.true_vars)))
+        return f"Assignment({{{shown}}})"
+
+
+def _true_set(value) -> AbstractSet[VarName]:
+    if isinstance(value, Assignment):
+        return value.true_vars
+    if isinstance(value, (set, frozenset)):
+        return value
+    raise TypeError(f"expected Assignment or set, got {value!r}")

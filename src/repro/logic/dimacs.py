@@ -1,0 +1,85 @@
+"""DIMACS CNF import/export.
+
+The paper's pipeline hands its constraints to off-the-shelf tools
+(sharpSAT for counting).  We provide the same interoperability surface:
+:func:`to_dimacs` serializes a :class:`repro.logic.cnf.CNF` in the
+standard ``p cnf`` format (with a comment block mapping variable numbers
+back to item names), and :func:`from_dimacs` parses it back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.logic.cnf import CNF, Clause, Lit
+
+__all__ = ["to_dimacs", "from_dimacs"]
+
+VarName = Hashable
+
+
+def to_dimacs(
+    cnf: CNF,
+    order: Optional[Sequence[VarName]] = None,
+    include_names: bool = True,
+) -> str:
+    """Serialize to DIMACS CNF text.
+
+    When ``include_names`` is set, a ``c var <n> <name>`` comment line is
+    emitted per variable so the mapping survives the round trip for
+    humans (parsers ignore comments).
+    """
+    indexed = cnf.to_indexed(order)
+    lines: List[str] = []
+    if include_names:
+        for i, name in enumerate(indexed.names):
+            lines.append(f"c var {i + 1} {name}")
+    lines.append(f"p cnf {indexed.num_vars} {len(indexed.clauses)}")
+    for clause in indexed.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Variable names are recovered from ``c var`` comments when present and
+    default to the integers otherwise.
+    """
+    names: Dict[int, VarName] = {}
+    clauses: List[Tuple[int, ...]] = []
+    declared_vars = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            parts = line.split(maxsplit=3)
+            if len(parts) == 4 and parts[1] == "var":
+                try:
+                    names[int(parts[2])] = parts[3]
+                except ValueError:
+                    pass
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        literals = [int(tok) for tok in line.split()]
+        if literals and literals[-1] == 0:
+            literals = literals[:-1]
+        if literals:
+            clauses.append(tuple(literals))
+
+    def name_of(num: int) -> VarName:
+        return names.get(num, num)
+
+    universe = [name_of(i) for i in range(1, declared_vars + 1)]
+    cnf = CNF(variables=universe)
+    for encoded in clauses:
+        cnf.add_clause(
+            Clause(Lit(name_of(abs(lit)), lit > 0) for lit in encoded)
+        )
+    return cnf

@@ -1,0 +1,211 @@
+"""Approximate minimal satisfying assignments (the paper's MSA_<).
+
+Finding a satisfying assignment with the fewest true variables is
+NP-complete (Ravi & Somenzi 2004, cited by the paper), so — exactly like
+the paper — we settle for an approximate procedure that runs in polynomial
+time and respects a total variable order ``<``:
+
+1. **Greedy with propagation** (the fast path): start from the required
+   variables, and while some clause is violated (all positive literals
+   false, all negative literals true), satisfy it by setting its
+   ``<``-smallest unassigned positive variable to true.  Each step adds
+   one variable, so the loop runs at most ``|I|`` times.  For the clause
+   shapes produced by the type rules — implications whose heads are
+   non-empty disjunctions of variables — this never gets stuck, and it
+   has the property the paper's termination proof needs: the result
+   contains the ``<``-smallest variable of each all-positive (learned)
+   clause that no earlier choice already satisfied.
+
+2. **Solver fallback** (general CNF): if the greedy pass meets a clause
+   with no positive literals (a pure "at-most" constraint), fall back to
+   the DPLL solver and locally minimize the model by attempting removals
+   in reverse ``<`` order.
+
+The :class:`MsaSolver` also exposes an *incremental* ``extend`` operation,
+which the PROGRESSION subroutine uses: given a consistent true-set and a
+batch of newly-required variables, it cascades only through the clauses
+the new variables can violate, so building a whole progression costs
+roughly one pass over the clause database instead of one per entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.logic.cnf import CNF, Clause
+from repro.logic.solver import solve
+
+__all__ = ["MsaSolver", "minimal_satisfying_assignment", "minimize_model"]
+
+VarName = Hashable
+
+
+class MsaSolver:
+    """Reusable MSA machinery over one CNF and one variable order.
+
+    The order is given as a sequence of variable names; earlier means
+    ``<``-smaller.  Variables absent from the order sort last (ties broken
+    deterministically by ``repr``).
+    """
+
+    def __init__(self, cnf: CNF, order: Sequence[VarName] = ()):
+        self.cnf = cnf
+        self._order_index: Dict[VarName, int] = {
+            name: i for i, name in enumerate(order)
+        }
+        # Clauses indexed by the variables whose *truth* can violate them
+        # (i.e. variables occurring negatively).
+        self._neg_occurrences: Dict[VarName, List[Clause]] = {}
+        self._positive_clauses: List[Clause] = []
+        for clause in cnf.clauses:
+            negatives = clause.negatives
+            if not negatives:
+                self._positive_clauses.append(clause)
+            for var in negatives:
+                self._neg_occurrences.setdefault(var, []).append(clause)
+
+    # -- ordering -----------------------------------------------------------
+
+    def rank(self, var: VarName) -> Tuple[int, str]:
+        """Sort key implementing the total order ``<``."""
+        return (self._order_index.get(var, len(self._order_index)), repr(var))
+
+    def smallest(self, variables: Iterable[VarName]) -> VarName:
+        """The ``<``-smallest of ``variables``."""
+        return min(variables, key=self.rank)
+
+    # -- full MSA ------------------------------------------------------------
+
+    def compute(
+        self, require_true: AbstractSet[VarName] = frozenset()
+    ) -> Optional[FrozenSet[VarName]]:
+        """An approximate MSA of the CNF with ``require_true`` forced.
+
+        Returns None when the CNF (plus requirements) is unsatisfiable.
+        """
+        true_set: Set[VarName] = set(require_true)
+        seeds = deque(self._positive_clauses)
+        for var in require_true:
+            seeds.extend(self._neg_occurrences.get(var, ()))
+        if self._cascade(true_set, seeds):
+            return frozenset(true_set)
+        return self._fallback(require_true)
+
+    def extend(
+        self,
+        current: AbstractSet[VarName],
+        new_true: Iterable[VarName],
+    ) -> Optional[FrozenSet[VarName]]:
+        """Minimally extend a consistent true-set with new requirements.
+
+        ``current`` must already satisfy the CNF.  Returns the full
+        extended true-set (a superset of ``current`` and ``new_true``), or
+        None when no extension satisfies the CNF.
+        """
+        required = frozenset(current) | frozenset(new_true)
+        true_set: Set[VarName] = set(current)
+        seeds: deque = deque()
+        for var in new_true:
+            if var not in true_set:
+                true_set.add(var)
+                seeds.extend(self._neg_occurrences.get(var, ()))
+        if self._cascade(true_set, seeds):
+            return frozenset(true_set)
+        return self._fallback(required)
+
+    # -- internals --------------------------------------------------------------
+
+    def _cascade(self, true_set: Set[VarName], seeds: deque) -> bool:
+        """Greedy repair loop; mutates ``true_set``.
+
+        Returns False when it gets stuck on a clause with no positive
+        literals (the caller then uses the solver fallback).
+        """
+        while seeds:
+            clause = seeds.popleft()
+            if not _violated(clause, true_set):
+                continue
+            candidates = clause.positives - true_set
+            if not candidates:
+                return False  # pure-negative clause with all vars true
+            choice = self.smallest(candidates)
+            true_set.add(choice)
+            seeds.extend(self._neg_occurrences.get(choice, ()))
+            # The clause itself is now satisfied (choice is positive in it).
+        return True
+
+    def _fallback(
+        self, require_true: AbstractSet[VarName]
+    ) -> Optional[FrozenSet[VarName]]:
+        result = solve(self.cnf, assume_true=require_true)
+        if not result.satisfiable:
+            return None
+        assert result.model is not None
+        model = result.model | frozenset(require_true)
+        return minimize_model(
+            self.cnf,
+            model,
+            protect=require_true,
+            rank=self.rank,
+        )
+
+
+def _violated(clause: Clause, true_set: AbstractSet[VarName]) -> bool:
+    """Violated under set-semantics: unassigned variables default to false."""
+    for lit in clause.literals:
+        if lit.positive == (lit.var in true_set):
+            return False
+    return True
+
+
+def minimal_satisfying_assignment(
+    cnf: CNF,
+    order: Sequence[VarName] = (),
+    require_true: AbstractSet[VarName] = frozenset(),
+) -> Optional[FrozenSet[VarName]]:
+    """One-shot approximate MSA (see :class:`MsaSolver`)."""
+    return MsaSolver(cnf, order).compute(require_true)
+
+
+def minimize_model(
+    cnf: CNF,
+    model: AbstractSet[VarName],
+    protect: AbstractSet[VarName] = frozenset(),
+    rank=None,
+) -> FrozenSet[VarName]:
+    """Locally minimize a model by attempting single-variable removals.
+
+    Variables are tried in reverse ``rank`` order (largest first), so the
+    ``<``-smallest variables are the last to go.  The result still
+    satisfies ``cnf`` and contains ``protect``.  Runs removal passes to a
+    fixpoint; each pass is linear in ``|model| * |cnf|``.
+    """
+    if not cnf.satisfied_by(model):
+        raise ValueError("minimize_model requires a satisfying model")
+    if rank is None:
+        rank = lambda var: repr(var)  # noqa: E731 - local default key
+    current: Set[VarName] = set(model)
+    changed = True
+    while changed:
+        changed = False
+        removable = sorted(
+            (v for v in current if v not in protect), key=rank, reverse=True
+        )
+        for var in removable:
+            candidate = current - {var}
+            if cnf.satisfied_by(candidate):
+                current = candidate
+                changed = True
+    return frozenset(current)

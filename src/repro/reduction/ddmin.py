@@ -1,0 +1,86 @@
+"""ddmin — Zeller & Hildebrandt's minimizing delta debugging (baseline).
+
+The classic algorithm knows nothing about validity: it partitions the
+input into chunks and tries removing them, treating any "don't know"
+outcome (an invalid sub-input) the same as "failure gone".  On inputs
+with dense internal dependencies this is exactly why it performs poorly
+(Section 1: "ddmin tends to produce disappointing results") — most
+sub-inputs are invalid, so most probes are wasted.
+
+The implementation follows the TSE 2002 paper: try removing each chunk
+(reduce to complement); on failure, double the granularity; stop when the
+granularity exceeds the input size.  The result is 1-minimal *with
+respect to the probes made*, i.e. removing any single remaining chunk at
+final granularity breaks the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, List, Sequence
+
+__all__ = ["ddmin"]
+
+VarName = Hashable
+Predicate = Callable[[FrozenSet[VarName]], bool]
+
+
+def ddmin(
+    items: Sequence[VarName],
+    predicate: Predicate,
+) -> FrozenSet[VarName]:
+    """Minimize ``items`` while the predicate stays true.
+
+    ``predicate(frozenset(...))`` must be true on the full input; it
+    should return False for invalid sub-inputs (the "don't know" case).
+    """
+    current: List[VarName] = list(items)
+    if not predicate(frozenset(current)):
+        raise ValueError("ddmin requires the predicate to hold on the input")
+
+    granularity = 2
+    while len(current) >= 2:
+        chunks = _partition(current, granularity)
+        reduced = False
+
+        # Try each chunk alone ("reduce to subset").
+        for chunk in chunks:
+            if predicate(frozenset(chunk)):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+
+        if not reduced:
+            # Try each complement ("reduce to complement").
+            for i in range(len(chunks)):
+                complement = [
+                    item
+                    for j, chunk in enumerate(chunks)
+                    for item in chunk
+                    if j != i
+                ]
+                if complement and predicate(frozenset(complement)):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(granularity * 2, len(current))
+
+    return frozenset(current)
+
+
+def _partition(items: List[VarName], n: int) -> List[List[VarName]]:
+    """Split into n nearly-equal contiguous chunks (no empty chunks)."""
+    n = min(n, len(items))
+    size, extra = divmod(len(items), n)
+    chunks: List[List[VarName]] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks

@@ -1,0 +1,158 @@
+"""Generalized Binary Reduction (Algorithm 1 of the paper).
+
+GBR solves the Input Reduction Problem approximately in polynomial time.
+It maintains:
+
+- the variable order ``<`` (a total order of ``I``),
+- the current progression ``D`` (the search space, a list of disjoint
+  sets every prefix of which is valid),
+- the learned sets ``L`` (each overlaps every bug-preserving valid
+  sub-input inside the search space).
+
+Main loop: while ``P(D_0)`` fails, binary-search the shortest prefix
+``D_{<=r}`` whose union satisfies ``P``, learn ``D_r``, and rebuild the
+progression inside ``D_{<=r}``.  Every iteration learns a set with a new
+``<``-smallest element, so there are at most ``|I|`` iterations; each
+iteration runs the predicate O(log |D|) times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence
+
+from repro.reduction.ordering import declaration_order, dependency_order
+from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.problem import (
+    ReductionError,
+    ReductionProblem,
+    ReductionResult,
+    Stopwatch,
+)
+from repro.reduction.progression import Progression, build_progression
+
+__all__ = ["generalized_binary_reduction", "GbrTrace"]
+
+VarName = Hashable
+
+
+class GbrTrace:
+    """Optional observer collecting per-iteration facts (for tests/docs)."""
+
+    def __init__(self) -> None:
+        self.progressions: List[Progression] = []
+        self.learned: List[FrozenSet[VarName]] = []
+        self.prefix_indices: List[int] = []
+
+    def on_progression(self, progression: Progression) -> None:
+        self.progressions.append(progression)
+
+    def on_learn(self, learned_set: FrozenSet[VarName], r: int) -> None:
+        self.learned.append(learned_set)
+        self.prefix_indices.append(r)
+
+
+def generalized_binary_reduction(
+    problem: ReductionProblem,
+    order: Optional[Sequence[VarName]] = None,
+    require_true: FrozenSet[VarName] = frozenset(),
+    trace: Optional[GbrTrace] = None,
+    max_iterations: Optional[int] = None,
+) -> ReductionResult:
+    """Run GBR on a reduction problem.
+
+    Args:
+        problem: the ``(I, P, R)`` instance.
+        order: the total order ``<``; defaults to the dependency order
+            derived from the graph constraints (declaration order breaks
+            ties).
+        require_true: variables every candidate must contain (e.g. the
+            ``[M.main()!code]`` entry point).  GBR also works when these
+            are expressed as unit clauses in ``R``.
+        trace: optional :class:`GbrTrace` observer.
+        max_iterations: safety valve; defaults to ``|I| + 1``.
+
+    Returns:
+        A :class:`ReductionResult` whose ``solution`` satisfies both
+        ``P`` and ``R``.
+    """
+    watch = Stopwatch()
+    predicate = _instrument(problem)
+    constraint = problem.constraint
+    if order is None:
+        order = dependency_order(constraint, problem.variables)
+    else:
+        order = list(order)
+
+    universe = problem.universe
+    limit = max_iterations if max_iterations is not None else len(universe) + 1
+
+    learned: List[FrozenSet[VarName]] = []
+    scope = universe
+    progression = build_progression(
+        constraint, order, learned, scope, require_true
+    )
+    if trace:
+        trace.on_progression(progression)
+
+    iterations = 0
+    while not predicate(progression.first):
+        iterations += 1
+        if iterations > limit:
+            raise ReductionError(
+                "GBR exceeded its iteration bound; "
+                "is the predicate monotone on valid sub-inputs?"
+            )
+        r = _shortest_satisfying_prefix(predicate, progression)
+        learned_set = progression[r]
+        learned.append(learned_set)
+        if trace:
+            trace.on_learn(learned_set, r)
+        scope = progression.prefix_union(r)
+        progression = build_progression(
+            constraint, order, learned, scope, require_true
+        )
+        if trace:
+            trace.on_progression(progression)
+
+    solution = progression.first
+    return ReductionResult(
+        solution=solution,
+        strategy="gbr",
+        predicate_calls=predicate.calls,
+        elapsed_seconds=watch.elapsed(),
+        iterations=iterations,
+        timeline=list(predicate.timeline),
+    )
+
+
+def _instrument(problem: ReductionProblem) -> InstrumentedPredicate:
+    predicate = problem.predicate
+    if isinstance(predicate, InstrumentedPredicate):
+        return predicate
+    return InstrumentedPredicate(predicate)
+
+
+def _shortest_satisfying_prefix(
+    predicate: Callable[[FrozenSet[VarName]], bool],
+    progression: Progression,
+) -> int:
+    """Binary search for min r >= 1 with ``P(D_{<=r})``.
+
+    Precondition: ``P(D_0)`` is false.  The full union satisfies ``P``
+    by the loop invariant; if even it fails, the predicate was not
+    monotone (or the progression lost part of the bug), which we report.
+    """
+    low = 0  # known failing
+    high = len(progression) - 1  # expected satisfying
+    if high == 0 or not predicate(progression.prefix_union(high)):
+        raise ReductionError(
+            "the whole search space no longer satisfies P; "
+            "the predicate is not monotone on valid sub-inputs"
+        )
+    while high - low > 1:
+        mid = (low + high) // 2
+        if predicate(progression.prefix_union(mid)):
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,161 @@
+"""Hierarchical Delta Debugging (Misherghi & Su, ICSE 2006) — baseline.
+
+HDD is the paper's Section 1 waypoint between raw ddmin and dependency
+models: it exploits the input's *syntax tree* to avoid syntactically
+invalid sub-inputs (a method without its class), but knows nothing about
+semantic dependencies, so most of its probes on bytecode are still
+invalid and read as "failure gone".
+
+The algorithm: walk the tree level by level; at each level run ddmin
+over that level's surviving nodes, where removing a node removes its
+whole subtree.  The predicate receives the set of kept nodes (items).
+
+:func:`bytecode_item_tree` builds the three-level tree of a bytecode
+application: classes, then members/relations/attributes, then code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Set
+
+from repro.reduction.ddmin import ddmin
+
+__all__ = ["ItemTree", "hdd", "bytecode_item_tree"]
+
+Node = Hashable
+Predicate = Callable[[FrozenSet[Node]], bool]
+
+
+@dataclass
+class ItemTree:
+    """A forest: root nodes plus a children map."""
+
+    roots: List[Node]
+    children: Dict[Node, List[Node]] = field(default_factory=dict)
+
+    def subtree(self, node: Node) -> Set[Node]:
+        """The node and all its descendants."""
+        out: Set[Node] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self.children.get(current, ()))
+        return out
+
+    def level(self, depth: int) -> List[Node]:
+        """All nodes at the given depth (roots are depth 0)."""
+        current = list(self.roots)
+        for _ in range(depth):
+            nxt: List[Node] = []
+            for node in current:
+                nxt.extend(self.children.get(node, ()))
+            current = nxt
+        return current
+
+    def max_depth(self) -> int:
+        depth = 0
+        while self.level(depth + 1):
+            depth += 1
+        return depth
+
+    def all_nodes(self) -> Set[Node]:
+        out: Set[Node] = set()
+        for root in self.roots:
+            out |= self.subtree(root)
+        return out
+
+
+def hdd(tree: ItemTree, predicate: Predicate) -> FrozenSet[Node]:
+    """Hierarchical delta debugging over an item tree.
+
+    ``predicate`` is evaluated on kept-node sets; it must hold on the
+    full tree.  Returns the kept set after minimizing every level.
+    """
+    kept: Set[Node] = set(tree.all_nodes())
+    if not predicate(frozenset(kept)):
+        raise ValueError("hdd requires the predicate to hold on the input")
+
+    for depth in range(tree.max_depth() + 1):
+        level_nodes = [n for n in tree.level(depth) if n in kept]
+        if len(level_nodes) < 2:
+            continue
+
+        def level_predicate(kept_level: FrozenSet[Node]) -> bool:
+            candidate = set(kept)
+            for node in level_nodes:
+                if node not in kept_level:
+                    candidate -= tree.subtree(node)
+            return predicate(frozenset(candidate))
+
+        surviving = ddmin(level_nodes, level_predicate)
+        for node in level_nodes:
+            if node not in surviving:
+                kept -= tree.subtree(node)
+
+    return frozenset(kept)
+
+
+def bytecode_item_tree(app) -> ItemTree:
+    """The syntactic item tree of a bytecode application.
+
+    Level 0: classes and interfaces.  Level 1: their relations, fields,
+    attributes, methods/constructors/signatures.  Level 2: code items.
+    """
+    from repro.bytecode.classfile import JAVA_OBJECT
+    from repro.bytecode.items import (
+        AttributeItem,
+        ClassItem,
+        CodeItem,
+        ConstructorCodeItem,
+        ConstructorItem,
+        FieldItem,
+        ImplementsItem,
+        InterfaceItem,
+        MethodItem,
+        SignatureItem,
+        SuperClassItem,
+    )
+
+    roots: List[Node] = []
+    children: Dict[Node, List[Node]] = {}
+
+    for decl in app.classes:
+        if decl.is_interface:
+            root: Node = InterfaceItem(decl.name)
+        else:
+            root = ClassItem(decl.name)
+        roots.append(root)
+        kids: List[Node] = []
+        if not decl.is_interface and decl.superclass != JAVA_OBJECT:
+            kids.append(SuperClassItem(decl.name))
+        for iface in decl.interfaces:
+            kids.append(ImplementsItem(decl.name, iface))
+        for attribute in decl.attributes:
+            kids.append(AttributeItem(decl.name, attribute.name))
+        for fdecl in decl.fields:
+            kids.append(FieldItem(decl.name, fdecl.name))
+        for method in decl.methods:
+            if method.is_constructor:
+                member: Node = ConstructorItem(decl.name, method.descriptor)
+                if method.code is not None:
+                    children[member] = [
+                        ConstructorCodeItem(decl.name, method.descriptor)
+                    ]
+            elif method.is_abstract or decl.is_interface:
+                member = SignatureItem(
+                    decl.name, method.name, method.descriptor
+                )
+            else:
+                member = MethodItem(decl.name, method.name, method.descriptor)
+                if method.code is not None:
+                    children[member] = [
+                        CodeItem(decl.name, method.name, method.descriptor)
+                    ]
+            kids.append(member)
+        children[root] = kids
+
+    return ItemTree(roots=roots, children=children)

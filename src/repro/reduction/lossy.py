@@ -1,0 +1,126 @@
+"""Lossy encodings of CNF dependencies into graph constraints (§4.3).
+
+97.5% of the paper's clauses are already graph constraints.  The rest are
+of the form ``(a_1 /\\ ... /\\ a_n) => (b_1 \\/ ... \\/ b_m)`` with
+``n > 1 or m > 1``.  Any such clause can be *strengthened* to the single
+edge ``a_{i'} => b_{j'}`` (for any i', j'), because
+
+    (a_{i'} => b_{j'})  implies  ((/\\ a_i) => (\\/ b_j)).
+
+A solution of the strengthened graph is therefore a valid sub-input of
+the original constraints, and binary reduction applies.  The paper
+evaluates two variants: pick ``(i'=1, j'=1)`` or pick ``(i'=n, j'=m)``.
+Clause literal order is not preserved by set-based CNF, so "first"/"last"
+here means the <-smallest/-largest antecedent and consequent under the
+reduction's variable order — documented, deterministic, and faithful to
+the spirit (two fixed extreme picks).
+
+Edge cases: a clause with no negative literals (a pure disjunction
+``b_1 \\/ ... \\/ b_m``) strengthens to *requiring* ``b_{j'}``; a clause
+with no positive literals cannot be strengthened into a dependency edge
+at all, and :func:`lossy_graph_encoding` rejects it (the type-rule
+generators never emit one).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import (
+    Callable,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.graphs.digraph import DiGraph
+from repro.logic.cnf import CNF
+from repro.reduction.binary import binary_reduction
+from repro.reduction.ordering import declaration_order
+from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.problem import (
+    ReductionProblem,
+    ReductionResult,
+    Stopwatch,
+)
+
+__all__ = ["LossyVariant", "lossy_graph_encoding", "lossy_reduce"]
+
+VarName = Hashable
+
+
+class LossyVariant(enum.Enum):
+    """Which antecedent/consequent pair the encoding keeps."""
+
+    FIRST = "first"  # (i' = 1, j' = 1)
+    LAST = "last"  # (i' = n, j' = m)
+
+
+def lossy_graph_encoding(
+    constraint: CNF,
+    variant: LossyVariant,
+    order: Optional[Sequence[VarName]] = None,
+) -> Tuple[DiGraph, FrozenSet[VarName]]:
+    """Encode a CNF as (dependency graph, required variables).
+
+    Every clause is strengthened to either one edge or one requirement;
+    any solution of the result (a closure union containing the required
+    variables) satisfies the original CNF.
+    """
+    if order is None:
+        order = sorted(constraint.variables, key=repr)
+    rank = {var: i for i, var in enumerate(order)}
+
+    def pick(candidates: Iterable[VarName]) -> VarName:
+        key = lambda v: (rank.get(v, len(rank)), repr(v))  # noqa: E731
+        if variant is LossyVariant.FIRST:
+            return min(candidates, key=key)
+        return max(candidates, key=key)
+
+    graph = DiGraph(nodes=constraint.variables)
+    required: Set[VarName] = set()
+    for clause in constraint.clauses:
+        positives = clause.positives
+        negatives = clause.negatives
+        if not positives:
+            raise ValueError(
+                f"clause {clause!r} has no positive literal and cannot be "
+                "strengthened into a graph constraint"
+            )
+        head = pick(positives)
+        if negatives:
+            tail = pick(negatives)
+            graph.add_edge(tail, head)
+        else:
+            required.add(head)
+    return graph, frozenset(required)
+
+
+def lossy_reduce(
+    problem: ReductionProblem,
+    variant: LossyVariant,
+    order: Optional[Sequence[VarName]] = None,
+    require_true: FrozenSet[VarName] = frozenset(),
+) -> ReductionResult:
+    """Reduce via the lossy encoding + binary reduction (§4.3 pipeline)."""
+    watch = Stopwatch()
+    if order is None:
+        order = declaration_order(problem.variables)
+    graph, required = lossy_graph_encoding(problem.constraint, variant, order)
+    predicate = (
+        problem.predicate
+        if isinstance(problem.predicate, InstrumentedPredicate)
+        else InstrumentedPredicate(problem.predicate)
+    )
+    result = binary_reduction(
+        graph,
+        predicate,
+        required=set(required) | set(require_true),
+        strategy=f"lossy-{variant.value}",
+    )
+    result.elapsed_seconds = watch.elapsed()
+    return result

@@ -1,0 +1,81 @@
+"""Variable orders for MSA_< and the progression.
+
+The paper's Section 4.4: "the variable order < (a total order of I) helps
+the main loop terminate in polynomial time; it also helps us design MSA_<
+that runs in polynomial time", and Theorem 4.5 needs < to be "picked
+well" for graph constraints.
+
+Two orders are provided:
+
+- :func:`declaration_order` — the order items appear in the input.  This
+  is what the worked example in Section 4.5 uses (``[B]`` is "the
+  smallest variable in J \\ D0" because B's items are declared before the
+  remaining ones).
+- :func:`dependency_order` — dependencies first: variables are sorted by
+  the topological order of the graph-constraint condensation, so when the
+  MSA picks the smallest variable of a disjunction it prefers variables
+  that drag in little.  Ties (and variables in no graph clause) fall back
+  to declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import condensation
+from repro.logic.cnf import CNF
+
+__all__ = ["declaration_order", "dependency_order", "graph_of_cnf"]
+
+VarName = Hashable
+
+
+def declaration_order(variables: Sequence[VarName]) -> List[VarName]:
+    """The identity order — items as declared in the input."""
+    return list(variables)
+
+
+def graph_of_cnf(cnf: CNF, variables: Sequence[VarName] = ()) -> DiGraph:
+    """The dependency graph induced by the CNF's graph constraints.
+
+    Each graph clause ``~a | b`` becomes the edge ``a -> b`` ("a depends
+    on b").  Non-graph clauses contribute no edges.
+    """
+    graph = DiGraph(nodes=variables or cnf.variables)
+    for clause in cnf.clauses:
+        if clause.is_graph_constraint():
+            (src,) = clause.negatives
+            (dst,) = clause.positives
+            graph.add_edge(src, dst)
+    return graph
+
+
+def dependency_order(
+    cnf: CNF, variables: Sequence[VarName]
+) -> List[VarName]:
+    """Dependencies-first total order derived from the graph constraints.
+
+    Members of the same SCC stay adjacent; SCCs are ordered so that a
+    component precedes everything that depends on it.  Within a component
+    (and among components at the same depth) the declaration order breaks
+    ties, keeping the result stable.
+    """
+    declared_rank: Dict[VarName, int] = {
+        var: i for i, var in enumerate(variables)
+    }
+    graph = graph_of_cnf(cnf, variables)
+    dag, component_of = condensation(graph)
+
+    # Topological order of the condensation with *dependencies last*
+    # (edges point at dependencies), so reverse it.
+    component_order = dag.topological_order()
+    component_order.reverse()
+
+    component_rank = {comp: i for i, comp in enumerate(component_order)}
+
+    def key(var: VarName):
+        component = component_of[var]
+        return (component_rank[component], declared_rank[var])
+
+    return sorted(variables, key=key)

@@ -1,0 +1,87 @@
+"""Instrumented black-box predicates.
+
+The paper's evaluation reports predicate-invocation counts (running the
+decompiler is the expensive step), wall-clock time, and reduction *over
+time* (Figure 8b: "we can stop both algorithms at any point ... and use
+the smallest input until that point that preserves the error message").
+:class:`InstrumentedPredicate` wraps a raw predicate and records all
+three, with memoization so repeated queries on the same sub-input are
+counted once — the paper's tools cache runs the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+)
+
+__all__ = ["InstrumentedPredicate"]
+
+VarName = Hashable
+Predicate = Callable[[FrozenSet[VarName]], bool]
+
+
+class InstrumentedPredicate:
+    """Counting / caching / timeline wrapper around a predicate.
+
+    Args:
+        predicate: the raw black-box predicate.
+        cost_per_call: optional simulated seconds added to the *recorded*
+            timeline per fresh invocation.  The paper's decompile+compile
+            cycle averages ~33 s; our simulated decompilers run in
+            microseconds, so benchmarks can model the paper's time axis by
+            charging a virtual cost without actually sleeping.
+        size_of: how to measure a sub-input for the timeline (defaults to
+            ``len``; the harness passes serialized-bytes measures).
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        cost_per_call: float = 0.0,
+        size_of: Optional[Callable[[FrozenSet[VarName]], int]] = None,
+    ):
+        self._predicate = predicate
+        self._cost_per_call = cost_per_call
+        self._size_of = size_of or len
+        self._cache: Dict[FrozenSet[VarName], bool] = {}
+        self.calls = 0  # fresh (uncached) invocations
+        self.queries = 0  # all queries, cached included
+        self.virtual_clock = 0.0
+        self.best_size: Optional[int] = None
+        self.best_input: Optional[FrozenSet[VarName]] = None
+        self.timeline: List[Tuple[float, int]] = []
+        self._start = time.perf_counter()
+
+    def __call__(self, sub_input: FrozenSet[VarName]) -> bool:
+        sub_input = frozenset(sub_input)
+        self.queries += 1
+        cached = self._cache.get(sub_input)
+        if cached is not None:
+            return cached
+        self.calls += 1
+        self.virtual_clock += self._cost_per_call
+        outcome = self._predicate(sub_input)
+        self._cache[sub_input] = outcome
+        if outcome:
+            size = self._size_of(sub_input)
+            if self.best_size is None or size < self.best_size:
+                self.best_size = size
+                self.best_input = sub_input
+                self.timeline.append((self.now(), size))
+        return outcome
+
+    def now(self) -> float:
+        """Elapsed time: real seconds plus the simulated per-call cost."""
+        return (time.perf_counter() - self._start) + self.virtual_clock
+
+    def reset_clock(self) -> None:
+        self._start = time.perf_counter()
+        self.virtual_clock = 0.0

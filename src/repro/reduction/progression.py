@@ -1,0 +1,147 @@
+r"""The PROGRESSION subroutine of Generalized Binary Reduction.
+
+``PROGRESSION_{R_I}(L, J)`` produces a non-empty list of disjoint subsets
+of ``J`` whose union is ``J``, such that **every prefix union is a valid
+sub-input** (satisfies ``R_I``) that overlaps every learned set in ``L``
+(invariant INV-PRO).  Construction, following the paper:
+
+- strengthen: ``R+ = R_I  /\  (\\/ L)  for each L in learned``, with the
+  variables outside ``J`` set to 0,
+- ``D_0 = MSA_<(R+)``,
+- ``D_{k+1} = MSA_<(R+ /\ x | D_{<=k} = 1) \\ D_{<=k}`` where ``x`` is the
+  ``<``-smallest variable of ``J`` not yet covered,
+- stop when ``J`` is exhausted.
+
+The per-entry MSA calls are implemented incrementally
+(:meth:`repro.logic.msa.MsaSolver.extend`), so building a progression is
+one cascading pass over the clause database rather than a fresh solve per
+entry.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.logic.cnf import CNF, Clause
+from repro.logic.msa import MsaSolver
+from repro.reduction.problem import ReductionError
+
+__all__ = ["Progression", "build_progression"]
+
+VarName = Hashable
+
+
+class Progression:
+    """A list of disjoint sets whose prefix unions are all valid."""
+
+    def __init__(self, entries: Sequence[FrozenSet[VarName]]):
+        if not entries:
+            raise ValueError("a progression must be non-empty")
+        self.entries: List[FrozenSet[VarName]] = [
+            frozenset(e) for e in entries
+        ]
+        self._prefix_unions: List[FrozenSet[VarName]] = []
+        running: FrozenSet[VarName] = frozenset()
+        for entry in self.entries:
+            running = running | entry
+            self._prefix_unions.append(running)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> FrozenSet[VarName]:
+        return self.entries[index]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def first(self) -> FrozenSet[VarName]:
+        """``D_0`` — the candidate solution."""
+        return self.entries[0]
+
+    def prefix_union(self, r: int) -> FrozenSet[VarName]:
+        """``D^∪_{<=r}`` — the union of entries 0..r inclusive."""
+        return self._prefix_unions[r]
+
+    @property
+    def union(self) -> FrozenSet[VarName]:
+        return self._prefix_unions[-1]
+
+    def __repr__(self) -> str:
+        sizes = [len(e) for e in self.entries]
+        return f"Progression({len(self.entries)} entries, sizes={sizes})"
+
+
+def build_progression(
+    constraint: CNF,
+    order: Sequence[VarName],
+    learned: Iterable[FrozenSet[VarName]],
+    scope: FrozenSet[VarName],
+    require_true: FrozenSet[VarName] = frozenset(),
+) -> Progression:
+    """``PROGRESSION_{R_I}(L, J)`` (see module docstring).
+
+    Args:
+        constraint: ``R_I``.
+        order: the total variable order ``<`` (over all of ``I``).
+        learned: the learned sets ``L`` (each a subset of ``scope``).
+        scope: ``J`` — the current search space.
+        require_true: extra variables forced true (e.g. the entry point
+            the tool always needs); these are usually also unit clauses
+            in ``R_I``, but passing them here keeps ``D_0`` honest even
+            for constraint-free problems.
+
+    Raises:
+        ReductionError: when ``R+`` is unsatisfiable, i.e. the search
+            space contains no valid sub-input hitting every learned set.
+    """
+    scope = frozenset(scope)
+    strengthened = constraint.restrict(scope)
+    for learned_set in learned:
+        inside = frozenset(learned_set) & scope
+        if not inside:
+            raise ReductionError(
+                "learned set fell fully outside the search space"
+            )
+        strengthened.add_clause(Clause.implication([], inside))
+
+    scoped_order = [v for v in order if v in scope]
+    solver = MsaSolver(strengthened, scoped_order)
+
+    first = solver.compute(require_true=frozenset(require_true) & scope)
+    if first is None:
+        raise ReductionError(
+            "R+ is unsatisfiable: no valid sub-input in the search space"
+        )
+
+    entries: List[FrozenSet[VarName]] = [first]
+    covered = set(first)
+    for var in scoped_order:
+        if var in covered:
+            continue
+        extended = solver.extend(covered, [var])
+        if extended is None:
+            raise ReductionError(
+                f"could not extend progression with {var!r}; "
+                "is R(J) violated?"
+            )
+        entry = frozenset(extended - covered)
+        entries.append(entry)
+        covered = set(extended)
+
+    leftovers = scope - covered
+    if leftovers:
+        # Unconstrained stragglers (can't happen with scoped_order built
+        # from a complete order, but guard against partial orders).
+        entries.append(frozenset(leftovers))
+
+    return Progression(entries)

@@ -1,0 +1,47 @@
+"""An exact (exponential) reference reducer for small instances.
+
+The Input Reduction Problem is NP-complete (Theorem 4.2), so GBR settles
+for approximate solutions.  For *small* universes we can afford the
+exact optimum by enumerating valid sub-inputs in size order — the test
+suite uses this to measure GBR's optimality gap, and the paper's example
+is small enough to confirm GBR's answer is the true minimum.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Hashable, Optional
+
+from repro.logic.counting import enumerate_models
+from repro.reduction.problem import ReductionProblem
+
+__all__ = ["optimal_solution", "MAX_EXACT_VARIABLES"]
+
+MAX_EXACT_VARIABLES = 24
+
+VarName = Hashable
+
+
+def optimal_solution(
+    problem: ReductionProblem,
+) -> Optional[FrozenSet[VarName]]:
+    """The smallest valid, bug-preserving sub-input — by brute force.
+
+    Enumerates all models of the validity constraint, sorts them by
+    size, and returns the first that satisfies the predicate.  Guarded
+    to :data:`MAX_EXACT_VARIABLES` variables; returns None when no model
+    satisfies the predicate.
+    """
+    if len(problem.variables) > MAX_EXACT_VARIABLES:
+        raise ValueError(
+            f"optimal_solution is exponential; refuse on "
+            f"{len(problem.variables)} > {MAX_EXACT_VARIABLES} variables"
+        )
+    models = sorted(
+        enumerate_models(problem.constraint, problem.variables),
+        key=lambda m: (len(m), sorted(map(str, m))),
+    )
+    for model in models:
+        if problem.predicate(model):
+            return model
+    return None

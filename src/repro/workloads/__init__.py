@@ -1,0 +1,41 @@
+"""Workload generators: NJR-like synthetic programs.
+
+The paper evaluates on ~100 real programs from the NJR corpus.  We have
+no NJR (and no JVM), so this package generates seeded random programs
+with the same structural features the reducer cares about: class
+hierarchies, interfaces with implementers, cross-class calls, fields,
+casts, and entry points.
+
+- :mod:`repro.workloads.fji_generator` — random *well-typed-by-
+  construction* FJI programs (used by the Theorem 3.1 property tests and
+  the FJI-level benchmarks).
+- :mod:`repro.workloads.generator` — random bytecode applications (the
+  substrate for the Section 5 evaluation).
+- :mod:`repro.workloads.corpus` — the benchmark corpus builder matching
+  the paper's reported statistics shape.
+"""
+
+from repro.workloads.fji_generator import FjiGeneratorConfig, generate_fji_program
+
+__all__ = [
+    "FjiGeneratorConfig",
+    "generate_fji_program",
+    "WorkloadConfig",
+    "generate_application",
+    "Benchmark",
+    "CorpusConfig",
+    "build_corpus",
+]
+
+
+def __getattr__(name):
+    """Lazy imports: the bytecode-backed generators are heavier."""
+    if name in ("WorkloadConfig", "generate_application"):
+        from repro.workloads import generator
+
+        return getattr(generator, name)
+    if name in ("Benchmark", "CorpusConfig", "build_corpus"):
+        from repro.workloads import corpus
+
+        return getattr(corpus, name)
+    raise AttributeError(f"module 'repro.workloads' has no attribute {name!r}")

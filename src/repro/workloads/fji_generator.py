@@ -1,0 +1,326 @@
+"""Seeded random FJI programs, well-typed by construction.
+
+Used by the Theorem 3.1 property tests ("every satisfying assignment
+reduces to a type-checking program") and by the FJI-level benchmarks.
+Construction invariants that guarantee typability:
+
+- signature names are unique per interface and method names unique per
+  class (plus inherited interface obligations), so overrides can never
+  disagree on types;
+- a class implementing interface ``I`` gets a method for every signature
+  of ``I`` (as FJI's class typing demands);
+- method bodies are generated *at* their required type: return a
+  parameter, construct a value, call a method whose return type fits, or
+  upcast a constructed subtype.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fji.ast import (
+    Cast,
+    ClassDecl,
+    Constructor,
+    EMPTY_INTERFACE,
+    Expr,
+    FieldAccess,
+    FieldDecl,
+    InterfaceDecl,
+    Method,
+    MethodCall,
+    New,
+    OBJECT,
+    Param,
+    Program,
+    Signature,
+    STRING,
+    TypeDecl,
+    VarExpr,
+)
+
+__all__ = ["FjiGeneratorConfig", "generate_fji_program"]
+
+
+@dataclass
+class FjiGeneratorConfig:
+    """Knobs for the random program generator."""
+
+    num_interfaces: int = 2
+    num_classes: int = 5
+    max_signatures_per_interface: int = 2
+    max_extra_methods: int = 2
+    max_fields: int = 1
+    implements_probability: float = 0.7
+    subclass_probability: float = 0.4
+    cast_probability: float = 0.25
+    call_probability: float = 0.5
+    max_expr_depth: int = 3
+
+
+def generate_fji_program(
+    seed: int, config: Optional[FjiGeneratorConfig] = None
+) -> Program:
+    """Generate a random well-typed FJI program from a seed."""
+    return _Generator(random.Random(seed), config or FjiGeneratorConfig()).run()
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: FjiGeneratorConfig):
+        self.rng = rng
+        self.config = config
+        self.interfaces: List[InterfaceDecl] = []
+        self.classes: List[ClassDecl] = []
+        # interface name -> classes implementing it (for upcast targets).
+        self.implementers: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Program:
+        class_names = [f"C{i}" for i in range(self.config.num_classes)]
+        self._generate_interfaces(class_names)
+        for i, name in enumerate(class_names):
+            self.classes.append(self._generate_class(i, name, class_names))
+        declarations: Tuple[TypeDecl, ...] = tuple(self.interfaces) + tuple(
+            self.classes
+        )
+        main = self._main_expression()
+        return Program(declarations=declarations, main=main)
+
+    # ------------------------------------------------------------------
+
+    def _generate_interfaces(self, class_names: Sequence[str]) -> None:
+        for i in range(self.config.num_interfaces):
+            name = f"I{i}"
+            signatures = []
+            count = self.rng.randint(
+                0, self.config.max_signatures_per_interface
+            )
+            for k in range(count):
+                signatures.append(
+                    Signature(
+                        return_type=self._pick_type(class_names),
+                        name=f"{name.lower()}m{k}",
+                        params=self._pick_params(class_names, f"{name}{k}"),
+                    )
+                )
+            self.interfaces.append(
+                InterfaceDecl(name=name, signatures=tuple(signatures))
+            )
+            self.implementers[name] = []
+
+    def _pick_type(self, class_names: Sequence[str]) -> str:
+        choices = [STRING] + list(class_names)
+        return self.rng.choice(choices)
+
+    def _pick_params(
+        self, class_names: Sequence[str], tag: str
+    ) -> Tuple[Param, ...]:
+        count = self.rng.randint(0, 2)
+        return tuple(
+            Param(self._pick_type(class_names), f"p{tag}_{j}")
+            for j in range(count)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _generate_class(
+        self, index: int, name: str, class_names: Sequence[str]
+    ) -> ClassDecl:
+        rng = self.rng
+        superclass = OBJECT
+        if index > 0 and rng.random() < self.config.subclass_probability:
+            superclass = rng.choice(class_names[:index])
+
+        interface = EMPTY_INTERFACE
+        if self.interfaces and rng.random() < self.config.implements_probability:
+            interface = rng.choice(self.interfaces).name
+            self.implementers[interface].append(name)
+
+        own_fields = tuple(
+            FieldDecl(STRING, f"f{name}_{j}")
+            for j in range(rng.randint(0, self.config.max_fields))
+        )
+        inherited = self._inherited_fields(superclass)
+        ctor_params = tuple(
+            Param(f.type_name, f.name) for f in inherited + list(own_fields)
+        )
+        constructor = Constructor(
+            class_name=name,
+            params=ctor_params,
+            super_args=tuple(f.name for f in inherited),
+        )
+
+        methods: List[Method] = []
+        obligations = self._interface_obligations(superclass, interface)
+        for signature in obligations:
+            methods.append(self._method_for_signature(name, signature, index))
+        for k in range(rng.randint(0, self.config.max_extra_methods)):
+            return_type = self._pick_type(class_names[: index + 1])
+            params = self._pick_params(class_names[: index + 1], f"{name}{k}")
+            methods.append(
+                Method(
+                    return_type=return_type,
+                    name=f"{name.lower()}x{k}",
+                    params=params,
+                    body=self._expression_of_type(
+                        return_type, params, index, depth=0
+                    ),
+                )
+            )
+        return ClassDecl(
+            name=name,
+            superclass=superclass,
+            interface=interface,
+            fields=own_fields,
+            constructor=constructor,
+            methods=tuple(methods),
+        )
+
+    def _inherited_fields(self, superclass: str) -> List[FieldDecl]:
+        fields: List[FieldDecl] = []
+        current = superclass
+        chain: List[ClassDecl] = []
+        by_name = {c.name: c for c in self.classes}
+        while current != OBJECT:
+            decl = by_name[current]
+            chain.append(decl)
+            current = decl.superclass
+        for decl in reversed(chain):
+            fields.extend(decl.fields)
+        return fields
+
+    def _interface_obligations(
+        self, superclass: str, interface: str
+    ) -> List[Signature]:
+        """Signatures this class must implement itself.
+
+        Inherited methods already satisfy ancestors' obligations; only the
+        class's own interface needs fresh methods (names are unique per
+        interface, so an inherited method never collides).  If an ancestor
+        already implements the same interface, the methods exist up the
+        chain — but re-implementing is also fine and exercises overriding,
+        so we re-implement with matching types.
+        """
+        if interface == EMPTY_INTERFACE:
+            return []
+        for decl in self.interfaces:
+            if decl.name == interface:
+                return list(decl.signatures)
+        return []
+
+    def _method_for_signature(
+        self, class_name: str, signature: Signature, class_index: int
+    ) -> Method:
+        return Method(
+            return_type=signature.return_type,
+            name=signature.name,
+            params=signature.params,
+            body=self._expression_of_type(
+                signature.return_type, signature.params, class_index, depth=0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions at a required type
+    # ------------------------------------------------------------------
+
+    def _expression_of_type(
+        self,
+        required: str,
+        params: Sequence[Param],
+        class_index: int,
+        depth: int,
+    ) -> Expr:
+        rng = self.rng
+        # A parameter of the exact type is always safe.
+        exact = [p for p in params if p.type_name == required]
+        options = []
+        if exact:
+            options.append("param")
+        if required == STRING or required.startswith("C"):
+            options.append("new")
+        if required.startswith("I") and self.implementers.get(required):
+            options.append("upcast")
+        if not options:
+            # No way to produce this type here: fall back to a parameter
+            # we add nowhere — instead return a trivially-diverging call
+            # on this (same trick as the reducer's trivial body).
+            return self._diverging_self_call(required, params)
+        choice = rng.choice(options)
+        if choice == "param":
+            picked = rng.choice(exact)
+            return VarExpr(picked.name)
+        if choice == "upcast":
+            implementer = rng.choice(self.implementers[required])
+            inner = self._construct(implementer, params, class_index, depth)
+            if inner is None:
+                return self._diverging_self_call(required, params)
+            if rng.random() < self.config.cast_probability:
+                return Cast(required, inner)
+            # No explicit cast: the return-position subtype check covers
+            # the upcast (and generates the [C <| I] constraint).
+            return inner
+        constructed = self._construct(required, params, class_index, depth)
+        if constructed is None:
+            return self._diverging_self_call(required, params)
+        return constructed
+
+    def _construct(
+        self,
+        class_name: str,
+        params: Sequence[Param],
+        class_index: int,
+        depth: int,
+    ) -> Optional[Expr]:
+        """``new C(...)`` with arguments generated recursively."""
+        if class_name == STRING:
+            return New(STRING)
+        by_name = {c.name: c for c in self.classes}
+        decl = by_name.get(class_name)
+        if decl is None:
+            return None  # not generated yet (forward reference)
+        field_types = [f.type_name for f in self._all_fields(decl)]
+        if depth >= self.config.max_expr_depth and field_types:
+            return None
+        args = []
+        for ftype in field_types:
+            args.append(
+                self._expression_of_type(ftype, params, class_index, depth + 1)
+            )
+        return New(class_name, tuple(args))
+
+    def _all_fields(self, decl: ClassDecl) -> List[FieldDecl]:
+        return self._inherited_fields(decl.superclass) + list(decl.fields)
+
+    @staticmethod
+    def _diverging_self_call(required: str, params: Sequence[Param]) -> Expr:
+        """An expression of any required type via self-recursion.
+
+        ``this.<m>(x)`` would need the enclosing method name; instead we
+        use a cast of a fresh Object — wait, casts type at the cast type,
+        so ``(T) new Object()`` is a (stupid) cast that still type checks
+        in FJ's permissive cast rule and ours.
+        """
+        return Cast(required, New(OBJECT))
+
+    # ------------------------------------------------------------------
+
+    def _main_expression(self) -> Expr:
+        """A main expression touching a constructible class, when any."""
+        rng = self.rng
+        constructible = [
+            c for c in self.classes if not self._all_fields(c)
+        ]
+        if not constructible:
+            return New(OBJECT)
+        target = rng.choice(constructible)
+        base: Expr = New(target.name)
+        # Optionally call a zero-argument method on it.
+        zero_arg = [m for m in target.methods if not m.params]
+        if zero_arg and rng.random() < self.config.call_probability:
+            method = rng.choice(zero_arg)
+            return MethodCall(base, method.name, ())
+        return base

@@ -1,0 +1,672 @@
+"""Seeded random bytecode applications, valid by construction.
+
+The NJR-corpus stand-in.  Generated applications exercise every feature
+the constraint generator models: class hierarchies (including abstract
+classes), interfaces extending interfaces, multiple implementations,
+fields, constructors with super calls, virtual/static/interface calls
+resolving through superclass chains, upcasts and interface casts with
+statically known operand types, reflection (``ldc [class C]``), and
+class attributes.  Every output passes
+:func:`repro.bytecode.validator.validate_application` and its constraint
+CNF is satisfied by the full item set (property-tested).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bytecode.classfile import (
+    Application,
+    Attribute,
+    ClassFile,
+    Code,
+    Field,
+    INIT,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.hierarchy import Hierarchy
+from repro.bytecode.instructions import (
+    CheckCast,
+    ConstInt,
+    ConstNull,
+    Dup,
+    GetField,
+    Instruction,
+    InvokeInterface,
+    InvokeSpecial,
+    InvokeStatic,
+    InvokeVirtual,
+    Load,
+    LoadClassConstant,
+    New,
+    Pop,
+    PutField,
+    Return,
+    Store,
+)
+
+__all__ = ["WorkloadConfig", "generate_application"]
+
+_STRING_DESC = "Ljava/lang/String;"
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape knobs for the generated application."""
+
+    num_classes: int = 12
+    num_interfaces: int = 3
+    max_signatures_per_interface: int = 2
+    max_extra_methods: int = 3
+    max_fields: int = 2
+    max_body_operations: int = 6
+    subclass_probability: float = 0.45
+    implements_probability: float = 0.6
+    abstract_probability: float = 0.12
+    interface_extends_probability: float = 0.3
+    cast_probability: float = 0.3
+    reflection_probability: float = 0.15
+    attribute_probability: float = 0.7
+    static_method_probability: float = 0.2
+    package: str = "app"
+    #: Classes are grouped into modules of this size; references stay
+    #: inside the module with probability ``module_locality``.  Locality
+    #: is what gives the class-level dependency graph the clustered shape
+    #: real applications have — without it every closure is the whole
+    #: program and the J-Reduce baseline cannot reduce at all.
+    module_size: int = 4
+    module_locality: float = 0.85
+    #: How many modules the entry point touches.
+    entry_modules: int = 1
+
+
+def generate_application(
+    seed: int, config: Optional[WorkloadConfig] = None
+) -> Application:
+    """Generate one random valid application from a seed."""
+    return _Generator(random.Random(seed), config or WorkloadConfig()).run()
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: WorkloadConfig):
+        self.rng = rng
+        self.config = config
+        self.interfaces: List[ClassFile] = []
+        self.classes: List[ClassFile] = []
+        # interface -> concrete classes implementing it.
+        self.implementers: Dict[str, List[str]] = {}
+        # class name -> module id; set as classes are generated.
+        self.module_of: Dict[str, int] = {}
+        self.current_module: int = 0
+        # module -> the (few) lower modules it may reference.  Sparse
+        # module dependencies keep class-level closures realistic: a
+        # module's closure is its dependency cone, not everything below.
+        self.module_deps: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Application:
+        cfg = self.config
+        iface_names = [
+            f"{cfg.package}/I{i:02d}" for i in range(cfg.num_interfaces)
+        ]
+        class_names = [
+            f"{cfg.package}/C{i:02d}" for i in range(cfg.num_classes)
+        ]
+        self._generate_interfaces(iface_names)
+        for i, name in enumerate(class_names):
+            self.module_of[name] = i // max(cfg.module_size, 1)
+            self.current_module = self.module_of[name]
+            self.classes.append(self._generate_class(i, name, class_names))
+        main = self._generate_main(class_names)
+        classes = tuple(self.interfaces) + tuple(self.classes) + (main,)
+        return Application(
+            classes=classes,
+            entry_class=main.name,
+            entry_method="main",
+            entry_descriptor="()V",
+        )
+
+    # ------------------------------------------------------------------
+    # Interfaces
+    # ------------------------------------------------------------------
+
+    def _generate_interfaces(self, names: Sequence[str]) -> None:
+        cfg = self.config
+        for i, name in enumerate(names):
+            extends: Tuple[str, ...] = ()
+            if i > 0 and self.rng.random() < cfg.interface_extends_probability:
+                extends = (self.rng.choice(names[:i]),)
+            methods = []
+            for k in range(
+                self.rng.randint(0, cfg.max_signatures_per_interface)
+            ):
+                methods.append(
+                    MethodDef(
+                        name=f"im{i}_{k}",
+                        descriptor=self._random_method_descriptor(),
+                        is_abstract=True,
+                    )
+                )
+            self.interfaces.append(
+                ClassFile(
+                    name=name,
+                    is_interface=True,
+                    is_abstract=True,
+                    interfaces=extends,
+                    methods=tuple(methods),
+                    attributes=self._attributes(name),
+                )
+            )
+            self.implementers[name] = []
+
+    def _random_method_descriptor(self) -> str:
+        params = []
+        for _ in range(self.rng.randint(0, 2)):
+            params.append(self.rng.choice(["I", _STRING_DESC]))
+        ret = self.rng.choice(["V", "I", _STRING_DESC])
+        return f"({''.join(params)}){ret}"
+
+    def _attributes(self, name: str) -> Tuple[Attribute, ...]:
+        if self.rng.random() < self.config.attribute_probability:
+            simple = name.rsplit("/", 1)[-1]
+            return (Attribute("SourceFile", f"{simple}.java"),)
+        return ()
+
+    # ------------------------------------------------------------------
+    # Classes
+    # ------------------------------------------------------------------
+
+    def _generate_class(
+        self, index: int, name: str, class_names: Sequence[str]
+    ) -> ClassFile:
+        cfg = self.config
+        rng = self.rng
+
+        superclass = JAVA_OBJECT
+        local_earlier = [
+            c for c in class_names[:index]
+            if self.module_of.get(c) == self.current_module
+        ]
+        if local_earlier and rng.random() < cfg.subclass_probability:
+            superclass = rng.choice(local_earlier)
+
+        interfaces: List[str] = []
+        if self.interfaces and rng.random() < cfg.implements_probability:
+            count = rng.randint(1, min(2, len(self.interfaces)))
+            interfaces = [
+                decl.name for decl in rng.sample(self.interfaces, count)
+            ]
+
+        is_abstract = rng.random() < cfg.abstract_probability
+
+        field_type_pool = (
+            [_STRING_DESC, "I"]
+            + [f"L{c};" for c in local_earlier]
+            + [f"L{i.name};" for i in self.interfaces]
+        )
+        fields = tuple(
+            Field(name=f"f{index}_{j}", descriptor=rng.choice(field_type_pool))
+            for j in range(rng.randint(0, cfg.max_fields))
+        )
+
+        methods: List[MethodDef] = [self._constructor(name, superclass)]
+
+        obligations = self._obligations(superclass, interfaces)
+        for owner, sig in obligations:
+            if is_abstract and rng.random() < 0.5:
+                continue  # abstract classes may defer obligations
+            methods.append(
+                MethodDef(
+                    name=sig.name,
+                    descriptor=sig.descriptor,
+                    code=self._body(name, sig.descriptor, is_static=False),
+                )
+            )
+
+        if is_abstract and rng.random() < 0.5:
+            methods.append(
+                MethodDef(
+                    name=f"am{index}",
+                    descriptor=self._random_method_descriptor(),
+                    is_abstract=True,
+                )
+            )
+
+        existing = {m.key for m in methods}
+        for k in range(rng.randint(0, cfg.max_extra_methods)):
+            is_static = rng.random() < cfg.static_method_probability
+            descriptor = self._random_method_descriptor()
+            key = (f"m{index}_{k}", descriptor)
+            if key in existing:
+                continue
+            existing.add(key)
+            methods.append(
+                MethodDef(
+                    name=key[0],
+                    descriptor=descriptor,
+                    is_static=is_static,
+                    code=self._body(name, descriptor, is_static=is_static),
+                )
+            )
+
+        decl = ClassFile(
+            name=name,
+            superclass=superclass,
+            interfaces=tuple(interfaces),
+            is_abstract=is_abstract,
+            fields=fields,
+            methods=tuple(methods),
+            attributes=self._attributes(name),
+        )
+        if not is_abstract:
+            for iface in self._transitive_interfaces(decl):
+                self.implementers.setdefault(iface, []).append(name)
+        return decl
+
+    def _constructor(self, name: str, superclass: str) -> MethodDef:
+        instructions: List[Instruction] = [
+            Load(0),
+            InvokeSpecial(superclass, INIT, "()V", is_super_call=True),
+            Return("void"),
+        ]
+        return MethodDef(
+            name=INIT,
+            descriptor="()V",
+            code=Code(
+                max_stack=1, max_locals=1, instructions=tuple(instructions)
+            ),
+        )
+
+    def _obligations(
+        self, superclass: str, interfaces: Sequence[str]
+    ) -> List[Tuple[str, MethodDef]]:
+        """Every (owner, signature) this class must provide concretely.
+
+        Walks the declared interfaces transitively, the superclass chain's
+        interfaces, and abstract methods of abstract ancestors.  Methods
+        inherited concretely would also satisfy them, but implementing
+        locally is always valid and exercises overriding.
+        """
+        out: List[Tuple[str, MethodDef]] = []
+        seen_keys = set()
+
+        def visit_interface(iface_name: str) -> None:
+            decl = self._interface_decl(iface_name)
+            if decl is None:
+                return
+            for method in decl.methods:
+                if method.key not in seen_keys:
+                    seen_keys.add(method.key)
+                    out.append((iface_name, method))
+            for parent in decl.interfaces:
+                visit_interface(parent)
+
+        for iface in interfaces:
+            visit_interface(iface)
+
+        current = superclass
+        by_name = {c.name: c for c in self.classes}
+        while current != JAVA_OBJECT:
+            ancestor = by_name.get(current)
+            if ancestor is None:
+                break
+            for iface in ancestor.interfaces:
+                visit_interface(iface)
+            for method in ancestor.methods:
+                if method.is_abstract and method.key not in seen_keys:
+                    seen_keys.add(method.key)
+                    out.append((current, method))
+            current = ancestor.superclass
+        return out
+
+    def _interface_decl(self, name: str) -> Optional[ClassFile]:
+        for decl in self.interfaces:
+            if decl.name == name:
+                return decl
+        return None
+
+    def _transitive_interfaces(self, decl: ClassFile) -> List[str]:
+        out: List[str] = []
+        stack = list(decl.interfaces)
+        by_name = {c.name: c for c in self.classes}
+        current = decl.superclass
+        while current != JAVA_OBJECT:
+            ancestor = by_name.get(current)
+            if ancestor is None:
+                break
+            stack.extend(ancestor.interfaces)
+            current = ancestor.superclass
+        while stack:
+            iface = stack.pop()
+            if iface in out:
+                continue
+            out.append(iface)
+            idecl = self._interface_decl(iface)
+            if idecl is not None:
+                stack.extend(idecl.interfaces)
+        return out
+
+    # ------------------------------------------------------------------
+    # Method bodies
+    # ------------------------------------------------------------------
+
+    def _body(
+        self, class_name: str, descriptor: str, is_static: bool
+    ) -> Code:
+        rng = self.rng
+        instructions: List[Instruction] = []
+        operations = rng.randint(1, self.config.max_body_operations)
+        for _ in range(operations):
+            emitted = self._random_operation(class_name)
+            instructions.extend(emitted)
+        instructions.extend(self._return_sequence(descriptor))
+        return Code(
+            max_stack=4,
+            max_locals=4,
+            instructions=tuple(instructions),
+        )
+
+    def _random_operation(self, class_name: str) -> List[Instruction]:
+        rng = self.rng
+        choices = ["construct", "call", "pad"]
+        if any(c.fields for c in self.classes):
+            choices.append("field")
+        if self.implementers and any(self.implementers.values()):
+            choices.append("cast")
+        if self.classes and rng.random() < self.config.reflection_probability:
+            choices.append("reflect")
+        op = rng.choice(choices)
+        if op == "construct":
+            return self._op_construct()
+        if op == "call":
+            return self._op_call()
+        if op == "field":
+            return self._op_field()
+        if op == "cast":
+            return self._op_cast()
+        if op == "reflect":
+            return self._op_reflect()
+        return [ConstInt(rng.randint(0, 9)), Pop()]
+
+    def _concrete_classes(self) -> List[ClassFile]:
+        return [c for c in self.classes if not c.is_abstract]
+
+    def _allowed_modules(self) -> List[int]:
+        """Current module plus its declared dependency modules."""
+        module = self.current_module
+        if module not in self.module_deps:
+            lower = list(range(module))
+            if lower:
+                # Bias dependencies toward the bottom layers ("library"
+                # modules), keeping dependency cones shallow — like real
+                # applications, where most modules depend on a common
+                # core rather than on each other.
+                cutoff = max(1, len(lower) // 3)
+                picks = [self.rng.choice(lower[:cutoff])]
+            else:
+                picks = []
+            self.module_deps[module] = picks
+        return [module] + self.module_deps[module]
+
+    def _localize(self, candidates: List[ClassFile]) -> List[ClassFile]:
+        """Prefer the current module; otherwise a dependency module."""
+        local = [
+            c
+            for c in candidates
+            if self.module_of.get(c.name) == self.current_module
+        ]
+        if local and self.rng.random() < self.config.module_locality:
+            return local
+        allowed = set(self._allowed_modules())
+        visible = [
+            c for c in candidates if self.module_of.get(c.name) in allowed
+        ]
+        return visible or local or candidates
+
+    def _localize_names(self, names: List[str]) -> List[str]:
+        local = [
+            n for n in names if self.module_of.get(n) == self.current_module
+        ]
+        if local and self.rng.random() < self.config.module_locality:
+            return local
+        allowed = set(self._allowed_modules())
+        visible = [n for n in names if self.module_of.get(n) in allowed]
+        return visible or local or names
+
+    def _op_construct(self) -> List[Instruction]:
+        targets = self._concrete_classes()
+        if not targets:
+            return [ConstNull(), Pop()]
+        target = self.rng.choice(self._localize(targets))
+        return [
+            New(target.name),
+            Dup(),
+            InvokeSpecial(target.name, INIT, "()V"),
+            Pop(),
+        ]
+
+    def _op_call(self) -> List[Instruction]:
+        rng = self.rng
+        # Collect callable targets: concrete methods and interface methods.
+        concrete: List[Tuple[str, MethodDef]] = []
+        for decl in self._localize(self.classes):
+            for method in decl.methods:
+                if method.is_constructor or method.is_abstract:
+                    continue
+                concrete.append((decl.name, method))
+        iface_methods: List[Tuple[str, MethodDef]] = []
+        for decl in self.interfaces:
+            for method in decl.methods:
+                if self.implementers.get(decl.name):
+                    iface_methods.append((decl.name, method))
+        if not concrete and not iface_methods:
+            return [ConstInt(0), Pop()]
+        if iface_methods and (not concrete or rng.random() < 0.3):
+            owner, method = rng.choice(iface_methods)
+            implementer = rng.choice(
+                self._localize_names(self.implementers[owner])
+            )
+            out: List[Instruction] = [
+                New(implementer),
+                Dup(),
+                InvokeSpecial(implementer, INIT, "()V"),
+                CheckCast(owner, known_from=implementer),
+                *self._push_args(method.descriptor),
+                InvokeInterface(owner, method.name, method.descriptor),
+            ]
+        else:
+            owner, method = rng.choice(concrete)
+            if method.is_static:
+                out = [
+                    *self._push_args(method.descriptor),
+                    InvokeStatic(owner, method.name, method.descriptor),
+                ]
+            else:
+                # The receiver must be instantiable: the owner when it is
+                # concrete, else a concrete subclass (dispatch through a
+                # subclass also exercises resolution through the chain).
+                owner_decl = next(
+                    c for c in self.classes if c.name == owner
+                )
+                subclasses = [
+                    c.name
+                    for c in self._concrete_classes()
+                    if self._has_ancestor(c, owner)
+                ]
+                if owner_decl.is_abstract:
+                    if not subclasses:
+                        return [ConstInt(0), Pop()]
+                    receiver = rng.choice(subclasses)
+                elif subclasses and rng.random() < 0.4:
+                    receiver = rng.choice(subclasses)
+                else:
+                    receiver = owner
+                out = [
+                    New(receiver),
+                    Dup(),
+                    InvokeSpecial(receiver, INIT, "()V"),
+                    *self._push_args(method.descriptor),
+                    InvokeVirtual(receiver, method.name, method.descriptor),
+                ]
+        if not method.descriptor.endswith(")V"):
+            out.append(Pop())
+        return out
+
+    def _push_args(self, descriptor: str) -> List[Instruction]:
+        """Default argument values matching the descriptor's parameters."""
+        from repro.bytecode.descriptors import (
+            PrimitiveType,
+            parse_method_descriptor,
+        )
+
+        out: List[Instruction] = []
+        for param in parse_method_descriptor(descriptor).parameters:
+            if isinstance(param, PrimitiveType):
+                out.append(ConstInt(self.rng.randint(0, 9)))
+            else:
+                out.append(ConstNull())
+        return out
+
+    def _has_ancestor(self, decl: ClassFile, ancestor: str) -> bool:
+        by_name = {c.name: c for c in self.classes}
+        current = decl.superclass
+        while current != JAVA_OBJECT:
+            if current == ancestor:
+                return True
+            parent = by_name.get(current)
+            if parent is None:
+                return False
+            current = parent.superclass
+        return False
+
+    def _op_field(self) -> List[Instruction]:
+        rng = self.rng
+        with_fields = [c for c in self.classes if c.fields]
+        if not with_fields:
+            return [ConstInt(0), Pop()]
+        decl = rng.choice(self._localize(with_fields))
+        fdecl = rng.choice(decl.fields)
+        # The access targets the same class we construct (javac resolves
+        # fields on the receiver's static type, so owner == receiver).
+        if decl.is_abstract:
+            subs = [
+                c.name
+                for c in self._concrete_classes()
+                if self._has_ancestor(c, decl.name)
+            ]
+            if not subs:
+                return [ConstInt(0), Pop()]
+            receiver = subs[0]
+        else:
+            receiver = decl.name
+        construct: List[Instruction] = [
+            New(receiver),
+            Dup(),
+            InvokeSpecial(receiver, INIT, "()V"),
+        ]
+        if rng.random() < 0.5:
+            return construct + [
+                GetField(receiver, fdecl.name, fdecl.descriptor),
+                Pop(),
+            ]
+        value: List[Instruction] = (
+            [ConstInt(rng.randint(0, 9))]
+            if fdecl.descriptor == "I"
+            else [ConstNull()]
+        )
+        return construct + value + [
+            PutField(receiver, fdecl.name, fdecl.descriptor)
+        ]
+
+    def _op_cast(self) -> List[Instruction]:
+        rng = self.rng
+        candidates = [
+            (iface, impls)
+            for iface, impls in self.implementers.items()
+            if impls
+        ]
+        if not candidates:
+            return [ConstInt(0), Pop()]
+        iface, impls = rng.choice(candidates)
+        impl = rng.choice(self._localize_names(impls))
+        return [
+            New(impl),
+            Dup(),
+            InvokeSpecial(impl, INIT, "()V"),
+            CheckCast(iface, known_from=impl),
+            Pop(),
+        ]
+
+    def _op_reflect(self) -> List[Instruction]:
+        target = self.rng.choice(self._localize(self.classes))
+        return [LoadClassConstant(target.name), Pop()]
+
+    @staticmethod
+    def _return_sequence(descriptor: str) -> List[Instruction]:
+        if descriptor.endswith(")V"):
+            return [Return("void")]
+        if descriptor.endswith(")I"):
+            return [ConstInt(0), Return("int")]
+        return [ConstNull(), Return("reference")]
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def _generate_main(self, class_names: Sequence[str]) -> ClassFile:
+        instructions: List[Instruction] = []
+        # The entry point touches a couple of modules; the rest of the
+        # program is only reachable through cross-module references.
+        num_modules = 1 + max(self.module_of.values(), default=0)
+        entry_modules = set(
+            self.rng.sample(
+                range(num_modules),
+                min(self.config.entry_modules, num_modules),
+            )
+        )
+        reachable = [
+            c
+            for c in self._concrete_classes()
+            if self.module_of.get(c.name) in entry_modules
+        ] or self._concrete_classes()
+        touch_count = min(len(reachable), 3)
+        touched = self.rng.sample(reachable, touch_count)
+        for decl in touched:
+            instructions.extend(
+                [New(decl.name), Dup(), InvokeSpecial(decl.name, INIT, "()V")]
+            )
+            callables = [
+                m
+                for m in decl.methods
+                if not m.is_constructor and not m.is_abstract
+                and not m.is_static
+            ]
+            if callables:
+                method = self.rng.choice(callables)
+                instructions.extend(self._push_args(method.descriptor))
+                instructions.append(
+                    InvokeVirtual(decl.name, method.name, method.descriptor)
+                )
+                if not method.descriptor.endswith(")V"):
+                    instructions.append(Pop())
+            else:
+                instructions.append(Pop())
+        instructions.append(Return("void"))
+        main_method = MethodDef(
+            name="main",
+            descriptor="()V",
+            is_static=True,
+            code=Code(
+                max_stack=4, max_locals=2, instructions=tuple(instructions)
+            ),
+        )
+        return ClassFile(
+            name=f"{self.config.package}/Main",
+            methods=(self._constructor(f"{self.config.package}/Main",
+                                       JAVA_OBJECT), main_method),
+            attributes=(Attribute("SourceFile", "Main.java"),),
+        )

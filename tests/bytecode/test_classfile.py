@@ -1,0 +1,166 @@
+"""Tests for class files, applications, instructions, constant pool."""
+
+import pytest
+
+from repro.bytecode.classfile import (
+    Application,
+    Attribute,
+    ClassFile,
+    Code,
+    Field,
+    INIT,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.constant_pool import ConstantPool
+from repro.bytecode.instructions import (
+    CheckCast,
+    GetField,
+    InvokeSpecial,
+    InvokeVirtual,
+    Load,
+    New,
+    Return,
+)
+
+
+def simple_class(name="app/C", **kwargs):
+    return ClassFile(name=name, **kwargs)
+
+
+class TestClassFile:
+    def test_method_lookup_by_key(self):
+        method = MethodDef("m", "()V", code=Code(1, 1, (Return("void"),)))
+        decl = simple_class(methods=(method,))
+        assert decl.method("m", "()V") is method
+        assert decl.method("m", "()I") is None
+
+    def test_overloads_coexist(self):
+        decl = simple_class(
+            methods=(
+                MethodDef("m", "()V", is_abstract=True),
+                MethodDef("m", "(I)V", is_abstract=True),
+            )
+        )
+        assert decl.method("m", "()V") is not None
+        assert decl.method("m", "(I)V") is not None
+
+    def test_duplicate_method_keys_rejected(self):
+        with pytest.raises(ValueError):
+            simple_class(
+                methods=(
+                    MethodDef("m", "()V", is_abstract=True),
+                    MethodDef("m", "()V", is_abstract=True),
+                )
+            )
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            simple_class(fields=(Field("f", "I"), Field("f", "I")))
+
+    def test_interface_must_extend_object(self):
+        with pytest.raises(ValueError):
+            ClassFile(name="app/I", is_interface=True, superclass="app/C")
+
+    def test_abstract_method_cannot_have_code(self):
+        with pytest.raises(ValueError):
+            MethodDef(
+                "m", "()V", is_abstract=True, code=Code(1, 1, (Return(),))
+            )
+
+    def test_constructor_detection(self):
+        ctor = MethodDef(INIT, "()V", code=Code(1, 1, (Return(),)))
+        decl = simple_class(methods=(ctor,))
+        assert decl.constructors() == (ctor,)
+        assert decl.declared_methods() == ()
+
+    def test_invalid_descriptor_rejected_eagerly(self):
+        with pytest.raises(Exception):
+            MethodDef("m", "nonsense")
+
+
+class TestApplication:
+    def test_class_lookup(self):
+        app = Application(classes=(simple_class("app/A"),))
+        assert app.class_file("app/A") is not None
+        assert app.class_file("app/B") is None
+        assert app.has_class(JAVA_OBJECT)
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(ValueError):
+            Application(
+                classes=(simple_class("app/A"), simple_class("app/A"))
+            )
+
+    def test_builtin_shadowing_rejected(self):
+        with pytest.raises(ValueError):
+            Application(classes=(simple_class(JAVA_OBJECT),))
+
+    def test_replace_classes(self):
+        app = Application(
+            classes=(simple_class("app/A"), simple_class("app/B")),
+            entry_class="app/A",
+        )
+        smaller = app.replace_classes((app.classes[0],))
+        assert len(smaller) == 1
+        assert smaller.entry_class == "app/A"
+
+
+class TestInstructions:
+    def test_type_refs(self):
+        assert New("app/A").type_refs() == {"app/A"}
+        assert CheckCast("app/I", known_from="app/C").type_refs() == {
+            "app/I",
+            "app/C",
+        }
+        assert Load(0).type_refs() == frozenset()
+
+    def test_method_ref(self):
+        call = InvokeVirtual("app/A", "m", "()V")
+        ref = call.method_ref()
+        assert (ref.owner, ref.name, ref.descriptor) == ("app/A", "m", "()V")
+        assert call.field_ref() is None
+
+    def test_field_ref(self):
+        access = GetField("app/A", "f", "I")
+        ref = access.field_ref()
+        assert (ref.owner, ref.name) == ("app/A", "f")
+        assert access.method_ref() is None
+
+    def test_super_call_flag(self):
+        plain = InvokeSpecial("app/A", INIT, "()V")
+        super_call = InvokeSpecial("app/A", INIT, "()V", is_super_call=True)
+        assert not plain.is_super_call
+        assert super_call.is_super_call
+        assert plain != super_call
+
+    def test_opcode_uniqueness(self):
+        from repro.bytecode.instructions import OPCODES
+
+        assert len(OPCODES) == 21  # one entry per instruction class
+
+
+class TestConstantPool:
+    def test_deduplication(self):
+        pool = ConstantPool()
+        first = pool.add("hello")
+        second = pool.add("hello")
+        assert first == second == 1
+        assert len(pool) == 1
+
+    def test_one_based_indexing(self):
+        pool = ConstantPool()
+        pool.add("a")
+        pool.add("b")
+        assert pool.get(1) == "a"
+        assert pool.get(2) == "b"
+        with pytest.raises(IndexError):
+            pool.get(0)
+        with pytest.raises(IndexError):
+            pool.get(3)
+
+    def test_contains_and_iter(self):
+        pool = ConstantPool()
+        pool.add("x")
+        assert "x" in pool
+        assert list(pool) == ["x"]

@@ -1,0 +1,166 @@
+"""Tests for hierarchy analysis: chains, resolution, subtype paths."""
+
+import pytest
+
+from repro.bytecode.classfile import (
+    Application,
+    ClassFile,
+    Code,
+    Field,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.hierarchy import Hierarchy
+from repro.bytecode.instructions import Return
+from repro.bytecode.items import ImplementsItem, SuperClassItem
+
+
+def method(name, descriptor="()V", abstract=False):
+    if abstract:
+        return MethodDef(name, descriptor, is_abstract=True)
+    return MethodDef(name, descriptor, code=Code(1, 1, (Return("void"),)))
+
+
+def build_app():
+    """Object <- A <- B; I extends J; B implements I; A has field f."""
+    iface_j = ClassFile(
+        name="app/J",
+        is_interface=True,
+        is_abstract=True,
+        methods=(method("jm", abstract=True),),
+    )
+    iface_i = ClassFile(
+        name="app/I",
+        is_interface=True,
+        is_abstract=True,
+        interfaces=("app/J",),
+        methods=(method("im", abstract=True),),
+    )
+    class_a = ClassFile(
+        name="app/A",
+        fields=(Field("f", "I"),),
+        methods=(method("am"),),
+    )
+    class_b = ClassFile(
+        name="app/B",
+        superclass="app/A",
+        interfaces=("app/I",),
+        methods=(method("im"), method("jm")),
+    )
+    return Application(classes=(iface_j, iface_i, class_a, class_b))
+
+
+class TestChains:
+    def test_superclass_chain(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.superclass_chain("app/B") == [
+            "app/B",
+            "app/A",
+            JAVA_OBJECT,
+        ]
+
+    def test_chain_of_builtin(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.superclass_chain(JAVA_OBJECT) == [JAVA_OBJECT]
+
+    def test_cycle_detected(self):
+        a = ClassFile(name="app/A", superclass="app/B")
+        b = ClassFile(name="app/B", superclass="app/A")
+        hierarchy = Hierarchy(Application(classes=(a, b)))
+        with pytest.raises(ValueError):
+            hierarchy.superclass_chain("app/A")
+
+    def test_all_interfaces_transitive(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.all_interfaces("app/B") == {"app/I", "app/J"}
+        assert hierarchy.all_interfaces("app/A") == frozenset()
+
+
+class TestResolution:
+    def test_resolve_own_method(self):
+        hierarchy = Hierarchy(build_app())
+        resolved = hierarchy.resolve_method("app/B", "im", "()V")
+        assert resolved is not None and resolved[0] == "app/B"
+
+    def test_resolve_inherited_method(self):
+        hierarchy = Hierarchy(build_app())
+        resolved = hierarchy.resolve_method("app/B", "am", "()V")
+        assert resolved is not None and resolved[0] == "app/A"
+
+    def test_resolve_interface_method(self):
+        hierarchy = Hierarchy(build_app())
+        resolved = hierarchy.resolve_method("app/I", "im", "()V")
+        assert resolved is not None and resolved[0] == "app/I"
+        # Through the superinterface too.
+        resolved = hierarchy.resolve_method("app/I", "jm", "()V")
+        assert resolved is not None and resolved[0] == "app/J"
+
+    def test_missing_method(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.resolve_method("app/B", "nope", "()V") is None
+
+    def test_descriptor_distinguishes_overloads(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.resolve_method("app/B", "im", "(I)V") is None
+
+    def test_resolve_inherited_field(self):
+        hierarchy = Hierarchy(build_app())
+        resolved = hierarchy.resolve_field("app/B", "f")
+        assert resolved is not None and resolved[0] == "app/A"
+
+    def test_candidates_include_overrides(self):
+        override = ClassFile(
+            name="app/C", superclass="app/A", methods=(method("am"),)
+        )
+        app = Application(classes=build_app().classes + (override,))
+        hierarchy = Hierarchy(app)
+        candidates = hierarchy.method_candidates("app/C", "am", "()V")
+        assert [c[0] for c in candidates] == ["app/C", "app/A"]
+
+
+class TestSubtyping:
+    def test_reflexive_and_object(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.subtype_paths("app/A", "app/A") == [frozenset()]
+        assert hierarchy.subtype_paths("app/I", JAVA_OBJECT) == [frozenset()]
+
+    def test_extends_path_costs_super_item(self):
+        hierarchy = Hierarchy(build_app())
+        paths = hierarchy.subtype_paths("app/B", "app/A")
+        assert paths == [frozenset({SuperClassItem("app/B")})]
+
+    def test_implements_path(self):
+        hierarchy = Hierarchy(build_app())
+        paths = hierarchy.subtype_paths("app/B", "app/I")
+        assert paths == [frozenset({ImplementsItem("app/B", "app/I")})]
+
+    def test_transitive_interface_path(self):
+        hierarchy = Hierarchy(build_app())
+        paths = hierarchy.subtype_paths("app/B", "app/J")
+        assert paths == [
+            frozenset(
+                {
+                    ImplementsItem("app/B", "app/I"),
+                    ImplementsItem("app/I", "app/J"),
+                }
+            )
+        ]
+
+    def test_unrelated_types_have_no_path(self):
+        hierarchy = Hierarchy(build_app())
+        assert hierarchy.subtype_paths("app/A", "app/I") == []
+        assert not hierarchy.is_subtype("app/A", "app/I")
+
+    def test_multiple_paths_found(self):
+        # D extends B (which implements I) and also implements I directly.
+        class_d = ClassFile(
+            name="app/D",
+            superclass="app/B",
+            interfaces=("app/I",),
+            methods=(method("im"), method("jm")),
+        )
+        app = Application(classes=build_app().classes + (class_d,))
+        hierarchy = Hierarchy(app)
+        paths = hierarchy.subtype_paths("app/D", "app/I")
+        assert len(paths) == 2
+        assert frozenset({ImplementsItem("app/D", "app/I")}) in paths

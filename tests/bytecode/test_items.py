@@ -1,0 +1,102 @@
+"""Tests for the reducible item kinds."""
+
+from repro.bytecode.classfile import (
+    Application,
+    Attribute,
+    ClassFile,
+    Code,
+    Field,
+    INIT,
+    MethodDef,
+)
+from repro.bytecode.instructions import Return
+from repro.bytecode.items import (
+    AttributeItem,
+    ClassItem,
+    CodeItem,
+    ConstructorCodeItem,
+    ConstructorItem,
+    FieldItem,
+    ITEM_KINDS,
+    ImplementsItem,
+    InterfaceItem,
+    MethodItem,
+    SignatureItem,
+    SuperClassItem,
+    items_of,
+)
+from repro.workloads import generate_application
+
+
+def app_with_everything():
+    iface = ClassFile(
+        name="app/I",
+        is_interface=True,
+        is_abstract=True,
+        methods=(MethodDef("im", "()V", is_abstract=True),),
+        attributes=(Attribute("SourceFile", "I.java"),),
+    )
+    base = ClassFile(
+        name="app/Base",
+        is_abstract=True,
+        methods=(MethodDef("absm", "()V", is_abstract=True),),
+    )
+    impl = ClassFile(
+        name="app/C",
+        superclass="app/Base",
+        interfaces=("app/I",),
+        fields=(Field("f", "I"),),
+        methods=(
+            MethodDef(INIT, "()V", code=Code(1, 1, (Return("void"),))),
+            MethodDef("im", "()V", code=Code(1, 1, (Return("void"),))),
+            MethodDef("absm", "()V", code=Code(1, 1, (Return("void"),))),
+        ),
+        attributes=(Attribute("SourceFile", "C.java"),),
+    )
+    return Application(classes=(iface, base, impl))
+
+
+class TestItemsOf:
+    def test_every_kind_appears(self):
+        items = set(items_of(app_with_everything()))
+        expected = {
+            InterfaceItem("app/I"),
+            SignatureItem("app/I", "im", "()V"),
+            AttributeItem("app/I", "SourceFile"),
+            ClassItem("app/Base"),
+            SignatureItem("app/Base", "absm", "()V"),
+            ClassItem("app/C"),
+            SuperClassItem("app/C"),
+            ImplementsItem("app/C", "app/I"),
+            FieldItem("app/C", "f"),
+            ConstructorItem("app/C", "()V"),
+            ConstructorCodeItem("app/C", "()V"),
+            MethodItem("app/C", "im", "()V"),
+            CodeItem("app/C", "im", "()V"),
+            MethodItem("app/C", "absm", "()V"),
+            CodeItem("app/C", "absm", "()V"),
+            AttributeItem("app/C", "SourceFile"),
+        }
+        assert items == expected
+
+    def test_eleven_item_kinds(self):
+        assert len(ITEM_KINDS) == 11
+
+    def test_no_super_item_for_object_subclasses(self):
+        app = Application(classes=(ClassFile(name="app/A"),))
+        assert SuperClassItem("app/A") not in set(items_of(app))
+
+    def test_declaration_order_stable(self):
+        app = generate_application(0)
+        assert items_of(app) == items_of(app)
+
+    def test_string_rendering(self):
+        assert str(ClassItem("app/A")) == "[app/A]"
+        assert str(CodeItem("A", "m", "()V")) == "[A.m()V!code]"
+        assert str(ImplementsItem("A", "I")) == "[A<I]"
+        assert str(SuperClassItem("A")) == "[A<:super]"
+
+    def test_items_are_hashable_and_distinct(self):
+        assert MethodItem("A", "m", "()V") != CodeItem("A", "m", "()V")
+        assert ClassItem("A") != InterfaceItem("A")
+        assert len({ClassItem("A"), ClassItem("A")}) == 1

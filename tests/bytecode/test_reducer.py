@@ -1,0 +1,190 @@
+"""Tests for the bytecode reducer."""
+
+from repro.bytecode.classfile import (
+    Application,
+    Attribute,
+    ClassFile,
+    Code,
+    Field,
+    INIT,
+    JAVA_OBJECT,
+    MethodDef,
+)
+from repro.bytecode.instructions import (
+    InvokeSpecial,
+    InvokeStatic,
+    InvokeVirtual,
+    Load,
+    Return,
+)
+from repro.bytecode.items import (
+    AttributeItem,
+    ClassItem,
+    CodeItem,
+    ConstructorCodeItem,
+    ConstructorItem,
+    FieldItem,
+    ImplementsItem,
+    InterfaceItem,
+    MethodItem,
+    SignatureItem,
+    SuperClassItem,
+    items_of,
+)
+from repro.bytecode.reducer import reduce_application, trivial_code
+from repro.workloads import generate_application
+
+
+def build_app():
+    iface = ClassFile(
+        name="app/I",
+        is_interface=True,
+        is_abstract=True,
+        methods=(MethodDef("im", "()V", is_abstract=True),),
+    )
+    base = ClassFile(name="app/P")
+    main = ClassFile(
+        name="app/C",
+        superclass="app/P",
+        interfaces=("app/I",),
+        fields=(Field("f", "I"),),
+        attributes=(Attribute("SourceFile", "C.java"),),
+        methods=(
+            MethodDef(
+                INIT,
+                "()V",
+                code=Code(
+                    1,
+                    1,
+                    (
+                        Load(0),
+                        InvokeSpecial(
+                            "app/P", INIT, "()V", is_super_call=True
+                        ),
+                        Return("void"),
+                    ),
+                ),
+            ),
+            MethodDef(
+                "im",
+                "()V",
+                code=Code(1, 1, (Return("void"),)),
+            ),
+            MethodDef(
+                "st",
+                "(I)I",
+                is_static=True,
+                code=Code(1, 1, (Return("int"),)),
+            ),
+        ),
+    )
+    return Application(classes=(iface, base, main))
+
+
+class TestReduceApplication:
+    def test_full_assignment_is_identity(self):
+        app = build_app()
+        assert reduce_application(app, frozenset(items_of(app))) == app
+
+    def test_empty_assignment_removes_all_classes(self):
+        app = build_app()
+        assert reduce_application(app, frozenset()).classes == ()
+
+    def test_superclass_rewritten_to_object(self):
+        app = build_app()
+        kept = set(items_of(app)) - {SuperClassItem("app/C")}
+        reduced = reduce_application(app, frozenset(kept))
+        assert reduced.class_file("app/C").superclass == JAVA_OBJECT
+
+    def test_implements_entry_dropped(self):
+        app = build_app()
+        kept = set(items_of(app)) - {ImplementsItem("app/C", "app/I")}
+        reduced = reduce_application(app, frozenset(kept))
+        assert reduced.class_file("app/C").interfaces == ()
+
+    def test_field_and_attribute_dropped(self):
+        app = build_app()
+        kept = set(items_of(app)) - {
+            FieldItem("app/C", "f"),
+            AttributeItem("app/C", "SourceFile"),
+        }
+        reduced = reduce_application(app, frozenset(kept))
+        decl = reduced.class_file("app/C")
+        assert decl.fields == ()
+        assert decl.attributes == ()
+
+    def test_signature_removal(self):
+        app = build_app()
+        kept = set(items_of(app)) - {SignatureItem("app/I", "im", "()V")}
+        reduced = reduce_application(app, frozenset(kept))
+        assert reduced.class_file("app/I").methods == ()
+
+    def test_method_without_code_gets_trivial_body(self):
+        app = build_app()
+        kept = set(items_of(app)) - {CodeItem("app/C", "im", "()V")}
+        reduced = reduce_application(app, frozenset(kept))
+        method = reduced.class_file("app/C").method("im", "()V")
+        assert method is not None
+        instructions = method.code.instructions
+        assert isinstance(instructions[-2], InvokeVirtual)
+        assert instructions[-2].owner == "app/C"
+
+    def test_constructor_without_code_gets_this_recursion(self):
+        app = build_app()
+        kept = set(items_of(app)) - {ConstructorCodeItem("app/C", "()V")}
+        reduced = reduce_application(app, frozenset(kept))
+        ctor = reduced.class_file("app/C").method(INIT, "()V")
+        assert ctor is not None
+        call = ctor.code.instructions[-2]
+        assert isinstance(call, InvokeSpecial)
+        assert call.owner == "app/C" and not call.is_super_call
+
+    def test_method_removal(self):
+        app = build_app()
+        kept = set(items_of(app)) - {
+            MethodItem("app/C", "im", "()V"),
+            CodeItem("app/C", "im", "()V"),
+        }
+        reduced = reduce_application(app, frozenset(kept))
+        assert reduced.class_file("app/C").method("im", "()V") is None
+
+
+class TestTrivialCode:
+    def test_static_trivial_body(self):
+        method = MethodDef(
+            "st", "(I)I", is_static=True,
+            code=Code(1, 1, (Return("int"),)),
+        )
+        body = trivial_code("app/C", method)
+        assert isinstance(body.instructions[0], Load)  # the argument
+        assert isinstance(body.instructions[1], InvokeStatic)
+        assert body.instructions[-1] == Return("int")
+
+    def test_instance_trivial_body_loads_this_and_args(self):
+        method = MethodDef(
+            "m", "(ILjava/lang/String;)V",
+            code=Code(1, 1, (Return("void"),)),
+        )
+        body = trivial_code("app/C", method)
+        loads = [i for i in body.instructions if isinstance(i, Load)]
+        assert [l.slot for l in loads] == [0, 1, 2]
+        assert body.instructions[-1] == Return("void")
+
+    def test_reference_return(self):
+        method = MethodDef(
+            "m", "()Ljava/lang/String;",
+            code=Code(1, 1, (Return("reference"),)),
+        )
+        body = trivial_code("app/C", method)
+        assert body.instructions[-1] == Return("reference")
+
+    def test_trivial_body_references_only_self(self):
+        app = generate_application(3)
+        for decl in app.classes:
+            for method in decl.methods:
+                if method.code is None:
+                    continue
+                body = trivial_code(decl.name, method)
+                for instruction in body.instructions:
+                    refs = instruction.type_refs()
+                    assert refs <= {decl.name}

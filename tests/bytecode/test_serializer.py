@@ -1,0 +1,79 @@
+"""Tests for the binary serializer (the honest bytes metric)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode import (
+    Application,
+    deserialize_application,
+    serialize_application,
+)
+from repro.bytecode.classfile import ClassFile, Code, Field, MethodDef
+from repro.bytecode.instructions import ConstInt, Return
+from repro.bytecode.metrics import application_size_bytes, size_metrics
+from repro.bytecode.serializer import FormatError
+from repro.workloads import generate_application
+from repro.workloads.generator import WorkloadConfig
+
+
+class TestSerializer:
+    def test_empty_application(self):
+        app = Application(classes=())
+        assert deserialize_application(serialize_application(app)) == app
+
+    def test_deterministic(self):
+        app = generate_application(5)
+        assert serialize_application(app) == serialize_application(app)
+
+    def test_magic_checked(self):
+        with pytest.raises(FormatError):
+            deserialize_application(b"XXXX\x00\x01")
+
+    def test_truncation_detected(self):
+        data = serialize_application(generate_application(0))
+        with pytest.raises(FormatError):
+            deserialize_application(data[: len(data) // 2])
+
+    def test_trailing_bytes_detected(self):
+        data = serialize_application(Application(classes=()))
+        with pytest.raises(FormatError):
+            deserialize_application(data + b"\x00")
+
+    def test_constant_pool_sharing_shrinks_output(self):
+        """Repeated strings are stored once, like a real constant pool."""
+        body = Code(1, 1, tuple([ConstInt(1)] * 50) + (Return("void"),))
+        one = Application(
+            classes=(
+                ClassFile(
+                    name="app/A",
+                    methods=(MethodDef("m", "()V", code=body),),
+                ),
+            )
+        )
+        # 50 ConstInt(1) instructions: each costs opcode+int, no pool growth.
+        assert len(serialize_application(one)) < 400
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_round_trip_on_generated_apps(self, seed):
+        app = generate_application(
+            seed, WorkloadConfig(num_classes=8, num_interfaces=2)
+        )
+        data = serialize_application(app)
+        assert deserialize_application(data) == app
+
+
+class TestMetrics:
+    def test_size_metrics_counts(self):
+        app = generate_application(1)
+        metrics = size_metrics(app)
+        assert metrics.classes == len(app.classes)
+        assert metrics.bytes == application_size_bytes(app)
+        assert metrics.methods == sum(len(c.methods) for c in app.classes)
+        assert metrics.instructions > 0
+
+    def test_removing_a_class_shrinks_bytes(self):
+        app = generate_application(2)
+        smaller = app.replace_classes(app.classes[:-1])
+        assert application_size_bytes(smaller) < application_size_bytes(app)

@@ -1,0 +1,290 @@
+"""Tests for the application validator."""
+
+import pytest
+
+from repro.bytecode.classfile import (
+    Application,
+    ClassFile,
+    Code,
+    Field,
+    INIT,
+    MethodDef,
+)
+from repro.bytecode.instructions import (
+    CheckCast,
+    GetField,
+    InvokeInterface,
+    InvokeSpecial,
+    InvokeVirtual,
+    Load,
+    New,
+    Return,
+)
+from repro.bytecode.validator import ValidationError, validate_application
+from repro.workloads import generate_application
+
+
+def code(*instructions):
+    return Code(4, 4, tuple(instructions) + (Return("void"),))
+
+
+def concrete(name, descriptor="()V", *instructions):
+    return MethodDef(name, descriptor, code=code(*instructions))
+
+
+def check(classes, **app_kwargs):
+    app = Application(classes=tuple(classes), **app_kwargs)
+    return validate_application(app, raise_on_error=False)
+
+
+class TestHierarchyChecks:
+    def test_valid_app_passes(self):
+        assert check([ClassFile(name="app/A")]) == []
+
+    def test_missing_superclass(self):
+        problems = check([ClassFile(name="app/A", superclass="app/Ghost")])
+        assert any("missing superclass" in p for p in problems)
+
+    def test_interface_as_superclass(self):
+        problems = check(
+            [
+                ClassFile(name="app/I", is_interface=True, is_abstract=True),
+                ClassFile(name="app/A", superclass="app/I"),
+            ]
+        )
+        assert any("is an interface" in p for p in problems)
+
+    def test_missing_interface(self):
+        problems = check([ClassFile(name="app/A", interfaces=("app/I",))])
+        assert any("missing interface" in p for p in problems)
+
+    def test_implements_non_interface(self):
+        problems = check(
+            [
+                ClassFile(name="app/B"),
+                ClassFile(name="app/A", interfaces=("app/B",)),
+            ]
+        )
+        assert any("non-interface" in p for p in problems)
+
+    def test_cyclic_hierarchy(self):
+        problems = check(
+            [
+                ClassFile(name="app/A", superclass="app/B"),
+                ClassFile(name="app/B", superclass="app/A"),
+            ]
+        )
+        assert any("cyclic" in p for p in problems)
+
+
+class TestReferenceChecks:
+    def test_missing_type_in_code(self):
+        problems = check(
+            [
+                ClassFile(
+                    name="app/A",
+                    methods=(concrete("m", "()V", New("app/Ghost")),),
+                )
+            ]
+        )
+        assert any("missing type" in p for p in problems)
+
+    def test_instantiating_abstract_class(self):
+        problems = check(
+            [
+                ClassFile(name="app/Abs", is_abstract=True),
+                ClassFile(
+                    name="app/A",
+                    methods=(concrete("m", "()V", New("app/Abs")),),
+                ),
+            ]
+        )
+        assert any("instantiates abstract" in p for p in problems)
+
+    def test_unresolvable_method(self):
+        problems = check(
+            [
+                ClassFile(name="app/D"),
+                ClassFile(
+                    name="app/A",
+                    methods=(
+                        concrete(
+                            "m", "()V", InvokeVirtual("app/D", "nope", "()V")
+                        ),
+                    ),
+                ),
+            ]
+        )
+        assert any("does not resolve" in p for p in problems)
+
+    def test_unresolvable_field(self):
+        problems = check(
+            [
+                ClassFile(name="app/D"),
+                ClassFile(
+                    name="app/A",
+                    methods=(
+                        concrete(
+                            "m", "()V", GetField("app/D", "nope", "I")
+                        ),
+                    ),
+                ),
+            ]
+        )
+        assert any("does not resolve" in p for p in problems)
+
+    def test_super_call_must_target_current_superclass(self):
+        problems = check(
+            [
+                ClassFile(
+                    name="app/P",
+                    methods=(MethodDef(INIT, "()V", code=code(Load(0))),),
+                ),
+                # The extends relation was "removed" but the super call
+                # still targets app/P: invalid.
+                ClassFile(
+                    name="app/C",
+                    methods=(
+                        MethodDef(
+                            INIT,
+                            "()V",
+                            code=code(
+                                Load(0),
+                                InvokeSpecial(
+                                    "app/P",
+                                    INIT,
+                                    "()V",
+                                    is_super_call=True,
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ]
+        )
+        assert any("super call targets" in p for p in problems)
+
+    def test_invokeinterface_on_class(self):
+        problems = check(
+            [
+                ClassFile(name="app/D", methods=(concrete("m"),)),
+                ClassFile(
+                    name="app/A",
+                    methods=(
+                        concrete(
+                            "u", "()V", InvokeInterface("app/D", "m", "()V")
+                        ),
+                    ),
+                ),
+            ]
+        )
+        assert any("non-interface" in p for p in problems)
+
+    def test_impossible_cast(self):
+        problems = check(
+            [
+                ClassFile(name="app/X"),
+                ClassFile(name="app/I", is_interface=True, is_abstract=True),
+                ClassFile(
+                    name="app/A",
+                    methods=(
+                        concrete(
+                            "m",
+                            "()V",
+                            CheckCast("app/I", known_from="app/X"),
+                        ),
+                    ),
+                ),
+            ]
+        )
+        assert any("can never succeed" in p for p in problems)
+
+
+class TestObligations:
+    def test_unimplemented_interface_method(self):
+        problems = check(
+            [
+                ClassFile(
+                    name="app/I",
+                    is_interface=True,
+                    is_abstract=True,
+                    methods=(MethodDef("im", "()V", is_abstract=True),),
+                ),
+                ClassFile(name="app/C", interfaces=("app/I",)),
+            ]
+        )
+        assert any("does not implement" in p for p in problems)
+
+    def test_abstract_class_may_defer(self):
+        problems = check(
+            [
+                ClassFile(
+                    name="app/I",
+                    is_interface=True,
+                    is_abstract=True,
+                    methods=(MethodDef("im", "()V", is_abstract=True),),
+                ),
+                ClassFile(
+                    name="app/C", interfaces=("app/I",), is_abstract=True
+                ),
+            ]
+        )
+        assert problems == []
+
+    def test_unimplemented_abstract_method(self):
+        problems = check(
+            [
+                ClassFile(
+                    name="app/P",
+                    is_abstract=True,
+                    methods=(MethodDef("am", "()V", is_abstract=True),),
+                ),
+                ClassFile(name="app/C", superclass="app/P"),
+            ]
+        )
+        assert any("abstract app/P.am" in p for p in problems)
+
+    def test_inherited_implementation_suffices(self):
+        problems = check(
+            [
+                ClassFile(
+                    name="app/I",
+                    is_interface=True,
+                    is_abstract=True,
+                    methods=(MethodDef("im", "()V", is_abstract=True),),
+                ),
+                ClassFile(name="app/P", methods=(concrete("im"),)),
+                ClassFile(
+                    name="app/C", superclass="app/P", interfaces=("app/I",)
+                ),
+            ]
+        )
+        assert problems == []
+
+
+class TestEntryPoint:
+    def test_missing_entry_class(self):
+        problems = check([ClassFile(name="app/A")], entry_class="app/Main")
+        assert any("entry class" in p for p in problems)
+
+    def test_missing_entry_method(self):
+        problems = check(
+            [ClassFile(name="app/Main")],
+            entry_class="app/Main",
+        )
+        assert any("entry method" in p for p in problems)
+
+    def test_raise_on_error(self):
+        app = Application(
+            classes=(ClassFile(name="app/A", superclass="app/Ghost"),)
+        )
+        with pytest.raises(ValidationError) as exc:
+            validate_application(app)
+        assert exc.value.problems
+
+
+class TestGeneratedAppsAreValid:
+    def test_many_seeds(self):
+        for seed in range(25):
+            app = generate_application(seed)
+            assert validate_application(app, raise_on_error=False) == []

@@ -1,0 +1,135 @@
+"""Tests for the oracle — above all, predicate monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bytecode.constraints import generate_constraints
+from repro.bytecode.items import items_of
+from repro.bytecode.reducer import reduce_application
+from repro.decompiler import DECOMPILERS
+from repro.decompiler.bugs import BUG_KINDS, sites_for
+from repro.decompiler.oracle import (
+    DecompilerOracle,
+    build_reduction_problem,
+    entry_items,
+)
+from repro.logic.msa import MsaSolver
+from repro.workloads import generate_application
+from repro.workloads.generator import WorkloadConfig
+
+CONFIG = WorkloadConfig(num_classes=14, num_interfaces=4)
+
+
+def first_buggy(seed_start=0):
+    for seed in range(seed_start, seed_start + 50):
+        app = generate_application(seed, CONFIG)
+        for name in DECOMPILERS:
+            oracle = DecompilerOracle(app, name)
+            if oracle.is_buggy:
+                return app, name, oracle
+    raise AssertionError("no buggy pair found")
+
+
+class TestOracle:
+    def test_full_input_satisfies_predicate(self):
+        app, name, oracle = first_buggy()
+        assert oracle.item_predicate(frozenset(items_of(app)))
+
+    def test_empty_input_fails_predicate(self):
+        app, name, oracle = first_buggy()
+        assert not oracle.item_predicate(frozenset())
+
+    def test_class_predicate_full_set(self):
+        app, name, oracle = first_buggy()
+        assert oracle.class_predicate(frozenset(app.class_names()))
+
+    def test_errors_deterministic(self):
+        app, name, oracle = first_buggy()
+        again = DecompilerOracle(app, name)
+        assert again.original_errors == oracle.original_errors
+
+    def test_build_problem_requires_entry(self):
+        app, name, oracle = first_buggy()
+        problem = build_reduction_problem(app, name)
+        for item in entry_items(app):
+            assert not problem.constraint.satisfied_by(
+                frozenset(problem.variables) - {item}
+            )
+
+    def test_build_problem_rejects_clean_pairs(self):
+        for seed in range(60):
+            app = generate_application(seed, CONFIG)
+            for name in DECOMPILERS:
+                oracle = DecompilerOracle(app, name)
+                if not oracle.is_buggy:
+                    with pytest.raises(ValueError):
+                        build_reduction_problem(app, name)
+                    return
+        pytest.skip("every pair buggy in this range")
+
+
+class TestMonotonicity:
+    """Definition 4.1's key assumption, property-tested end to end.
+
+    For valid sub-inputs X <= Y: P(X) implies P(Y).  We generate a chain
+    of valid sub-inputs by growing an MSA model and check the predicate
+    never flips from true back to false along the chain.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.randoms(use_true_random=False),
+    )
+    def test_predicate_monotone_along_growing_chains(self, seed, rng):
+        app = generate_application(seed, CONFIG)
+        buggy = [
+            DecompilerOracle(app, name)
+            for name in DECOMPILERS
+            if DecompilerOracle(app, name).is_buggy
+        ]
+        if not buggy:
+            return
+        oracle = buggy[0]
+        cnf = generate_constraints(app)
+        items = items_of(app)
+        solver = MsaSolver(cnf, items)
+
+        current = solver.compute(require_true=frozenset(entry_items(app)))
+        assert current is not None
+        seen_true = False
+        for _ in range(6):
+            value = oracle.item_predicate(current)
+            if seen_true:
+                assert value, "monotonicity violated: true then false"
+            seen_true = seen_true or value
+            remaining = [v for v in items if v not in current]
+            if not remaining:
+                break
+            batch = rng.sample(remaining, min(len(remaining), 40))
+            extended = solver.extend(current, batch)
+            assert extended is not None
+            current = extended
+        assert oracle.item_predicate(frozenset(items))
+
+
+class TestBugSiteMonotonicity:
+    """Site sets only shrink when items are removed."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=500), st.data())
+    def test_sites_shrink_with_items(self, seed, data):
+        app = generate_application(seed, CONFIG)
+        cnf = generate_constraints(app)
+        items = items_of(app)
+        solver = MsaSolver(cnf, items)
+        wanted = data.draw(st.sets(st.sampled_from(items), max_size=30))
+        model = solver.compute(require_true=frozenset(wanted))
+        if model is None:
+            return
+        reduced = reduce_application(app, model)
+        for bug_id in BUG_KINDS:
+            full_sites = set(sites_for(app, (bug_id,)))
+            reduced_sites = set(sites_for(reduced, (bug_id,)))
+            assert reduced_sites <= full_sites, bug_id

@@ -1,0 +1,137 @@
+"""Tests for the source model and its rendering."""
+
+from repro.decompiler.source import (
+    AssignFieldStmt,
+    CallExpr,
+    CastExpr,
+    ClassLit,
+    DeclStmt,
+    ExprStmt,
+    FieldExpr,
+    IntLit,
+    NewExpr,
+    NullLit,
+    ReturnStmt,
+    SourceClass,
+    SourceField,
+    SourceMethod,
+    StaticCallExpr,
+    SuperCallStmt,
+    ThisCallStmt,
+    VarRef,
+    render_source,
+    simple_name,
+)
+
+
+class TestSimpleName:
+    def test_strips_package(self):
+        assert simple_name("app/deep/C") == "C"
+        assert simple_name("C") == "C"
+
+
+class TestExprRendering:
+    def test_new(self):
+        assert NewExpr("app/C", (IntLit(1),)).render() == "new C(1)"
+
+    def test_call_chain(self):
+        expr = CallExpr(VarRef("x"), "m", (NullLit(),))
+        assert expr.render() == "x.m(null)"
+
+    def test_static_call(self):
+        assert StaticCallExpr("app/C", "m", ()).render() == "C.m()"
+
+    def test_field(self):
+        assert FieldExpr(VarRef("x"), "f").render() == "x.f"
+
+    def test_cast(self):
+        assert CastExpr("app/I", VarRef("x")).render() == "((I) x)"
+
+    def test_class_literal(self):
+        assert ClassLit("app/C").render() == "C.class"
+
+
+class TestStatementRendering:
+    def test_decl(self):
+        stmt = DeclStmt("app/C", "v0", NewExpr("app/C"))
+        assert stmt.render() == "C v0 = new C();"
+
+    def test_primitive_decl(self):
+        assert DeclStmt("int", "i", IntLit(3)).render() == "int i = 3;"
+
+    def test_assign_field(self):
+        stmt = AssignFieldStmt(VarRef("x"), "f", IntLit(1))
+        assert stmt.render() == "x.f = 1;"
+
+    def test_returns(self):
+        assert ReturnStmt().render() == "return;"
+        assert ReturnStmt(IntLit(0)).render() == "return 0;"
+
+    def test_super_and_this_calls(self):
+        assert SuperCallStmt((IntLit(1),)).render() == "super(1);"
+        assert ThisCallStmt().render() == "this();"
+
+
+class TestClassRendering:
+    def test_full_class(self):
+        decl = SourceClass(
+            name="app/C",
+            superclass="app/P",
+            interfaces=("app/I",),
+            is_interface=False,
+            is_abstract=False,
+            fields=(SourceField("int", "f"),),
+            methods=(
+                SourceMethod(
+                    name="<init>",
+                    return_type="void",
+                    params=(),
+                    statements=(SuperCallStmt(), ReturnStmt()),
+                ),
+                SourceMethod(
+                    name="m",
+                    return_type="int",
+                    params=(("int", "p0"),),
+                    statements=(ReturnStmt(IntLit(0)),),
+                ),
+            ),
+        )
+        text = render_source(decl)
+        assert "class C extends P implements I {" in text
+        assert "int f;" in text
+        assert "C() {" in text
+        assert "int m(int p0) {" in text
+
+    def test_interface_rendering(self):
+        decl = SourceClass(
+            name="app/I",
+            superclass="java/lang/Object",
+            interfaces=("app/J",),
+            is_interface=True,
+            is_abstract=True,
+            fields=(),
+            methods=(
+                SourceMethod(
+                    name="im",
+                    return_type="void",
+                    params=(),
+                    statements=(),
+                    is_abstract=True,
+                ),
+            ),
+        )
+        text = render_source(decl)
+        assert "interface I extends J {" in text
+        assert "void im();" in text
+
+    def test_abstract_class(self):
+        decl = SourceClass(
+            name="app/A",
+            superclass="java/lang/Object",
+            interfaces=(),
+            is_interface=False,
+            is_abstract=True,
+            fields=(),
+            methods=(),
+        )
+        assert render_source(decl).startswith("abstract class A {")

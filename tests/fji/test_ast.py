@@ -1,0 +1,105 @@
+"""Tests for the FJI AST."""
+
+import pytest
+
+from repro.fji import (
+    ClassDecl,
+    Constructor,
+    EMPTY_INTERFACE,
+    InterfaceDecl,
+    Method,
+    New,
+    Program,
+    Signature,
+    VarExpr,
+)
+from repro.fji.ast import OBJECT, Param, STRING
+
+
+def minimal_class(name="C", superclass=OBJECT, interface=EMPTY_INTERFACE):
+    return ClassDecl(
+        name=name,
+        superclass=superclass,
+        interface=interface,
+        fields=(),
+        constructor=Constructor(class_name=name),
+        methods=(),
+    )
+
+
+class TestProgram:
+    def test_lookup_class(self):
+        program = Program(declarations=(minimal_class("C"),))
+        assert program.class_decl("C") is not None
+        assert program.class_decl("D") is None
+        assert program.interface_decl("C") is None
+
+    def test_lookup_interface(self):
+        iface = InterfaceDecl("I", ())
+        program = Program(declarations=(iface,))
+        assert program.interface_decl("I") is iface
+        assert program.class_decl("I") is None
+
+    def test_empty_interface_always_resolvable(self):
+        program = Program(declarations=())
+        decl = program.interface_decl(EMPTY_INTERFACE)
+        assert decl is not None
+        assert decl.signatures == ()
+
+    def test_builtin_class_names(self):
+        program = Program(declarations=())
+        assert program.is_class_name(OBJECT)
+        assert program.is_class_name(STRING)
+        assert not program.is_class_name("Nope")
+
+    def test_duplicate_declarations_rejected(self):
+        with pytest.raises(ValueError):
+            Program(declarations=(minimal_class("C"), minimal_class("C")))
+
+    def test_shadowing_builtins_rejected(self):
+        with pytest.raises(ValueError):
+            Program(declarations=(minimal_class("Object"),))
+
+    def test_default_main(self):
+        program = Program(declarations=())
+        assert program.main == New(OBJECT)
+
+    def test_class_and_interface_partitions(self):
+        program = Program(
+            declarations=(minimal_class("C"), InterfaceDecl("I", ()))
+        )
+        assert len(program.class_decls()) == 1
+        assert len(program.interface_decls()) == 1
+
+
+class TestDeclarations:
+    def test_class_method_lookup(self):
+        method = Method(STRING, "m", (), New(STRING))
+        decl = ClassDecl(
+            name="C",
+            superclass=OBJECT,
+            interface=EMPTY_INTERFACE,
+            fields=(),
+            constructor=Constructor(class_name="C"),
+            methods=(method,),
+        )
+        assert decl.method("m") is method
+        assert decl.method("nope") is None
+
+    def test_interface_signature_lookup(self):
+        signature = Signature(STRING, "m", ())
+        decl = InterfaceDecl("I", (signature,))
+        assert decl.signature("m") is signature
+        assert decl.signature("nope") is None
+
+    def test_constructor_own_field_params(self):
+        ctor = Constructor(
+            class_name="C",
+            params=(Param(STRING, "g"), Param(STRING, "f")),
+            super_args=("g",),
+        )
+        assert ctor.own_field_params == (Param(STRING, "f"),)
+
+    def test_expressions_are_hashable(self):
+        assert hash(VarExpr("x")) == hash(VarExpr("x"))
+        assert New("C", (VarExpr("x"),)) == New("C", (VarExpr("x"),))

@@ -1,0 +1,74 @@
+"""The paper's running example, end to end (Sections 2 and 4.5)."""
+
+import pytest
+
+from repro.fji import check_program
+from repro.fji.examples import (
+    MAIN_CODE,
+    figure1_bug_trigger,
+    figure1_constraints,
+    figure1_optimal_solution,
+    figure1_problem,
+    figure1_program,
+)
+from repro.fji.variables import variables_of
+from repro.logic import count_models
+from repro.reduction import generalized_binary_reduction
+
+
+class TestFigure2Numbers:
+    def test_twenty_variables(self):
+        assert len(variables_of(figure1_program())) == 20
+
+    def test_thirty_two_unique_constraints(self):
+        """Figure 2 lists 32 unique constraints plus one duplicate."""
+        cnf = figure1_constraints(include_main_requirement=True)
+        assert len(cnf) == 32
+
+    def test_type_rule_constraints_are_31(self):
+        cnf = figure1_constraints(include_main_requirement=False)
+        assert len(cnf) == 31
+
+    def test_graph_constraint_shape(self):
+        cnf = figure1_constraints()
+        fat = cnf.non_graph_clauses()
+        # The four mAny constraints + the unit requirement.
+        assert len(fat) == 5
+
+    def test_model_count_is_6766(self):
+        """§2: 'we can see that there are 6,766 valid programs left'."""
+        cnf = figure1_constraints(include_main_requirement=False)
+        assert count_models(cnf) == 6766
+
+    def test_optimal_solution_is_a_model(self):
+        cnf = figure1_constraints()
+        assert cnf.satisfied_by(figure1_optimal_solution())
+
+    def test_program_type_checks(self):
+        check_program(figure1_program())
+
+
+class TestSection45Run:
+    def test_gbr_finds_the_optimum(self):
+        problem = figure1_problem()
+        problem.check_assumptions()
+        result = generalized_binary_reduction(
+            problem, require_true=frozenset({MAIN_CODE})
+        )
+        assert result.solution == figure1_optimal_solution()
+
+    def test_gbr_uses_eleven_invocations(self):
+        """§4.5: 'our eleventh (11) and last invocation of P'."""
+        problem = figure1_problem()
+        result = generalized_binary_reduction(
+            problem, require_true=frozenset({MAIN_CODE})
+        )
+        assert result.predicate_calls == 11
+
+    def test_naive_enumeration_bound(self):
+        """§2: 2^20 = 1,048,576 sub-inputs in the unconstrained space."""
+        n = len(variables_of(figure1_program()))
+        assert 2 ** n == 1_048_576
+
+    def test_bug_trigger_is_inside_optimum(self):
+        assert figure1_bug_trigger() <= figure1_optimal_solution()

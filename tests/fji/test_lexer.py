@@ -1,0 +1,49 @@
+"""Tests for the FJI lexer."""
+
+import pytest
+
+from repro.fji.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("class Foo") == [("keyword", "class"), ("ident", "Foo")]
+
+    def test_punctuation(self):
+        assert kinds("(){};,.=") == [
+            ("punct", c) for c in ["(", ")", "{", "}", ";", ",", ".", "="]
+        ]
+
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_positions(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert kinds("_x x_1") == [("ident", "_x"), ("ident", "x_1")]
+
+    def test_all_keywords(self):
+        for kw in ("class", "extends", "implements", "interface",
+                   "new", "return", "super", "this"):
+            assert kinds(kw) == [("keyword", kw)]

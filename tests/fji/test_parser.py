@@ -1,0 +1,182 @@
+"""Tests for the FJI parser, including the parse/pretty round trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fji import parse_program, pretty_program, ParseError
+from repro.fji.ast import (
+    Cast,
+    EMPTY_INTERFACE,
+    FieldAccess,
+    MethodCall,
+    New,
+    VarExpr,
+)
+from repro.fji.parser import parse_expr
+from repro.workloads import generate_fji_program
+
+FIGURE1_SOURCE = """
+class A extends Object implements I {
+  A() { super(); }
+  String m() { return new String(); }
+  B n(B b) { return b; }
+}
+
+class B extends Object implements I {
+  B() { super(); }
+  String m() { return new String(); }
+  B n(B b) { return b; }
+}
+
+interface I {
+  String m();
+  B n(B b);
+}
+
+class M extends Object {
+  M() { super(); }
+  String x(I a) { return a.m(); }
+  String main() { return new M().x(new A()); }
+}
+
+new Object();
+"""
+
+
+class TestParseProgram:
+    def test_figure1_parses(self):
+        program = parse_program(FIGURE1_SOURCE)
+        assert [d.name for d in program.declarations] == ["A", "B", "I", "M"]
+        m = program.class_decl("M")
+        assert m.interface == EMPTY_INTERFACE
+        assert [meth.name for meth in m.methods] == ["x", "main"]
+
+    def test_matches_programmatic_example(self):
+        from repro.fji.examples import figure1_program
+
+        parsed = parse_program(FIGURE1_SOURCE)
+        built = figure1_program()
+        # Same modulo declaration order of A/B/I/M — we wrote them equal.
+        assert {d.name for d in parsed.declarations} == {
+            d.name for d in built.declarations
+        }
+        assert parsed.class_decl("A") == built.class_decl("A")
+        assert parsed.class_decl("M") == built.class_decl("M")
+        assert parsed.interface_decl("I") == built.interface_decl("I")
+
+    def test_constructor_synthesis(self):
+        program = parse_program(
+            "class C extends Object { String f; }"
+        )
+        ctor = program.class_decl("C").constructor
+        assert [p.name for p in ctor.params] == ["f"]
+        assert ctor.super_args == ()
+
+    def test_constructor_synthesis_with_inherited_fields(self):
+        program = parse_program(
+            """
+            class P extends Object { String g; }
+            class C extends P { String f; }
+            """
+        )
+        ctor = program.class_decl("C").constructor
+        assert [p.name for p in ctor.params] == ["g", "f"]
+        assert ctor.super_args == ("g",)
+
+    def test_missing_main_defaults(self):
+        program = parse_program("class C extends Object { C() { super(); } }")
+        assert program.main == New("Object")
+
+    def test_fields_before_methods(self):
+        program = parse_program(
+            """
+            class C extends Object {
+              String a;
+              String b;
+              C(String a, String b) { super(); this.a = a; this.b = b; }
+              String m() { return this.a; }
+            }
+            """
+        )
+        decl = program.class_decl("C")
+        assert [f.name for f in decl.fields] == ["a", "b"]
+        assert decl.methods[0].body == FieldAccess(VarExpr("this"), "a")
+
+    def test_two_constructors_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "class C extends Object { C() { super(); } C() { super(); } }"
+            )
+
+    def test_bad_constructor_assignment(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                """
+                class C extends Object {
+                  String f;
+                  C(String f) { super(); this.f = g; }
+                }
+                """
+            )
+
+    def test_syntax_error_has_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("class C extends { }")
+        assert "line 1" in str(exc.value)
+
+
+class TestParseExpr:
+    def test_variable(self):
+        assert parse_expr("x") == VarExpr("x")
+
+    def test_this(self):
+        assert parse_expr("this") == VarExpr("this")
+
+    def test_field_chain(self):
+        assert parse_expr("a.b.c") == FieldAccess(
+            FieldAccess(VarExpr("a"), "b"), "c"
+        )
+
+    def test_method_call_with_args(self):
+        assert parse_expr("a.m(x, y)") == MethodCall(
+            VarExpr("a"), "m", (VarExpr("x"), VarExpr("y"))
+        )
+
+    def test_new(self):
+        assert parse_expr("new C(x)") == New("C", (VarExpr("x"),))
+
+    def test_cast(self):
+        assert parse_expr("(I) x") == Cast("I", VarExpr("x"))
+
+    def test_cast_binds_through_postfix(self):
+        # (I) x.m() parses as (I)(x.m()) — cast of the call result.
+        parsed = parse_expr("(I) x.m()")
+        assert parsed == Cast("I", MethodCall(VarExpr("x"), "m", ()))
+
+    def test_grouping(self):
+        assert parse_expr("(x).f") == FieldAccess(VarExpr("x"), "f")
+
+    def test_grouped_cast_then_member(self):
+        parsed = parse_expr("((I) x).m()")
+        assert parsed == MethodCall(Cast("I", VarExpr("x")), "m", ())
+
+    def test_nested_new(self):
+        parsed = parse_expr("new M().x(new A())")
+        assert parsed == MethodCall(New("M"), "x", (New("A"),))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("x y")
+
+
+class TestRoundTrip:
+    def test_figure1_round_trips(self):
+        program = parse_program(FIGURE1_SOURCE)
+        assert parse_program(pretty_program(program)) == program
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=4000))
+    def test_generated_programs_round_trip(self, seed):
+        program = generate_fji_program(seed)
+        assert parse_program(pretty_program(program)) == program

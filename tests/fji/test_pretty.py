@@ -1,0 +1,78 @@
+"""Tests for the FJI pretty-printer and source metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fji import parse_program, pretty_program
+from repro.fji.examples import figure1_optimal_solution, figure1_program
+from repro.fji.parser import parse_expr
+from repro.fji.pretty import pretty_expr, source_metrics
+from repro.fji.reducer import reduce_program
+from repro.workloads import generate_fji_program
+
+
+class TestPrettyExpr:
+    def test_variable(self):
+        assert pretty_expr(parse_expr("x")) == "x"
+
+    def test_call_with_args(self):
+        assert pretty_expr(parse_expr("a.m(x, y)")) == "a.m(x, y)"
+
+    def test_new(self):
+        assert pretty_expr(parse_expr("new C(x)")) == "new C(x)"
+
+    def test_cast_parenthesized(self):
+        assert pretty_expr(parse_expr("(I) x")) == "((I) x)"
+
+    def test_nested(self):
+        text = pretty_expr(parse_expr("new M().x(new A())"))
+        assert text == "new M().x(new A())"
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000))
+    def test_expr_round_trip_via_program(self, seed):
+        program = generate_fji_program(seed)
+        text = pretty_expr(program.main)
+        assert parse_expr(text) == program.main
+
+
+class TestPrettyProgram:
+    def test_figure1_contains_all_declarations(self):
+        text = pretty_program(figure1_program())
+        assert "class A extends Object implements I {" in text
+        assert "interface I {" in text
+        assert "String x(I a) { return a.m(); }" in text
+        assert text.rstrip().endswith("new Object();")
+
+    def test_empty_interface_not_rendered(self):
+        text = pretty_program(figure1_program())
+        assert "implements EmptyInterface" not in text
+
+    def test_constructor_rendering(self):
+        program = parse_program(
+            """
+            class P extends Object { String g; }
+            class C extends P { String f; }
+            """
+        )
+        text = pretty_program(program)
+        assert "C(String g, String f) { super(g); this.f = f; }" in text
+
+
+class TestSourceMetrics:
+    def test_counts_nonempty_lines_and_bytes(self):
+        program = figure1_program()
+        metrics = source_metrics(program)
+        text = pretty_program(program)
+        assert metrics.bytes == len(text.encode("utf-8"))
+        assert metrics.lines == sum(
+            1 for line in text.splitlines() if line.strip()
+        )
+
+    def test_reduction_shrinks_metrics(self):
+        program = figure1_program()
+        reduced = reduce_program(program, figure1_optimal_solution())
+        before = source_metrics(program)
+        after = source_metrics(reduced)
+        assert after.lines < before.lines
+        assert after.bytes < before.bytes

@@ -1,0 +1,139 @@
+"""Tests for the FJI reducer — including Theorem 3.1 as a property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fji import check_program, parse_program, reduce_program
+from repro.fji.ast import EMPTY_INTERFACE
+from repro.fji.examples import figure1_optimal_solution, figure1_program
+from repro.fji.reducer import trivial_body
+from repro.fji.variables import (
+    ClassVar,
+    CodeVar,
+    ImplementsVar,
+    InterfaceVar,
+    MethodVar,
+    SignatureVar,
+    variables_of,
+)
+from repro.logic.msa import MsaSolver
+from repro.workloads import generate_fji_program
+
+
+class TestReducerMechanics:
+    def test_empty_assignment_drops_everything(self):
+        program = figure1_program()
+        reduced = reduce_program(program, frozenset())
+        assert reduced.declarations == ()
+        assert reduced.main == program.main
+
+    def test_full_assignment_is_identity(self):
+        program = figure1_program()
+        reduced = reduce_program(program, frozenset(variables_of(program)))
+        assert reduced == program
+
+    def test_class_without_implements_var_gets_empty_interface(self):
+        program = figure1_program()
+        reduced = reduce_program(
+            program, frozenset({ClassVar("A")})
+        )
+        decl = reduced.class_decl("A")
+        assert decl.interface == EMPTY_INTERFACE
+        assert decl.methods == ()
+
+    def test_method_without_code_gets_trivial_body(self):
+        program = figure1_program()
+        reduced = reduce_program(
+            program,
+            frozenset({ClassVar("A"), MethodVar("A", "n")}),
+        )
+        method = reduced.class_decl("A").method("n")
+        assert method is not None
+        assert method.body == trivial_body(method)
+
+    def test_method_with_code_keeps_body(self):
+        program = figure1_program()
+        reduced = reduce_program(
+            program,
+            frozenset(
+                {ClassVar("A"), MethodVar("A", "n"), CodeVar("A", "n")}
+            ),
+        )
+        original = program.class_decl("A").method("n")
+        assert reduced.class_decl("A").method("n") == original
+
+    def test_interface_signatures_filtered(self):
+        program = figure1_program()
+        reduced = reduce_program(
+            program,
+            frozenset({InterfaceVar("I"), SignatureVar("I", "m")}),
+        )
+        iface = reduced.interface_decl("I")
+        assert [s.name for s in iface.signatures] == ["m"]
+
+    def test_figure1b_reduction(self):
+        """The optimal assignment reproduces Figure 1b exactly."""
+        program = figure1_program()
+        reduced = reduce_program(program, figure1_optimal_solution())
+        names = {d.name for d in reduced.declarations}
+        assert names == {"A", "I", "M"}  # B removed entirely
+        a = reduced.class_decl("A")
+        assert a.interface == "I"
+        assert [m.name for m in a.methods] == ["m"]  # n removed
+        assert [s.name for s in reduced.interface_decl("I").signatures] == ["m"]
+        m = reduced.class_decl("M")
+        assert [meth.name for meth in m.methods] == ["x", "main"]
+        # And of course it type checks (Theorem 3.1 on this instance).
+        check_program(reduced)
+
+
+class TestTheorem31:
+    """If |- P | sigma and phi |= sigma then reduce(P, phi) type checks."""
+
+    def _check_for_assignment(self, program, cnf, phi):
+        assert cnf.satisfied_by(phi)
+        reduced = reduce_program(program, phi)
+        check_program(reduced)  # raises TypeError_ if the theorem fails
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000), st.data())
+    def test_random_program_random_assignment(self, seed, data):
+        program = generate_fji_program(seed)
+        cnf = check_program(program)
+        universe = variables_of(program)
+        # Draw a random requirement set, close it into a model with MSA.
+        wanted = data.draw(
+            st.sets(st.sampled_from(universe), max_size=6)
+            if universe
+            else st.just(set())
+        )
+        solver = MsaSolver(cnf, universe)
+        phi = solver.compute(require_true=frozenset(wanted))
+        if phi is None:
+            return
+        self._check_for_assignment(program, cnf, phi)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_full_and_empty_assignments(self, seed):
+        program = generate_fji_program(seed)
+        cnf = check_program(program)
+        universe = frozenset(variables_of(program))
+        if cnf.satisfied_by(universe):
+            self._check_for_assignment(program, cnf, universe)
+        if cnf.satisfied_by(frozenset()):
+            self._check_for_assignment(program, cnf, frozenset())
+
+    def test_every_model_of_the_figure1_example(self):
+        """Exhaustive Theorem 3.1 on the paper's example: all 6,766 models."""
+        from repro.fji.examples import figure1_constraints
+        from repro.logic.counting import enumerate_models
+
+        program = figure1_program()
+        cnf = figure1_constraints(include_main_requirement=False)
+        count = 0
+        for phi in enumerate_models(cnf):
+            reduced = reduce_program(program, phi)
+            check_program(reduced)
+            count += 1
+        assert count == 6766

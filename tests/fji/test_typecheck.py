@@ -1,0 +1,302 @@
+"""Tests for FJI type checking and constraint generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fji import check_program, parse_program, TypeError_
+from repro.fji.typecheck import Checker
+from repro.fji.variables import (
+    ClassVar,
+    CodeVar,
+    ImplementsVar,
+    InterfaceVar,
+    MethodVar,
+    SignatureVar,
+    variables_of,
+)
+from repro.logic.cnf import Clause
+from repro.logic.formula import FALSE, TRUE, Var
+from repro.workloads import generate_fji_program
+
+
+def check(source):
+    return check_program(parse_program(source))
+
+
+class TestWellTypedPrograms:
+    def test_empty_program(self):
+        cnf = check("")
+        assert len(cnf) == 0
+
+    def test_simple_class(self):
+        cnf = check("class C extends Object { C() { super(); } }")
+        assert ClassVar("C") in cnf.variables
+
+    def test_method_constraints(self):
+        cnf = check(
+            """
+            class C extends Object {
+              C() { super(); }
+              String m() { return new String(); }
+            }
+            """
+        )
+        # [C.m()!code] => [C.m()] and nothing constrains [C.m()] further
+        # (its types are builtins).
+        assert Clause.implication(
+            [CodeVar("C", "m")], [MethodVar("C", "m")]
+        ) in list(cnf)
+
+    def test_return_type_dependency(self):
+        cnf = check(
+            """
+            class D extends Object { D() { super(); } }
+            class C extends Object {
+              C() { super(); }
+              D m(D d) { return d; }
+            }
+            """
+        )
+        assert Clause.implication(
+            [MethodVar("C", "m")], [ClassVar("D")]
+        ) in list(cnf)
+
+    def test_inherited_method_call(self):
+        """Calls may resolve to superclass methods (mtype climbs)."""
+        check(
+            """
+            class P extends Object {
+              P() { super(); }
+              String m() { return new String(); }
+            }
+            class C extends P { C() { super(); } }
+            class U extends Object {
+              U() { super(); }
+              String go(C c) { return c.m(); }
+            }
+            """
+        )
+
+    def test_call_through_interface(self):
+        cnf = check(
+            """
+            interface I { String m(); }
+            class C extends Object implements I {
+              C() { super(); }
+              String m() { return new String(); }
+            }
+            class U extends Object {
+              U() { super(); }
+              String go(I i) { return i.m(); }
+            }
+            """
+        )
+        # U.go!code requires [I.m()] (mAny over the interface).
+        assert Clause.implication(
+            [CodeVar("U", "go")], [SignatureVar("I", "m")]
+        ) in list(cnf)
+
+    def test_m_any_collects_override_chain(self):
+        program = parse_program(
+            """
+            class P extends Object {
+              P() { super(); }
+              String m() { return new String(); }
+            }
+            class C extends P {
+              C() { super(); }
+              String m() { return new String(); }
+            }
+            """
+        )
+        checker = Checker(program)
+        m_any = checker.m_any("m", "C")
+        assert m_any.variables() == {MethodVar("C", "m"), MethodVar("P", "m")}
+
+    def test_subtype_through_implements_generates_constraint(self):
+        program = parse_program(
+            """
+            interface I { }
+            class C extends Object implements I { C() { super(); } }
+            """
+        )
+        checker = Checker(program)
+        assert checker.subtype("C", "I") == Var(ImplementsVar("C", "I"))
+        assert checker.subtype("C", "Object") == TRUE
+        assert checker.subtype("C", "C") == TRUE
+
+    def test_subtype_transitive_through_superclass(self):
+        program = parse_program(
+            """
+            interface I { }
+            class P extends Object implements I { P() { super(); } }
+            class C extends P { C() { super(); } }
+            """
+        )
+        checker = Checker(program)
+        # C <= I goes C -> P (free) -> I ([P <| I]).
+        assert checker.subtype("C", "I") == Var(ImplementsVar("P", "I"))
+
+    def test_argument_upcast_generates_implements_constraint(self):
+        cnf = check(
+            """
+            interface I { }
+            class C extends Object implements I { C() { super(); } }
+            class U extends Object {
+              U() { super(); }
+              String go(I i) { return new String(); }
+              String run() { return this.go(new C()); }
+            }
+            """
+        )
+        assert Clause.implication(
+            [CodeVar("U", "run")], [ImplementsVar("C", "I")]
+        ) in list(cnf)
+
+    def test_cast_requires_target_type(self):
+        cnf = check(
+            """
+            interface I { }
+            class U extends Object {
+              U() { super(); }
+              Object m() { return (I) new Object(); }
+            }
+            """
+        )
+        assert Clause.implication(
+            [CodeVar("U", "m")], [InterfaceVar("I")]
+        ) in list(cnf)
+
+
+class TestIllTypedPrograms:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("class C extends Nope { C() { super(); } }", "ancestor"),
+            ("class C extends Object implements Nope { C() { super(); } }",
+             "interface"),
+            (
+                """
+                class C extends Object {
+                  C() { super(); }
+                  String m() { return x; }
+                }
+                """,
+                "unbound",
+            ),
+            (
+                """
+                class C extends Object {
+                  C() { super(); }
+                  String m() { return this.nope(); }
+                }
+                """,
+                "no method",
+            ),
+            (
+                """
+                class C extends Object {
+                  C() { super(); }
+                  String m() { return this.f; }
+                }
+                """,
+                "no field",
+            ),
+            (
+                """
+                interface I { String m(); }
+                class C extends Object implements I { C() { super(); } }
+                """,
+                "does not implement",
+            ),
+            (
+                """
+                interface I { String m(); }
+                class C extends Object implements I {
+                  C() { super(); }
+                  Object m() { return new Object(); }
+                }
+                """,
+                "at type",
+            ),
+            (
+                """
+                class P extends Object {
+                  P() { super(); }
+                  String m() { return new String(); }
+                }
+                class C extends P {
+                  C() { super(); }
+                  Object m() { return new Object(); }
+                }
+                """,
+                "override",
+            ),
+            (
+                """
+                class D extends Object { D() { super(); } }
+                class C extends Object {
+                  C() { super(); }
+                  D m() { return new Object(); }
+                }
+                """,
+                "subtype",
+            ),
+            (
+                """
+                class C extends Object {
+                  String f;
+                  C() { super(); }
+                }
+                """,
+                "constructor",
+            ),
+            ("class C extends C { C() { super(); } }", "cycl"),
+        ],
+    )
+    def test_rejected(self, source, fragment):
+        with pytest.raises(TypeError_) as exc:
+            check(source)
+        assert fragment.lower() in str(exc.value).lower()
+
+    def test_wrong_arity_call(self):
+        with pytest.raises(TypeError_):
+            check(
+                """
+                class C extends Object {
+                  C() { super(); }
+                  String m(String s) { return s; }
+                  String n() { return this.m(); }
+                }
+                """
+            )
+
+    def test_new_wrong_arity(self):
+        with pytest.raises(TypeError_):
+            check(
+                """
+                class C extends Object {
+                  String f;
+                  C(String f) { super(); this.f = f; }
+                  String m() { return new C().f; }
+                }
+                """
+            )
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=4000))
+    def test_generator_output_always_type_checks(self, seed):
+        program = generate_fji_program(seed)
+        cnf = check_program(program)
+        # The full input is always a valid sub-input (Definition 4.1).
+        assert cnf.satisfied_by(frozenset(variables_of(program)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=4000))
+    def test_constraints_use_only_universe_variables(self, seed):
+        program = generate_fji_program(seed)
+        cnf = check_program(program)
+        assert cnf.variables <= set(variables_of(program)) | set()

@@ -1,0 +1,89 @@
+"""Tests for dependency-graph closures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DiGraph, all_item_closures, closure_of
+
+
+class TestClosureOf:
+    def test_single_root(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        assert closure_of(graph, ["a"]) == {"a", "b", "c"}
+
+    def test_union_of_roots(self):
+        graph = DiGraph(edges=[("a", "b")], nodes=["x"])
+        assert closure_of(graph, ["a", "x"]) == {"a", "b", "x"}
+
+
+class TestAllItemClosures:
+    def test_figure1_closures(self):
+        # The class-level graph for Figure 1a: the closure of M contains
+        # everything — which is exactly why J-Reduce cannot reduce it.
+        graph = DiGraph(
+            edges=[
+                ("M", "A"),
+                ("M", "I"),
+                ("A", "I"),
+                ("A", "B"),
+                ("B", "I"),
+                ("I", "B"),
+            ]
+        )
+        closures = {c.root: c.members for c in all_item_closures(graph)}
+        assert closures["M"] == {"M", "A", "B", "I"}
+        assert closures["B"] == {"B", "I"}
+        assert closures["I"] == {"B", "I"}
+        assert closures["A"] == {"A", "B", "I"}
+
+    def test_sorted_by_size(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        sizes = [len(c) for c in all_item_closures(graph)]
+        assert sizes == sorted(sizes)
+
+    def test_scc_members_share_closures(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "a"), ("b", "c")])
+        closures = {c.root: c.members for c in all_item_closures(graph)}
+        assert closures["a"] == closures["b"] == {"a", "b", "c"}
+
+    def test_every_closure_is_dependency_closed(self):
+        graph = DiGraph(
+            edges=[("a", "b"), ("b", "c"), ("c", "a"), ("d", "a")]
+        )
+        for closure in all_item_closures(graph):
+            for node in closure.members:
+                assert graph.successors(node) <= closure.members
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=25,
+        )
+    )
+    return DiGraph(nodes=range(n), edges=edges)
+
+
+class TestClosureProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_closures_match_reachability(self, graph):
+        for closure in all_item_closures(graph):
+            assert closure.members == graph.reachable_from([closure.root])
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_closure_union_is_valid_subinput(self, graph):
+        """Unions of closures are dependency-closed (J-Reduce's key fact)."""
+        closures = all_item_closures(graph)
+        union = set()
+        for closure in closures[: max(1, len(closures) // 2)]:
+            union |= closure.members
+        for node in union:
+            assert graph.successors(node) <= union

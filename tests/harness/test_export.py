@@ -1,0 +1,94 @@
+"""Tests for the CSV export module."""
+
+import csv
+
+import pytest
+
+from repro.harness.experiments import InstanceOutcome
+from repro.harness.export import (
+    export_all,
+    export_cfds,
+    export_outcomes,
+    export_timeline,
+)
+
+
+def outcome(strategy, benchmark="b000", final=50, calls=3):
+    return InstanceOutcome(
+        benchmark_id=benchmark,
+        decompiler="alpha",
+        strategy=strategy,
+        total_bytes=100,
+        total_classes=10,
+        final_bytes=final,
+        final_classes=5,
+        predicate_calls=calls,
+        real_seconds=0.5,
+        simulated_seconds=calls * 33.0,
+        timeline=[(33.0, 80), (66.0, final)],
+    )
+
+
+@pytest.fixture()
+def sample_outcomes():
+    return [
+        outcome("our-reducer", final=10),
+        outcome("jreduce", final=60),
+        outcome("our-reducer", benchmark="b001", final=20),
+    ]
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportOutcomes:
+    def test_row_per_outcome(self, sample_outcomes, tmp_path):
+        path = tmp_path / "outcomes.csv"
+        export_outcomes(sample_outcomes, path)
+        rows = read_csv(path)
+        assert rows[0][0] == "benchmark"
+        assert len(rows) == 1 + len(sample_outcomes)
+        assert rows[1][2] == "our-reducer"
+        assert rows[1][5] == "0.100000"  # relative bytes
+
+
+class TestExportCfds:
+    def test_three_files(self, sample_outcomes, tmp_path):
+        paths = export_cfds(sample_outcomes, tmp_path)
+        assert {p.name for p in paths} == {
+            "cfd_time.csv",
+            "cfd_classes.csv",
+            "cfd_bytes.csv",
+        }
+        rows = read_csv(tmp_path / "cfd_bytes.csv")
+        assert rows[0] == ["strategy", "value", "count"]
+        strategies = {row[0] for row in rows[1:]}
+        assert strategies == {"our-reducer", "jreduce"}
+
+
+class TestExportTimeline:
+    def test_grid_rows(self, sample_outcomes, tmp_path):
+        path = tmp_path / "timeline.csv"
+        export_timeline(sample_outcomes, path, points=5)
+        rows = read_csv(path)
+        assert rows[0] == ["strategy", "seconds", "mean_reduction_factor"]
+        our_rows = [r for r in rows[1:] if r[0] == "our-reducer"]
+        assert len(our_rows) == 5
+        # Final factor for our-reducer: (100/10 + 100/20) / 2 = 7.5
+        assert float(our_rows[-1][2]) == pytest.approx(7.5)
+
+
+class TestExportAll:
+    def test_writes_everything(self, sample_outcomes, tmp_path):
+        written = export_all(sample_outcomes, tmp_path / "out")
+        assert set(written) == {
+            "outcomes",
+            "cfd_time",
+            "cfd_classes",
+            "cfd_bytes",
+            "timeline",
+        }
+        for path in written.values():
+            assert path.exists() and path.stat().st_size > 0

@@ -1,0 +1,75 @@
+"""Tests for aggregate metrics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.metrics import (
+    cumulative_frequency,
+    geometric_mean,
+    quantile,
+)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1))
+    def test_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_interpolation(self):
+        assert quantile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 9
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestCumulativeFrequency:
+    def test_simple_series(self):
+        assert cumulative_frequency([3, 1, 2]) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_duplicates_collapse(self):
+        assert cumulative_frequency([2, 2, 1]) == [(1, 1), (2, 3)]
+
+    def test_empty(self):
+        assert cumulative_frequency([]) == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=20)))
+    def test_monotone_in_both_axes(self, values):
+        series = cumulative_frequency(values)
+        for (v1, c1), (v2, c2) in zip(series, series[1:]):
+            assert v1 < v2
+            assert c1 < c2
+        if series:
+            assert series[-1][1] == len(values)

@@ -1,0 +1,58 @@
+"""Tests for the corpus-statistics row."""
+
+import pytest
+
+from repro.harness.stats import CorpusStatistics, corpus_statistics
+from repro.workloads.corpus import Benchmark, BuggyInstance, CorpusConfig, build_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(
+        CorpusConfig(num_benchmarks=3, min_classes=14, max_classes=24)
+    )
+
+
+class TestCorpusStatistics:
+    def test_counts(self, corpus):
+        stats = corpus_statistics(corpus)
+        expected_instances = sum(len(b.instances) for b in corpus)
+        assert stats.num_instances == expected_instances
+        assert stats.num_benchmarks == sum(
+            1 for b in corpus if b.instances
+        )
+
+    def test_instances_weight_the_means(self, corpus):
+        """A benchmark with two buggy decompilers counts twice, as in the
+        paper's 227-instance accounting."""
+        stats = corpus_statistics(corpus)
+        per_instance_classes = [
+            b.num_classes for b in corpus for _ in b.instances
+        ]
+        assert min(per_instance_classes) <= stats.classes <= max(
+            per_instance_classes
+        )
+
+    def test_errors_at_least_one(self, corpus):
+        stats = corpus_statistics(corpus)
+        assert stats.errors >= 1.0
+
+    def test_edge_fraction_in_unit_interval(self, corpus):
+        stats = corpus_statistics(corpus)
+        assert 0.0 < stats.edge_fraction <= 1.0
+
+    def test_row_rendering(self, corpus):
+        stats = corpus_statistics(corpus)
+        row = stats.row()
+        assert "geo-means" in row
+        assert "classes" in row and "KB" in row and "edges" in row
+
+    def test_benchmarks_without_instances_excluded(self, corpus):
+        quiet = Benchmark(
+            benchmark_id="quiet", seed=0, app=corpus[0].app, instances=[]
+        )
+        with_quiet = list(corpus) + [quiet]
+        stats = corpus_statistics(with_quiet)
+        baseline = corpus_statistics(corpus)
+        assert stats.num_instances == baseline.num_instances
+        assert stats.classes == pytest.approx(baseline.classes)

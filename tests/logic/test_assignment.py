@@ -1,0 +1,45 @@
+"""Tests for the Assignment wrapper."""
+
+import pytest
+
+from repro.logic import Assignment
+
+
+class TestAssignment:
+    def test_contains_and_len(self):
+        phi = Assignment({"a", "b"})
+        assert "a" in phi
+        assert "c" not in phi
+        assert len(phi) == 2
+        assert bool(phi)
+        assert not Assignment()
+
+    def test_equality_with_sets(self):
+        assert Assignment({"a"}) == {"a"}
+        assert Assignment({"a"}) == Assignment({"a"})
+        assert Assignment({"a"}) != Assignment({"b"})
+
+    def test_set_algebra(self):
+        left = Assignment({"a", "b"})
+        right = Assignment({"b", "c"})
+        assert (left | right) == {"a", "b", "c"}
+        assert (left & right) == {"b"}
+        assert (left - right) == {"a"}
+        assert Assignment({"a"}) <= left
+
+    def test_with_true_and_without(self):
+        phi = Assignment({"a"})
+        assert phi.with_true("b", "c") == {"a", "b", "c"}
+        assert phi.without("a") == set()
+        # The original is untouched (immutability).
+        assert phi == {"a"}
+
+    def test_hashable(self):
+        assert len({Assignment({"a"}), Assignment({"a"})}) == 1
+
+    def test_rejects_weird_operands(self):
+        with pytest.raises(TypeError):
+            Assignment({"a"}) | ["not", "a", "set"]
+
+    def test_repr_is_sorted(self):
+        assert repr(Assignment({"b", "a"})) == "Assignment({a, b})"

@@ -1,0 +1,171 @@
+"""Unit and property tests for the CNF representation."""
+
+import pytest
+from hypothesis import given
+
+from repro.logic import CNF, Clause, Lit, Var, neg, pos
+from tests.strategies import cnfs
+
+
+def edge(a, b):
+    """Graph constraint a => b."""
+    return Clause.implication([a], [b])
+
+
+class TestClause:
+    def test_implication_constructor(self):
+        clause = Clause.implication(["a", "b"], ["c"])
+        assert clause.negatives == {"a", "b"}
+        assert clause.positives == {"c"}
+
+    def test_unit(self):
+        clause = Clause.unit("x")
+        assert clause.is_unit()
+        assert clause.positives == {"x"}
+
+    def test_graph_constraint_detection(self):
+        assert edge("a", "b").is_graph_constraint()
+        assert not Clause.implication(["a", "b"], ["c"]).is_graph_constraint()
+        assert not Clause.implication(["a"], ["b", "c"]).is_graph_constraint()
+        assert not Clause.unit("x").is_graph_constraint()
+
+    def test_tautology(self):
+        assert Clause([pos("x"), neg("x")]).is_tautology()
+        assert not edge("a", "b").is_tautology()
+
+    def test_satisfied_by(self):
+        clause = edge("a", "b")  # ~a | b
+        assert clause.satisfied_by(set())
+        assert clause.satisfied_by({"b"})
+        assert clause.satisfied_by({"a", "b"})
+        assert not clause.satisfied_by({"a"})
+
+    def test_condition_satisfies(self):
+        clause = edge("a", "b")
+        assert clause.condition(true_vars={"b"}) is None
+        assert clause.condition(false_vars={"a"}) is None
+
+    def test_condition_residual(self):
+        clause = Clause.implication(["a", "b"], ["c"])
+        residual = clause.condition(true_vars={"a"})
+        assert residual == Clause.implication(["b"], ["c"])
+
+    def test_condition_to_empty_clause(self):
+        clause = edge("a", "b")
+        residual = clause.condition(true_vars={"a"}, false_vars={"b"})
+        assert residual is not None and residual.is_empty()
+
+    def test_rejects_non_literals(self):
+        with pytest.raises(TypeError):
+            Clause(["x"])
+
+
+class TestCNF:
+    def test_variables_include_universe(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        assert cnf.variables == {"a", "b", "c"}
+
+    def test_duplicate_clauses_dropped(self):
+        cnf = CNF([edge("a", "b"), edge("a", "b")])
+        assert len(cnf) == 1
+
+    def test_tautologies_dropped_but_vars_kept(self):
+        cnf = CNF([Clause([pos("x"), neg("x")])])
+        assert len(cnf) == 0
+        assert "x" in cnf.variables
+
+    def test_from_formula(self):
+        cnf = CNF.from_formula((Var("a") & Var("b")) >> Var("c"))
+        assert len(cnf) == 1
+        assert cnf.variables == {"a", "b", "c"}
+
+    def test_satisfied_by(self):
+        cnf = CNF([edge("a", "b"), Clause.unit("a")])
+        assert cnf.satisfied_by({"a", "b"})
+        assert not cnf.satisfied_by({"a"})
+        assert not cnf.satisfied_by(set())
+
+    def test_condition_true(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b"])
+        conditioned = cnf.condition(true_vars={"a"})
+        assert conditioned.satisfied_by({"b"})
+        assert not conditioned.satisfied_by(set())
+        assert conditioned.variables == {"b"}
+
+    def test_condition_conflicting_raises(self):
+        cnf = CNF([edge("a", "b")])
+        with pytest.raises(ValueError):
+            cnf.condition(true_vars={"a"}, false_vars={"a"})
+
+    def test_restrict_sets_outside_vars_false(self):
+        # a => b restricted to {a}: clause becomes ~a (b forced false).
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        restricted = cnf.restrict({"a"})
+        assert restricted.variables == {"a"}
+        assert restricted.satisfied_by(set())
+        assert not restricted.satisfied_by({"a"})
+
+    def test_graph_clause_fraction(self):
+        cnf = CNF(
+            [
+                edge("a", "b"),
+                edge("b", "c"),
+                Clause.implication(["a", "b"], ["c"]),
+                Clause.unit("a"),
+            ]
+        )
+        assert cnf.graph_clause_fraction() == pytest.approx(0.5)
+
+    def test_non_graph_clauses(self):
+        fat = Clause.implication(["a", "b"], ["c"])
+        cnf = CNF([edge("a", "b"), fat])
+        assert cnf.non_graph_clauses() == [fat]
+
+    def test_conjoin(self):
+        left = CNF([edge("a", "b")], variables=["z"])
+        right = CNF([edge("b", "c")])
+        both = left.conjoin(right)
+        assert len(both) == 2
+        assert "z" in both.variables
+
+    def test_is_unsat_trivially(self):
+        cnf = CNF([Clause([])])
+        assert cnf.is_unsat_trivially()
+
+    def test_to_indexed_roundtrip(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        indexed = cnf.to_indexed(["c", "b", "a"])
+        assert indexed.names == ["c", "b", "a"]
+        assert indexed.decode([0, 2]) == {"c", "a"}
+        assert indexed.encode_vars(["b"]) == {1}
+
+    def test_to_indexed_requires_full_order(self):
+        cnf = CNF([edge("a", "b")])
+        with pytest.raises(ValueError):
+            cnf.to_indexed(["a"])
+
+
+class TestCNFProperties:
+    @given(cnfs())
+    def test_condition_preserves_semantics(self, cnf):
+        """R satisfied by M with a true  <=>  (R | a=1) satisfied by M \\ a."""
+        if "v0" not in cnf.variables:
+            return
+        conditioned = cnf.condition(true_vars={"v0"})
+        for model in [set(), {"v1"}, {"v1", "v2"}, {"v3", "v4", "v5"}]:
+            full = set(model) | {"v0"}
+            assert conditioned.satisfied_by(model) == cnf.satisfied_by(full)
+
+    @given(cnfs())
+    def test_restrict_agrees_with_condition(self, cnf):
+        keep = {"v0", "v1", "v2"}
+        restricted = cnf.restrict(keep)
+        drop = cnf.variables - keep
+        assert restricted.satisfied_by({"v0"}) == cnf.condition(
+            false_vars=drop
+        ).satisfied_by({"v0"})
+
+    @given(cnfs())
+    def test_indexed_encoding_preserves_clause_count(self, cnf):
+        indexed = cnf.to_indexed()
+        assert len(indexed.clauses) == len(cnf.clauses)

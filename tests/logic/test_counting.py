@@ -1,0 +1,90 @@
+"""Tests for the #SAT model counter."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import CNF, Clause, count_models
+from repro.logic.counting import enumerate_models
+from tests.strategies import cnfs
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+class TestCountModels:
+    def test_empty_cnf_counts_all_assignments(self):
+        cnf = CNF(variables=["a", "b", "c"])
+        assert count_models(cnf) == 8
+
+    def test_unit_clause_halves(self):
+        cnf = CNF([Clause.unit("a")], variables=["a", "b"])
+        assert count_models(cnf) == 2
+
+    def test_single_edge(self):
+        # a => b over {a, b}: 3 of 4 assignments satisfy.
+        cnf = CNF([edge("a", "b")])
+        assert count_models(cnf) == 3
+
+    def test_chain(self):
+        # a=>b=>c over 3 vars: assignments are downward-closed chains: 4.
+        cnf = CNF([edge("a", "b"), edge("b", "c")])
+        assert count_models(cnf) == 4
+
+    def test_unsat_counts_zero(self):
+        cnf = CNF([Clause.unit("a"), Clause.unit("a", positive=False)])
+        assert count_models(cnf) == 0
+
+    def test_independent_components_multiply(self):
+        cnf = CNF([edge("a", "b"), edge("x", "y")])
+        assert count_models(cnf) == 9
+
+    def test_free_variables_double(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "free1", "free2"])
+        assert count_models(cnf) == 12
+
+    def test_explicit_universe(self):
+        cnf = CNF([edge("a", "b")])
+        assert count_models(cnf, variables=["a", "b", "c"]) == 6
+
+    def test_universe_must_cover_clauses(self):
+        cnf = CNF([edge("a", "b")])
+        with pytest.raises(ValueError):
+            count_models(cnf, variables=["a"])
+
+    def test_branching_case(self):
+        # (a | b) over {a, b}: 3 models.
+        cnf = CNF([Clause.implication([], ["a", "b"])])
+        assert count_models(cnf) == 3
+
+    def test_xor_like(self):
+        from repro.logic import Lit
+
+        # (a | b) & (~a | ~b): exactly one of a, b: 2 models.
+        cnf = CNF(
+            [
+                Clause([Lit("a", True), Lit("b", True)]),
+                Clause([Lit("a", False), Lit("b", False)]),
+            ]
+        )
+        assert count_models(cnf) == 2
+
+
+class TestEnumerateModels:
+    def test_enumeration_matches_semantics(self):
+        cnf = CNF([edge("a", "b")])
+        models = set(enumerate_models(cnf))
+        assert models == {frozenset(), frozenset({"b"}), frozenset({"a", "b"})}
+
+    def test_guard_on_large_universe(self):
+        cnf = CNF(variables=[f"v{i}" for i in range(30)])
+        with pytest.raises(ValueError):
+            list(enumerate_models(cnf))
+
+
+class TestCountingProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(cnfs())
+    def test_count_matches_brute_force(self, cnf):
+        expected = sum(1 for _ in enumerate_models(cnf))
+        assert count_models(cnf) == expected

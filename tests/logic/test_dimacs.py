@@ -1,0 +1,59 @@
+"""Tests for DIMACS import/export."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import CNF, Clause, count_models, from_dimacs, to_dimacs
+from tests.strategies import cnfs
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+class TestToDimacs:
+    def test_problem_line(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        text = to_dimacs(cnf, order=["a", "b", "c"])
+        assert "p cnf 3 1" in text
+
+    def test_clause_encoding(self):
+        cnf = CNF([edge("a", "b")])
+        text = to_dimacs(cnf, order=["a", "b"], include_names=False)
+        body = [l for l in text.splitlines() if not l.startswith(("c", "p"))]
+        assert body == ["-1 2 0"]
+
+    def test_name_comments(self):
+        cnf = CNF([edge("a", "b")])
+        text = to_dimacs(cnf, order=["a", "b"])
+        assert "c var 1 a" in text
+        assert "c var 2 b" in text
+
+
+class TestFromDimacs:
+    def test_parse_simple(self):
+        cnf = from_dimacs("p cnf 2 1\n-1 2 0\n")
+        assert len(cnf) == 1
+        assert cnf.variables == {1, 2}
+
+    def test_parse_with_names(self):
+        text = "c var 1 a\nc var 2 b\np cnf 2 1\n-1 2 0\n"
+        cnf = from_dimacs(text)
+        assert cnf.variables == {"a", "b"}
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            from_dimacs("p dnf 2 1\n1 0\n")
+
+    def test_blank_lines_and_comments_ignored(self):
+        cnf = from_dimacs("c hello\n\np cnf 1 1\n1 0\n")
+        assert len(cnf) == 1
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(cnfs(max_clauses=6))
+    def test_model_count_preserved(self, cnf):
+        text = to_dimacs(cnf)
+        back = from_dimacs(text)
+        assert count_models(back) == count_models(cnf)

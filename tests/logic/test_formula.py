@@ -1,0 +1,151 @@
+"""Unit tests for the formula AST."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+)
+
+
+class TestEvaluation:
+    def test_var_true_when_in_set(self):
+        assert Var("x").evaluate({"x"})
+        assert not Var("x").evaluate({"y"})
+
+    def test_paper_example_x_and_not_y(self):
+        formula = Var("x") & ~Var("y")
+        assert formula.evaluate({"x"})
+        assert not formula.evaluate({"x", "y"})
+
+    def test_constants(self):
+        assert TRUE.evaluate(set())
+        assert not FALSE.evaluate(set())
+
+    def test_implies(self):
+        formula = Implies(Var("a"), Var("b"))
+        assert formula.evaluate(set())
+        assert formula.evaluate({"b"})
+        assert formula.evaluate({"a", "b"})
+        assert not formula.evaluate({"a"})
+
+    def test_iff(self):
+        formula = Iff(Var("a"), Var("b"))
+        assert formula.evaluate(set())
+        assert formula.evaluate({"a", "b"})
+        assert not formula.evaluate({"a"})
+        assert not formula.evaluate({"b"})
+
+    def test_rshift_operator_is_implication(self):
+        formula = Var("a") >> Var("b")
+        assert not formula.evaluate({"a"})
+        assert formula.evaluate({"a", "b"})
+
+    def test_nested_formula(self):
+        # ([A <| I] /\ [I.m()]) => [A.m()]  — the paper's key constraint.
+        formula = (Var("A<I") & Var("I.m()")) >> Var("A.m()")
+        assert formula.evaluate({"A<I"})
+        assert not formula.evaluate({"A<I", "I.m()"})
+        assert formula.evaluate({"A<I", "I.m()", "A.m()"})
+
+
+class TestStructure:
+    def test_variables_collects_all(self):
+        formula = (Var("a") & Var("b")) | ~Var("c")
+        assert formula.variables() == {"a", "b", "c"}
+
+    def test_and_flattens(self):
+        formula = And((And((Var("a"), Var("b"))), Var("c")))
+        assert len(formula.operands) == 3
+
+    def test_or_flattens(self):
+        formula = Or((Or((Var("a"), Var("b"))), Var("c")))
+        assert len(formula.operands) == 3
+
+    def test_structural_equality(self):
+        assert Var("x") & Var("y") == Var("x") & Var("y")
+        assert Var("x") != Var("y")
+
+    def test_conj_empty_is_true(self):
+        assert conj([]) == TRUE
+
+    def test_disj_empty_is_false(self):
+        assert disj([]) == FALSE
+
+    def test_conj_singleton_unwraps(self):
+        assert conj([Var("x")]) == Var("x")
+
+    def test_rejects_non_formula_operands(self):
+        with pytest.raises(TypeError):
+            And((Var("x"), "not a formula"))
+
+
+class TestClauseConversion:
+    def test_implication_becomes_single_clause(self):
+        clauses = Implies(Var("a"), Var("b")).to_clauses()
+        assert clauses == [frozenset({("a", False), ("b", True)})]
+
+    def test_conjunction_head_implication(self):
+        formula = (Var("a") & Var("b")) >> Var("c")
+        clauses = formula.to_clauses()
+        assert clauses == [
+            frozenset({("a", False), ("b", False), ("c", True)})
+        ]
+
+    def test_implication_with_disjunctive_head(self):
+        formula = Var("a") >> (Var("b") | Var("c"))
+        clauses = formula.to_clauses()
+        assert clauses == [
+            frozenset({("a", False), ("b", True), ("c", True)})
+        ]
+
+    def test_and_of_implications_gives_two_clauses(self):
+        formula = (Var("a") >> Var("b")) & (Var("b") >> Var("c"))
+        assert len(formula.to_clauses()) == 2
+
+    def test_tautologies_dropped(self):
+        formula = Var("a") | ~Var("a")
+        assert formula.to_clauses() == []
+
+    def test_false_gives_empty_clause(self):
+        assert FALSE.to_clauses() == [frozenset()]
+
+    def test_true_gives_no_clauses(self):
+        assert TRUE.to_clauses() == []
+
+    def test_demorgan_not_and(self):
+        clauses = Not(Var("a") & Var("b")).to_clauses()
+        assert clauses == [frozenset({("a", False), ("b", False)})]
+
+    def test_distribution_or_of_ands(self):
+        formula = (Var("a") & Var("b")) | (Var("c") & Var("d"))
+        clauses = set(formula.to_clauses())
+        assert clauses == {
+            frozenset({("a", True), ("c", True)}),
+            frozenset({("a", True), ("d", True)}),
+            frozenset({("b", True), ("c", True)}),
+            frozenset({("b", True), ("d", True)}),
+        }
+
+    def test_clause_semantics_match_formula(self):
+        formula = (Var("a") & Var("b")) >> (Var("c") | ~Var("d"))
+        clauses = formula.to_clauses()
+        for mask in range(16):
+            trues = {
+                name
+                for i, name in enumerate("abcd")
+                if mask & (1 << i)
+            }
+            clause_value = all(
+                any(p == (v in trues) for (v, p) in clause)
+                for clause in clauses
+            )
+            assert clause_value == formula.evaluate(trues)

@@ -1,0 +1,180 @@
+"""Tests for the approximate minimal-satisfying-assignment procedure."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import (
+    CNF,
+    Clause,
+    minimal_satisfying_assignment,
+    minimize_model,
+)
+from repro.logic.msa import MsaSolver
+from tests.strategies import implication_cnfs, satisfiable_cnfs
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+class TestGreedyMsa:
+    def test_empty_cnf_gives_empty_model(self):
+        cnf = CNF(variables=["a", "b"])
+        assert minimal_satisfying_assignment(cnf, ["a", "b"]) == frozenset()
+
+    def test_requirements_propagate_through_edges(self):
+        cnf = CNF([edge("a", "b"), edge("b", "c")], variables="abc")
+        model = minimal_satisfying_assignment(
+            cnf, ["a", "b", "c"], require_true={"a"}
+        )
+        assert model == {"a", "b", "c"}
+
+    def test_disjunction_picks_order_smallest(self):
+        cnf = CNF([Clause.implication(["x"], ["b", "a"])])
+        model_ab = minimal_satisfying_assignment(
+            cnf, ["a", "b", "x"], require_true={"x"}
+        )
+        assert model_ab == {"x", "a"}
+        model_ba = minimal_satisfying_assignment(
+            cnf, ["b", "a", "x"], require_true={"x"}
+        )
+        assert model_ba == {"x", "b"}
+
+    def test_positive_clause_satisfied_without_requirements(self):
+        cnf = CNF([Clause.implication([], ["b", "a"])])
+        model = minimal_satisfying_assignment(cnf, ["a", "b"])
+        assert model == {"a"}
+
+    def test_learned_set_property(self):
+        """The result contains the <-smallest variable of each learned set.
+
+        This is the appendix property GBR's termination argument uses.
+        """
+        base = CNF([edge("a", "b")], variables=["a", "b", "c", "d"])
+        learned = [Clause.implication([], ["c", "d"]),
+                   Clause.implication([], ["d", "b"])]
+        strengthened = CNF(
+            list(base.clauses) + learned, variables=base.variables
+        )
+        order = ["a", "b", "c", "d"]
+        model = minimal_satisfying_assignment(strengthened, order)
+        # smallest of {c, d} is c; smallest of {d, b} is b.
+        assert "c" in model and "b" in model
+
+    def test_unsat_returns_none(self):
+        cnf = CNF([Clause.unit("a", positive=False)])
+        assert (
+            minimal_satisfying_assignment(cnf, ["a"], require_true={"a"})
+            is None
+        )
+
+    def test_fallback_on_pure_negative_clause(self):
+        # keep a => drop b (pure-negative obligation forces the fallback).
+        cnf = CNF(
+            [
+                Clause.implication(["a", "b"], []),  # ~a | ~b
+                Clause.implication([], ["a", "b"]),  # a | b
+            ]
+        )
+        model = minimal_satisfying_assignment(cnf, ["a", "b"])
+        assert model is not None
+        assert cnf.satisfied_by(model)
+        assert len(model) == 1
+
+    def test_fallback_with_requirement(self):
+        cnf = CNF(
+            [
+                Clause.implication(["a", "b"], []),
+                Clause.implication(["a"], ["b", "c"]),
+            ]
+        )
+        model = minimal_satisfying_assignment(
+            cnf, ["a", "b", "c"], require_true={"a"}
+        )
+        assert model is not None
+        assert "a" in model and cnf.satisfied_by(model)
+
+
+class TestExtend:
+    def test_extend_adds_consequences_only(self):
+        cnf = CNF(
+            [edge("x", "y"), edge("p", "q")],
+            variables=["x", "y", "p", "q"],
+        )
+        solver = MsaSolver(cnf, ["p", "q", "x", "y"])
+        base = solver.compute(require_true={"p"})
+        assert base == {"p", "q"}
+        extended = solver.extend(base, ["x"])
+        assert extended == {"p", "q", "x", "y"}
+
+    def test_extend_on_satisfied_set_is_identity_plus_new(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        solver = MsaSolver(cnf, ["a", "b", "c"])
+        extended = solver.extend(frozenset(), ["c"])
+        assert extended == {"c"}
+
+    def test_extend_unsat(self):
+        cnf = CNF([Clause.unit("a", positive=False)], variables=["a"])
+        solver = MsaSolver(cnf, ["a"])
+        assert solver.extend(frozenset(), ["a"]) is None
+
+
+class TestMinimizeModel:
+    def test_removes_unneeded_variables(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        minimized = minimize_model(cnf, {"a", "b", "c"})
+        assert cnf.satisfied_by(minimized)
+        # c is unconstrained; a pulls in b; dropping a allows dropping b.
+        assert minimized == frozenset()
+
+    def test_protected_variables_stay(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b"])
+        minimized = minimize_model(cnf, {"a", "b"}, protect={"a"})
+        assert minimized == {"a", "b"}
+
+    def test_rejects_non_model(self):
+        cnf = CNF([Clause.unit("a")])
+        with pytest.raises(ValueError):
+            minimize_model(cnf, set())
+
+    def test_result_is_locally_minimal(self):
+        cnf = CNF(
+            [Clause.implication([], ["a", "b"]), edge("a", "c")],
+            variables=["a", "b", "c"],
+        )
+        minimized = minimize_model(cnf, {"a", "b", "c"})
+        for var in minimized:
+            assert not cnf.satisfied_by(minimized - {var})
+
+
+class TestMsaProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(implication_cnfs())
+    def test_greedy_never_stuck_on_implications(self, cnf):
+        order = sorted(cnf.variables, key=repr)
+        model = minimal_satisfying_assignment(cnf, order)
+        assert model is not None
+        assert cnf.satisfied_by(model)
+
+    @settings(max_examples=60, deadline=None)
+    @given(satisfiable_cnfs())
+    def test_msa_is_a_model_when_sat(self, cnf_and_model):
+        cnf, _ = cnf_and_model
+        order = sorted(cnf.variables, key=repr)
+        model = minimal_satisfying_assignment(cnf, order)
+        assert model is not None
+        assert cnf.satisfied_by(model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(implication_cnfs())
+    def test_extend_result_satisfies_and_contains(self, cnf):
+        order = sorted(cnf.variables, key=repr)
+        solver = MsaSolver(cnf, order)
+        base = solver.compute()
+        assert base is not None
+        new = sorted(cnf.variables - base, key=repr)[:1]
+        extended = solver.extend(base, new)
+        assert extended is not None
+        assert cnf.satisfied_by(extended)
+        assert base <= extended
+        assert set(new) <= extended

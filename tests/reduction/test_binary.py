@@ -1,0 +1,81 @@
+"""Tests for binary reduction (the J-Reduce baseline engine)."""
+
+import pytest
+
+from repro.graphs import DiGraph
+from repro.reduction import InstrumentedPredicate, binary_reduce_sets, binary_reduction
+from repro.reduction.problem import ReductionError
+
+
+class TestBinaryReduceSets:
+    def test_base_already_satisfies(self):
+        result = binary_reduce_sets(
+            [frozenset({"a"})], lambda s: True, base=frozenset()
+        )
+        assert result == frozenset()
+
+    def test_single_needed_delta(self):
+        deltas = [frozenset({"a"}), frozenset({"b"}), frozenset({"c"})]
+        result = binary_reduce_sets(deltas, lambda s: "b" in s)
+        assert result == {"b"}
+
+    def test_two_needed_deltas(self):
+        deltas = [frozenset({c}) for c in "abcdef"]
+        result = binary_reduce_sets(deltas, lambda s: {"b", "e"} <= s)
+        assert result == {"b", "e"}
+
+    def test_overlapping_deltas(self):
+        deltas = [frozenset({"a", "b"}), frozenset({"b", "c"})]
+        result = binary_reduce_sets(deltas, lambda s: "c" in s)
+        assert result == {"b", "c"}
+
+    def test_unsatisfiable_raises(self):
+        with pytest.raises(ReductionError):
+            binary_reduce_sets([frozenset({"a"})], lambda s: "zzz" in s)
+
+    def test_logarithmic_call_count(self):
+        deltas = [frozenset({i}) for i in range(128)]
+        wrapped = InstrumentedPredicate(lambda s: 100 in s)
+        binary_reduce_sets(deltas, wrapped)
+        # One miss on the base, then ~log2(128) per learned set, one set.
+        assert wrapped.calls <= 2 * 8 + 4
+
+
+class TestBinaryReduction:
+    def figure1_class_graph(self):
+        return DiGraph(
+            edges=[
+                ("M", "A"),
+                ("M", "I"),
+                ("A", "I"),
+                ("A", "B"),
+                ("B", "I"),
+                ("I", "B"),
+            ]
+        )
+
+    def test_figure1_cannot_reduce_below_everything(self):
+        """The paper's point: at class granularity, requiring M keeps all."""
+        graph = self.figure1_class_graph()
+        result = binary_reduction(
+            graph, lambda s: "M" in s, required=["M"]
+        )
+        assert result.solution == {"M", "A", "B", "I"}
+
+    def test_reduces_when_bug_is_in_leaf(self):
+        graph = self.figure1_class_graph()
+        result = binary_reduction(graph, lambda s: "B" in s)
+        assert result.solution == {"B", "I"}
+
+    def test_solution_is_dependency_closed(self):
+        graph = DiGraph(edges=[("x", "y"), ("y", "z"), ("p", "q")])
+        result = binary_reduction(graph, lambda s: "y" in s)
+        for node in result.solution:
+            assert graph.successors(node) <= result.solution
+        assert result.solution == {"y", "z"}
+
+    def test_result_records_calls(self):
+        graph = DiGraph(nodes=["a", "b"])
+        result = binary_reduction(graph, lambda s: "a" in s)
+        assert result.predicate_calls >= 1
+        assert result.strategy == "binary-reduction"

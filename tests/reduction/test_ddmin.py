@@ -1,0 +1,61 @@
+"""Tests for the ddmin baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction import ddmin
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        result = ddmin(list(range(20)), lambda s: 13 in s)
+        assert result == {13}
+
+    def test_two_culprits(self):
+        result = ddmin(list(range(32)), lambda s: {5, 23} <= s)
+        assert result == {5, 23}
+
+    def test_whole_input_needed(self):
+        items = list(range(8))
+        result = ddmin(items, lambda s: len(s) == 8)
+        assert result == set(items)
+
+    def test_requires_failing_input(self):
+        with pytest.raises(ValueError):
+            ddmin([1, 2, 3], lambda s: False)
+
+    def test_single_item_input(self):
+        assert ddmin([42], lambda s: 42 in s) == {42}
+
+    def test_result_is_one_minimal_for_monotone_predicates(self):
+        target = {3, 9, 14}
+        result = ddmin(list(range(16)), lambda s: target <= s)
+        assert result == target
+        for item in result:
+            assert not (target <= (result - {item}))
+
+    def test_validity_blind_ddmin_wastes_probes(self):
+        """With dense dependencies most probes are invalid (paper §1)."""
+        # Validity: any kept item i > 0 requires item i-1 (a chain).
+        def valid(s):
+            return all((i - 1) in s for i in s if i > 0)
+
+        def predicate(s):
+            return valid(s) and 7 in s
+
+        result = ddmin(list(range(10)), predicate)
+        # ddmin can only find prefixes; the bug at 7 keeps 0..7.
+        assert result == set(range(8))
+
+
+class TestDdminProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=29), min_size=1, max_size=4),
+        st.integers(min_value=30, max_value=60),
+    )
+    def test_finds_exact_target_for_containment(self, target, size):
+        predicate = lambda s: target <= s  # noqa: E731
+        result = ddmin(list(range(size)), predicate)
+        assert result == target

@@ -1,0 +1,233 @@
+"""Tests for Generalized Binary Reduction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import CNF, Clause
+from repro.logic.msa import MsaSolver
+from repro.reduction import (
+    InstrumentedPredicate,
+    ReductionProblem,
+    generalized_binary_reduction,
+)
+from repro.reduction.gbr import GbrTrace
+from repro.reduction.problem import ReductionError
+from tests.strategies import implication_cnfs
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+def containment_predicate(target):
+    """P(X) = target <= X: the canonical monotone predicate."""
+    target = frozenset(target)
+    return lambda sub_input: target <= sub_input
+
+
+class TestGbrBasics:
+    def test_trivial_no_bug_variables(self):
+        problem = ReductionProblem(
+            variables=["a", "b"],
+            predicate=lambda s: True,
+            constraint=CNF(variables=["a", "b"]),
+        )
+        result = generalized_binary_reduction(problem)
+        assert result.solution == frozenset()
+        assert result.iterations == 0
+
+    def test_single_required_variable(self):
+        problem = ReductionProblem(
+            variables=["a", "b", "c"],
+            predicate=containment_predicate({"b"}),
+            constraint=CNF(variables=["a", "b", "c"]),
+        )
+        result = generalized_binary_reduction(problem)
+        assert result.solution == {"b"}
+
+    def test_dependencies_pulled_in(self):
+        cnf = CNF([edge("b", "dep")], variables=["a", "b", "dep"])
+        problem = ReductionProblem(
+            variables=["a", "b", "dep"],
+            predicate=containment_predicate({"b"}),
+            constraint=cnf,
+        )
+        result = generalized_binary_reduction(problem)
+        assert result.solution == {"b", "dep"}
+
+    def test_solution_is_valid_and_failing(self):
+        cnf = CNF(
+            [edge("x", "y"), edge("y", "z"), edge("q", "x")],
+            variables=["q", "x", "y", "z", "loose"],
+        )
+        target = {"y"}
+        problem = ReductionProblem(
+            variables=["q", "x", "y", "z", "loose"],
+            predicate=containment_predicate(target),
+            constraint=cnf,
+        )
+        result = generalized_binary_reduction(problem)
+        assert cnf.satisfied_by(result.solution)
+        assert target <= result.solution
+        assert result.solution == {"y", "z"}
+
+    def test_require_true_is_respected(self):
+        problem = ReductionProblem(
+            variables=["main", "x"],
+            predicate=containment_predicate({"x"}),
+            constraint=CNF(variables=["main", "x"]),
+        )
+        result = generalized_binary_reduction(
+            problem, require_true=frozenset({"main"})
+        )
+        assert {"main", "x"} <= result.solution
+
+    def test_non_monotone_predicate_detected(self):
+        # P true on the full input and on nothing else won't regrow.
+        full = frozenset({"a", "b"})
+        problem = ReductionProblem(
+            variables=["a", "b"],
+            predicate=lambda s: s == full or s == frozenset({"a"}),
+            constraint=CNF(variables=["a", "b"]),
+        )
+        # Either it succeeds (finding {a}) or raises — it must not loop.
+        try:
+            result = generalized_binary_reduction(problem)
+            assert result.solution in (frozenset({"a"}), full)
+        except ReductionError:
+            pass
+
+
+class TestPaperSuboptimalityExample:
+    def test_suboptimal_order_example(self):
+        """§4.4: (a /\\ b => c) /\\ (c => b), P = b present, order (c,b,a).
+
+        The paper: 'The first progression is ({b, c}, {a}), so our
+        algorithm returns {b, c}.  This is suboptimal: a smaller solution
+        is {b}.'
+        """
+        cnf = CNF(
+            [Clause.implication(["a", "b"], ["c"]), edge("c", "b")],
+            variables=["a", "b", "c"],
+        )
+        problem = ReductionProblem(
+            variables=["a", "b", "c"],
+            predicate=lambda s: "b" in s,
+            constraint=cnf,
+        )
+        trace = GbrTrace()
+        result = generalized_binary_reduction(
+            problem, order=["c", "b", "a"], trace=trace
+        )
+        # With nothing required, our MSA's first entry is the empty set;
+        # the informative entries are exactly the paper's ({b,c}, {a}).
+        first_progression = trace.progressions[0]
+        assert list(first_progression) == [
+            frozenset(),
+            frozenset({"b", "c"}),
+            frozenset({"a"}),
+        ]
+        assert result.solution == {"b", "c"}  # suboptimal, as the paper says
+        assert cnf.satisfied_by(frozenset({"b"}))  # {b} would be smaller
+
+
+class TestLocalMinimalityOnGraphs:
+    def brute_force_check_local_minimal(self, cnf, predicate, solution):
+        for size in range(len(solution)):
+            for subset in itertools.combinations(sorted(solution, key=repr), size):
+                candidate = frozenset(subset)
+                if cnf.satisfied_by(candidate) and predicate(candidate):
+                    return False
+        return True
+
+    def test_theorem_4_5_on_a_graph_instance(self):
+        cnf = CNF(
+            [
+                edge("m", "a"),
+                edge("m", "i"),
+                edge("a", "i"),
+                edge("a", "b"),
+                edge("b", "i"),
+                edge("i", "b"),
+            ],
+            variables=["m", "a", "b", "i"],
+        )
+        predicate = containment_predicate({"a"})
+        problem = ReductionProblem(
+            variables=["m", "a", "b", "i"],
+            predicate=predicate,
+            constraint=cnf,
+        )
+        result = generalized_binary_reduction(problem)
+        assert result.solution == {"a", "b", "i"}
+        assert self.brute_force_check_local_minimal(
+            cnf, predicate, result.solution
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_theorem_4_5_randomized(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=7))
+        names = [f"v{i}" for i in range(n)]
+        n_edges = data.draw(st.integers(min_value=0, max_value=12))
+        clauses = []
+        for _ in range(n_edges):
+            a = data.draw(st.sampled_from(names))
+            b = data.draw(st.sampled_from(names))
+            if a != b:
+                clauses.append(edge(a, b))
+        cnf = CNF(clauses, variables=names)
+        target = frozenset(
+            data.draw(st.sets(st.sampled_from(names), min_size=1, max_size=2))
+        )
+        predicate = containment_predicate(target)
+        problem = ReductionProblem(
+            variables=names, predicate=predicate, constraint=cnf
+        )
+        result = generalized_binary_reduction(problem)
+        assert cnf.satisfied_by(result.solution)
+        assert target <= result.solution
+        assert self.brute_force_check_local_minimal(
+            cnf, predicate, result.solution
+        )
+
+
+class TestGbrProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(implication_cnfs(), st.data())
+    def test_solution_valid_and_bug_preserving(self, cnf, data):
+        universe = sorted(cnf.variables, key=repr)
+        if not cnf.satisfied_by(frozenset(universe)):
+            return
+        # Pick a random valid sub-input as the bug witness.
+        seed = data.draw(
+            st.sets(st.sampled_from(universe), max_size=len(universe))
+        )
+        solver = MsaSolver(cnf, universe)
+        witness = solver.compute(require_true=frozenset(seed))
+        if witness is None:
+            return
+        predicate = containment_predicate(witness)
+        problem = ReductionProblem(
+            variables=universe, predicate=predicate, constraint=cnf
+        )
+        result = generalized_binary_reduction(problem)
+        assert cnf.satisfied_by(result.solution)
+        assert predicate(result.solution)
+
+    @settings(max_examples=30, deadline=None)
+    @given(implication_cnfs())
+    def test_iteration_bound(self, cnf):
+        universe = sorted(cnf.variables, key=repr)
+        if not cnf.satisfied_by(frozenset(universe)):
+            return
+        problem = ReductionProblem(
+            variables=universe,
+            predicate=containment_predicate(set(universe[:2])),
+            constraint=cnf,
+        )
+        result = generalized_binary_reduction(problem)
+        assert result.iterations <= len(universe)

@@ -1,0 +1,115 @@
+"""Tests for the HDD baseline."""
+
+import pytest
+
+from repro.bytecode.items import ClassItem, CodeItem, MethodItem
+from repro.reduction.hdd import ItemTree, bytecode_item_tree, hdd
+from repro.workloads import generate_application
+from repro.workloads.generator import WorkloadConfig
+
+
+def simple_tree():
+    """Two roots; r1 has children a, b; a has grandchild g."""
+    return ItemTree(
+        roots=["r1", "r2"],
+        children={"r1": ["a", "b"], "a": ["g"]},
+    )
+
+
+class TestItemTree:
+    def test_subtree(self):
+        tree = simple_tree()
+        assert tree.subtree("r1") == {"r1", "a", "b", "g"}
+        assert tree.subtree("a") == {"a", "g"}
+        assert tree.subtree("r2") == {"r2"}
+
+    def test_levels(self):
+        tree = simple_tree()
+        assert tree.level(0) == ["r1", "r2"]
+        assert tree.level(1) == ["a", "b"]
+        assert tree.level(2) == ["g"]
+        assert tree.max_depth() == 2
+
+    def test_all_nodes(self):
+        assert simple_tree().all_nodes() == {"r1", "r2", "a", "b", "g"}
+
+
+class TestHdd:
+    def test_keeps_needed_subtree(self):
+        tree = simple_tree()
+        result = hdd(tree, lambda kept: "g" in kept)
+        # g's ancestors survive; the unrelated root and sibling go.
+        assert result == {"r1", "a", "g"}
+
+    def test_prunes_aggressively_when_nothing_needed(self):
+        # ddmin per level keeps one chunk when everything passes, and
+        # levels with a single survivor are skipped — so a single spine
+        # of the tree remains.
+        tree = simple_tree()
+        result = hdd(tree, lambda kept: True)
+        assert result <= {"r1", "a", "g"}
+        assert "r2" not in result and "b" not in result
+
+    def test_requires_failing_input(self):
+        with pytest.raises(ValueError):
+            hdd(simple_tree(), lambda kept: False)
+
+    def test_never_keeps_child_without_parent(self):
+        tree = simple_tree()
+        result = hdd(tree, lambda kept: "g" in kept)
+        if "g" in result:
+            assert "a" in result and "r1" in result
+
+
+class TestBytecodeItemTree:
+    def test_tree_covers_all_items(self):
+        from repro.bytecode.items import items_of
+
+        app = generate_application(
+            1, WorkloadConfig(num_classes=8, num_interfaces=2)
+        )
+        tree = bytecode_item_tree(app)
+        assert tree.all_nodes() == set(items_of(app))
+
+    def test_code_nested_under_method(self):
+        app = generate_application(
+            1, WorkloadConfig(num_classes=8, num_interfaces=2)
+        )
+        tree = bytecode_item_tree(app)
+        for node, kids in tree.children.items():
+            for kid in kids:
+                if isinstance(kid, CodeItem):
+                    assert isinstance(node, MethodItem)
+
+    def test_hdd_on_bytecode_is_syntax_safe_but_semantics_blind(self):
+        """HDD output is syntactically closed (children have parents) yet
+        generally *not* a valid application — exactly why the paper goes
+        beyond syntax trees."""
+        from repro.bytecode.reducer import reduce_application
+        from repro.bytecode.validator import validate_application
+        from repro.decompiler import DECOMPILERS
+        from repro.decompiler.oracle import DecompilerOracle
+
+        app = oracle = None
+        for seed in range(20):
+            candidate = generate_application(
+                seed, WorkloadConfig(num_classes=10, num_interfaces=3)
+            )
+            for name in DECOMPILERS:
+                probe = DecompilerOracle(candidate, name)
+                if probe.is_buggy:
+                    app, oracle = candidate, probe
+                    break
+            if oracle is not None:
+                break
+        assert oracle is not None, "no buggy pair in 20 seeds"
+        tree = bytecode_item_tree(app)
+        kept = hdd(tree, oracle.item_predicate)
+        # The bug is still preserved (hdd only commits to passing probes),
+        reduced = reduce_application(app, kept)
+        assert oracle.errors_of(reduced) == oracle.original_errors
+        # and the tree structure is respected.
+        for node, kids in tree.children.items():
+            for kid in kids:
+                if kid in kept:
+                    assert node in kept

@@ -1,0 +1,125 @@
+"""Tests for the lossy graph encodings (§4.3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import CNF, Clause
+from repro.reduction import (
+    LossyVariant,
+    ReductionProblem,
+    lossy_graph_encoding,
+    lossy_reduce,
+)
+from tests.strategies import implication_cnfs
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+class TestLossyGraphEncoding:
+    def test_graph_clause_becomes_edge(self):
+        cnf = CNF([edge("a", "b")])
+        graph, required = lossy_graph_encoding(cnf, LossyVariant.FIRST)
+        assert graph.has_edge("a", "b")
+        assert required == frozenset()
+
+    def test_fat_clause_first_variant(self):
+        # (a /\ b) => (c \/ d), order a < b < c < d: keep a => c.
+        cnf = CNF([Clause.implication(["a", "b"], ["c", "d"])])
+        graph, _ = lossy_graph_encoding(
+            cnf, LossyVariant.FIRST, order=["a", "b", "c", "d"]
+        )
+        assert graph.has_edge("a", "c")
+        assert graph.num_edges() == 1
+
+    def test_fat_clause_last_variant(self):
+        cnf = CNF([Clause.implication(["a", "b"], ["c", "d"])])
+        graph, _ = lossy_graph_encoding(
+            cnf, LossyVariant.LAST, order=["a", "b", "c", "d"]
+        )
+        assert graph.has_edge("b", "d")
+        assert graph.num_edges() == 1
+
+    def test_pure_disjunction_becomes_requirement(self):
+        cnf = CNF([Clause.implication([], ["x", "y"])])
+        graph, required = lossy_graph_encoding(
+            cnf, LossyVariant.FIRST, order=["x", "y"]
+        )
+        assert required == {"x"}
+        assert graph.num_edges() == 0
+
+    def test_pure_negative_clause_rejected(self):
+        cnf = CNF([Clause.implication(["a", "b"], [])])
+        with pytest.raises(ValueError):
+            lossy_graph_encoding(cnf, LossyVariant.FIRST)
+
+    def test_paper_example_encoding(self):
+        r"""§4.3: [A<I] /\ [I.m()] => [A.m()] strengthens to [A<I] => [A.m()]."""
+        cnf = CNF([Clause.implication(["A<I", "I.m()"], ["A.m()"])])
+        graph, _ = lossy_graph_encoding(
+            cnf, LossyVariant.FIRST, order=["A<I", "I.m()", "A.m()"]
+        )
+        assert graph.has_edge("A<I", "A.m()")
+
+    @settings(max_examples=50, deadline=None)
+    @given(implication_cnfs())
+    def test_encoding_is_a_strengthening(self, cnf):
+        """Closure-unions of the encoded graph satisfy the original CNF."""
+        order = sorted(cnf.variables, key=repr)
+        for variant in LossyVariant:
+            graph, required = lossy_graph_encoding(cnf, variant, order)
+            solution = graph.reachable_from(required)
+            assert cnf.satisfied_by(solution)
+            for var in cnf.variables:
+                closed = graph.reachable_from(set(required) | {var})
+                assert cnf.satisfied_by(closed)
+
+
+class TestLossyReduce:
+    def make_problem(self):
+        # main!code needs (A<I /\ I.m) => A.m; bug needs A.m's presence.
+        cnf = CNF(
+            [
+                Clause.unit("main"),
+                edge("main", "A<I"),
+                edge("main", "I.m"),
+                Clause.implication(["A<I", "I.m"], ["A.m", "B.m"]),
+            ],
+            variables=["main", "A<I", "I.m", "A.m", "B.m"],
+        )
+        predicate = lambda s: "main" in s  # noqa: E731
+        return ReductionProblem(
+            variables=["main", "A<I", "I.m", "A.m", "B.m"],
+            predicate=predicate,
+            constraint=cnf,
+        )
+
+    def test_first_variant_keeps_strengthened_choice(self):
+        problem = self.make_problem()
+        result = lossy_reduce(
+            problem,
+            LossyVariant.FIRST,
+            order=["main", "A<I", "I.m", "A.m", "B.m"],
+        )
+        assert problem.constraint.satisfied_by(result.solution)
+        assert "A.m" in result.solution  # the strengthening kept A.m
+        assert result.strategy == "lossy-first"
+
+    def test_last_variant_keeps_other_choice(self):
+        problem = self.make_problem()
+        result = lossy_reduce(
+            problem,
+            LossyVariant.LAST,
+            order=["main", "A<I", "I.m", "A.m", "B.m"],
+        )
+        assert problem.constraint.satisfied_by(result.solution)
+        assert "B.m" in result.solution
+        assert result.strategy == "lossy-last"
+
+    def test_solutions_always_valid_and_failing(self):
+        problem = self.make_problem()
+        for variant in LossyVariant:
+            result = lossy_reduce(problem, variant)
+            assert problem.constraint.satisfied_by(result.solution)
+            assert problem.predicate(result.solution)

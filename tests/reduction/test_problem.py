@@ -1,0 +1,102 @@
+"""Tests for the Input Reduction Problem plumbing."""
+
+import pytest
+
+from repro.logic import CNF, Clause
+from repro.reduction import InstrumentedPredicate, ReductionProblem
+from repro.reduction.problem import ReductionError
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+def make_problem(predicate=None):
+    cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+    return ReductionProblem(
+        variables=["a", "b", "c"],
+        predicate=predicate or (lambda s: "a" in s),
+        constraint=cnf,
+    )
+
+
+class TestReductionProblem:
+    def test_universe(self):
+        assert make_problem().universe == {"a", "b", "c"}
+
+    def test_rejects_duplicate_variables(self):
+        with pytest.raises(ValueError):
+            ReductionProblem(
+                variables=["a", "a"],
+                predicate=lambda s: True,
+                constraint=CNF(),
+            )
+
+    def test_rejects_stray_constraint_variables(self):
+        with pytest.raises(ValueError):
+            ReductionProblem(
+                variables=["a"],
+                predicate=lambda s: True,
+                constraint=CNF([edge("a", "zzz")]),
+            )
+
+    def test_check_assumptions_pass(self):
+        make_problem().check_assumptions()
+
+    def test_check_assumptions_predicate_fails(self):
+        problem = make_problem(predicate=lambda s: False)
+        with pytest.raises(ReductionError):
+            problem.check_assumptions()
+
+    def test_check_assumptions_invalid_input(self):
+        cnf = CNF([Clause.unit("a", positive=False)], variables=["a"])
+        problem = ReductionProblem(
+            variables=["a"], predicate=lambda s: True, constraint=cnf
+        )
+        with pytest.raises(ReductionError):
+            problem.check_assumptions()
+
+    def test_is_valid(self):
+        problem = make_problem()
+        assert problem.is_valid(frozenset({"a", "b"}))
+        assert not problem.is_valid(frozenset({"a"}))
+
+
+class TestInstrumentedPredicate:
+    def test_counts_fresh_calls_only(self):
+        wrapped = InstrumentedPredicate(lambda s: True)
+        wrapped(frozenset({"a"}))
+        wrapped(frozenset({"a"}))
+        wrapped(frozenset({"b"}))
+        assert wrapped.calls == 2
+        assert wrapped.queries == 3
+
+    def test_tracks_best_satisfying_input(self):
+        wrapped = InstrumentedPredicate(lambda s: "bug" in s)
+        wrapped(frozenset({"bug", "x", "y"}))
+        wrapped(frozenset({"x"}))
+        wrapped(frozenset({"bug"}))
+        assert wrapped.best_size == 1
+        assert wrapped.best_input == {"bug"}
+
+    def test_timeline_is_monotonically_improving(self):
+        wrapped = InstrumentedPredicate(lambda s: "bug" in s)
+        wrapped(frozenset({"bug", "x", "y"}))
+        wrapped(frozenset({"bug", "x"}))
+        wrapped(frozenset({"bug", "x", "z"}))  # not an improvement
+        sizes = [size for (_, size) in wrapped.timeline]
+        assert sizes == [3, 2]
+
+    def test_virtual_cost_advances_clock(self):
+        wrapped = InstrumentedPredicate(lambda s: True, cost_per_call=10.0)
+        wrapped(frozenset({"a"}))
+        wrapped(frozenset({"a"}))  # cached: no extra cost
+        wrapped(frozenset({"b"}))
+        assert wrapped.virtual_clock == 20.0
+
+    def test_custom_size_measure(self):
+        wrapped = InstrumentedPredicate(
+            lambda s: True, size_of=lambda s: 100 * len(s)
+        )
+        wrapped(frozenset({"a"}))
+        assert wrapped.best_size == 100

@@ -1,0 +1,121 @@
+"""Tests for the PROGRESSION subroutine and its invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import CNF, Clause
+from repro.reduction import build_progression
+from repro.reduction.problem import ReductionError
+from repro.reduction.progression import Progression
+from tests.strategies import implication_cnfs
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+class TestProgressionClass:
+    def test_prefix_unions(self):
+        prog = Progression([frozenset({"a"}), frozenset({"b", "c"})])
+        assert prog.first == {"a"}
+        assert prog.prefix_union(0) == {"a"}
+        assert prog.prefix_union(1) == {"a", "b", "c"}
+        assert prog.union == {"a", "b", "c"}
+
+    def test_non_empty_required(self):
+        with pytest.raises(ValueError):
+            Progression([])
+
+
+class TestBuildProgression:
+    def test_unconstrained_universe_gives_singletons(self):
+        cnf = CNF(variables=["a", "b", "c"])
+        prog = build_progression(
+            cnf, ["a", "b", "c"], [], frozenset({"a", "b", "c"})
+        )
+        assert prog.first == frozenset()
+        assert list(prog)[1:] == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        ]
+
+    def test_prefixes_are_valid(self):
+        cnf = CNF(
+            [edge("a", "b"), edge("c", "a"), Clause.unit("b")],
+            variables=["a", "b", "c"],
+        )
+        prog = build_progression(
+            cnf, ["a", "b", "c"], [], frozenset({"a", "b", "c"})
+        )
+        for r in range(len(prog)):
+            assert cnf.satisfied_by(prog.prefix_union(r))
+
+    def test_entries_are_disjoint_and_cover_scope(self):
+        cnf = CNF([edge("a", "b"), edge("b", "c")], variables="abcd")
+        scope = frozenset("abcd")
+        prog = build_progression(cnf, list("abcd"), [], scope)
+        union = set()
+        for entry in prog:
+            assert not (union & entry)
+            union |= entry
+        assert union == scope
+
+    def test_learned_sets_hit_first_entry(self):
+        cnf = CNF(variables=["a", "b", "c"])
+        learned = [frozenset({"b", "c"})]
+        prog = build_progression(
+            cnf, ["a", "b", "c"], learned, frozenset({"a", "b", "c"})
+        )
+        # D0 must contain the <-smallest variable of the learned set.
+        assert "b" in prog.first
+
+    def test_all_prefixes_hit_learned_sets(self):
+        cnf = CNF([edge("a", "b")], variables=["a", "b", "c"])
+        learned = [frozenset({"c"})]
+        prog = build_progression(
+            cnf, ["a", "b", "c"], learned, frozenset({"a", "b", "c"})
+        )
+        for r in range(len(prog)):
+            assert prog.prefix_union(r) & {"c"}
+
+    def test_invalid_scope_is_reported(self):
+        # b depends on d which is outside the scope, so the scope itself
+        # violates R(J) — a precondition of PROGRESSION.  We surface the
+        # violation instead of looping or silently dropping b.
+        cnf = CNF([edge("b", "d")], variables=["a", "b", "d"])
+        with pytest.raises(ReductionError):
+            build_progression(cnf, ["a", "b", "d"], [], frozenset({"a", "b"}))
+
+    def test_unsat_scope_raises(self):
+        cnf = CNF([Clause.unit("a")], variables=["a", "b"])
+        with pytest.raises(ReductionError):
+            build_progression(cnf, ["a", "b"], [], frozenset({"b"}))
+
+    def test_require_true_lands_in_first_entry(self):
+        cnf = CNF([edge("m", "i")], variables=["m", "i", "x"])
+        prog = build_progression(
+            cnf,
+            ["i", "m", "x"],
+            [],
+            frozenset({"m", "i", "x"}),
+            require_true=frozenset({"m"}),
+        )
+        assert {"m", "i"} <= prog.first
+
+
+class TestProgressionProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(implication_cnfs())
+    def test_invariants_on_random_implication_cnfs(self, cnf):
+        order = sorted(cnf.variables, key=repr)
+        scope = frozenset(cnf.variables)
+        if not cnf.satisfied_by(scope):
+            return  # R(I) must hold per Definition 4.1
+        prog = build_progression(cnf, order, [], scope)
+        union = set()
+        for r, entry in enumerate(prog):
+            assert not (union & entry), "entries must be disjoint"
+            union |= entry
+            assert cnf.satisfied_by(prog.prefix_union(r)), "INV-PRO"
+        assert union == scope, "the union must be the scope"

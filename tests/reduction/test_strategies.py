@@ -1,0 +1,59 @@
+"""Tests for the strategy registry."""
+
+import pytest
+
+from repro.logic import CNF, Clause
+from repro.reduction import STRATEGIES, ReductionProblem, run_strategy
+
+
+def edge(a, b):
+    return Clause.implication([a], [b])
+
+
+def make_problem():
+    cnf = CNF(
+        [edge("x", "dep"), Clause.implication(["x", "w"], ["y", "z"])],
+        variables=["w", "x", "y", "z", "dep"],
+    )
+    return ReductionProblem(
+        variables=["w", "x", "y", "z", "dep"],
+        predicate=lambda s: "x" in s,
+        constraint=cnf,
+    )
+
+
+class TestRegistry:
+    def test_known_strategies(self):
+        assert {
+            "gbr",
+            "gbr-declaration",
+            "lossy-first",
+            "lossy-last",
+            "ddmin",
+        } <= set(STRATEGIES)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_strategy("nope", make_problem())
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_every_strategy_produces_valid_failing_solution(self, name):
+        problem = make_problem()
+        result = run_strategy(name, problem)
+        assert problem.constraint.satisfied_by(result.solution)
+        assert problem.predicate(result.solution)
+        assert result.predicate_calls >= 1
+        assert result.elapsed_seconds >= 0.0
+
+    def test_gbr_beats_or_ties_lossy_here(self):
+        problem = make_problem()
+        gbr = run_strategy("gbr", problem)
+        lossy = run_strategy("lossy-first", problem)
+        assert len(gbr.solution) <= len(lossy.solution)
+
+    def test_require_true_passed_through(self):
+        problem = make_problem()
+        result = run_strategy(
+            "gbr", problem, require_true=frozenset({"w"})
+        )
+        assert "w" in result.solution

@@ -1,0 +1,81 @@
+"""Tests for the jlreduce CLI."""
+
+import pytest
+
+from repro.cli import main
+
+FJI_SOURCE = """
+interface I { String m(); }
+class A extends Object implements I {
+  A() { super(); }
+  String m() { return new String(); }
+}
+new A().m();
+"""
+
+
+@pytest.fixture()
+def fji_file(tmp_path):
+    path = tmp_path / "program.fji"
+    path.write_text(FJI_SOURCE)
+    return str(path)
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "6,766" in out
+        assert "11 items" in out
+
+
+class TestCount:
+    def test_count(self, fji_file, capsys):
+        assert main(["count", fji_file]) == 0
+        out = capsys.readouterr().out
+        assert "variables    : 6" in out
+        assert "valid inputs" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["count", "/nonexistent.fji"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_ill_typed_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.fji"
+        path.write_text("class C extends Nope { C() { super(); } }")
+        assert main(["count", str(path)]) == 1
+        assert "bad.fji" in capsys.readouterr().err
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.fji"
+        path.write_text("class {")
+        assert main(["count", str(path)]) == 1
+
+
+class TestReduce:
+    def test_reduce_keeps_named_item(self, fji_file, capsys):
+        assert main(["reduce", fji_file, "--keep", "[A.m()!code]"]) == 0
+        out = capsys.readouterr().out
+        assert "class A extends Object" in out
+        assert "String m()" in out
+        # The unused interface relation is gone.
+        assert "implements I" not in out
+
+    def test_reduce_without_keeps_gives_minimal(self, fji_file, capsys):
+        assert main(["reduce", fji_file]) == 0
+        out = capsys.readouterr().out
+        assert "kept" in out
+
+    def test_unknown_item(self, fji_file, capsys):
+        assert main(["reduce", fji_file, "--keep", "[Nope]"]) == 1
+        assert "unknown item" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs and prints its punchline."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "6,766" in out
+        assert "11-item solution" in out
+        assert "Figure 1b" in out
+
+    def test_fji_model_counting(self, capsys):
+        out = run_example("fji_model_counting.py", capsys)
+        assert "The program type checks" in out
+        assert "Valid sub-inputs" in out
+        assert "p cnf" in out  # the DIMACS export
+
+    def test_debloating(self, capsys):
+        out = run_example("debloating.py", capsys)
+        assert "Debloated build" in out
+        assert "structurally valid" in out
+
+    def test_strategy_comparison(self, capsys):
+        out = run_example("strategy_comparison.py", capsys, argv=["3"])
+        assert "gbr" in out
+        assert "ddmin" in out
+
+    @pytest.mark.slow
+    def test_decompiler_bug_hunt(self, capsys):
+        out = run_example("decompiler_bug_hunt.py", capsys, argv=["7"])
+        assert "Our reducer" in out
+        assert "ready for the bug report" in out

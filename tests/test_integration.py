@@ -1,0 +1,128 @@
+"""Cross-package integration tests: the full pipeline on real instances.
+
+These tie every layer together the way the evaluation does: workload
+generator -> decompiler oracle -> constraint model -> each reduction
+strategy -> reducer -> validator/metrics, asserting the invariants the
+paper's claims rest on.
+"""
+
+import pytest
+
+from repro.bytecode import (
+    application_size_bytes,
+    class_dependency_graph,
+    items_of,
+    reduce_application,
+    validate_application,
+)
+from repro.decompiler import DECOMPILERS
+from repro.decompiler.oracle import DecompilerOracle, build_reduction_problem
+from repro.reduction import (
+    LossyVariant,
+    binary_reduction,
+    generalized_binary_reduction,
+    lossy_reduce,
+)
+from repro.workloads import generate_application
+from repro.workloads.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def instance():
+    """The first buggy (app, oracle) pair from a fixed seed range."""
+    config = WorkloadConfig(num_classes=20, num_interfaces=5)
+    for seed in range(30):
+        app = generate_application(seed, config)
+        for name in DECOMPILERS:
+            oracle = DecompilerOracle(app, name)
+            if oracle.is_buggy:
+                return app, oracle
+    raise AssertionError("no buggy instance found")
+
+
+class TestFullPipeline:
+    def test_gbr_end_to_end(self, instance):
+        app, oracle = instance
+        problem = build_reduction_problem(app, oracle.decompiler)
+        result = generalized_binary_reduction(problem)
+        reduced = reduce_application(app, result.solution)
+
+        # The reduced app is structurally valid,
+        assert validate_application(reduced, raise_on_error=False) == []
+        # smaller,
+        assert application_size_bytes(reduced) < application_size_bytes(app)
+        # and shows exactly the original failure.
+        assert oracle.errors_of(reduced) == oracle.original_errors
+
+    def test_lossy_solutions_valid_and_failing(self, instance):
+        app, oracle = instance
+        problem = build_reduction_problem(app, oracle.decompiler)
+        for variant in LossyVariant:
+            result = lossy_reduce(problem, variant)
+            assert problem.constraint.satisfied_by(result.solution)
+            reduced = reduce_application(app, result.solution)
+            assert validate_application(reduced, raise_on_error=False) == []
+            assert oracle.errors_of(reduced) == oracle.original_errors
+
+    def test_gbr_no_worse_than_lossy_on_items(self, instance):
+        app, oracle = instance
+        problem = build_reduction_problem(app, oracle.decompiler)
+        gbr = generalized_binary_reduction(problem)
+        for variant in LossyVariant:
+            lossy = lossy_reduce(problem, variant)
+            # GBR's solution is never dramatically larger than a lossy
+            # strengthening's (usually strictly smaller).
+            assert len(gbr.solution) <= len(lossy.solution) * 1.2
+
+    def test_jreduce_class_level(self, instance):
+        app, oracle = instance
+        result = binary_reduction(
+            class_dependency_graph(app),
+            oracle.class_predicate,
+            required=[app.entry_class],
+        )
+        reduced = app.replace_classes(
+            tuple(c for c in app.classes if c.name in result.solution)
+        )
+        assert oracle.errors_of(reduced) == oracle.original_errors
+        assert app.entry_class in result.solution
+
+    def test_gbr_beats_jreduce_on_bytes(self, instance):
+        app, oracle = instance
+        problem = build_reduction_problem(app, oracle.decompiler)
+        gbr = generalized_binary_reduction(problem)
+        gbr_app = reduce_application(app, gbr.solution)
+        jr = binary_reduction(
+            class_dependency_graph(app),
+            oracle.class_predicate,
+            required=[app.entry_class],
+        )
+        jr_app = app.replace_classes(
+            tuple(c for c in app.classes if c.name in jr.solution)
+        )
+        assert application_size_bytes(gbr_app) <= application_size_bytes(
+            jr_app
+        )
+
+    def test_bytes_metric_monotone_under_reduction(self, instance):
+        app, oracle = instance
+        problem = build_reduction_problem(app, oracle.decompiler)
+        result = generalized_binary_reduction(problem)
+        sizes = []
+        kept = set(result.solution)
+        # Removing whole classes from the solution only shrinks bytes.
+        from repro.bytecode.items import ClassItem
+
+        current = frozenset(kept)
+        sizes.append(
+            application_size_bytes(reduce_application(app, current))
+        )
+        classes = [i for i in kept if isinstance(i, ClassItem)]
+        for item in classes[:3]:
+            current = current - {item}
+            sizes.append(
+                application_size_bytes(reduce_application(app, current))
+            )
+        assert sizes == sorted(sizes, reverse=True) or all(
+            later <= sizes[0] for later in sizes[1:]
+        )

@@ -1,0 +1,47 @@
+"""Tests for the corpus builder."""
+
+from repro.workloads.corpus import (
+    Benchmark,
+    CorpusConfig,
+    all_instances,
+    build_corpus,
+)
+
+
+class TestBuildCorpus:
+    def test_deterministic(self):
+        config = CorpusConfig(num_benchmarks=3, min_classes=10, max_classes=20)
+        first = build_corpus(config)
+        second = build_corpus(config)
+        assert [b.seed for b in first] == [b.seed for b in second]
+        assert [b.app for b in first] == [b.app for b in second]
+
+    def test_sizes_within_bounds(self):
+        config = CorpusConfig(num_benchmarks=4, min_classes=10, max_classes=24)
+        for benchmark in build_corpus(config):
+            # classes + interfaces + Main; interfaces scale with classes.
+            assert benchmark.num_classes >= 10
+
+    def test_instances_are_buggy(self):
+        config = CorpusConfig(num_benchmarks=4, min_classes=16, max_classes=40)
+        corpus = build_corpus(config)
+        for benchmark, instance in all_instances(corpus):
+            assert instance.oracle.is_buggy
+            assert instance.num_errors >= 1
+
+    def test_small_profile_is_fast_shaped(self):
+        config = CorpusConfig.small()
+        assert config.num_benchmarks <= 8
+        assert config.max_classes <= 80
+
+    def test_paper_profile_matches_scale(self):
+        config = CorpusConfig.paper()
+        assert config.num_benchmarks == 96
+        # geo-mean of a log-uniform on [a, b] is sqrt(a*b) ~ 180.
+        assert 150 <= (config.min_classes * config.max_classes) ** 0.5 <= 220
+
+    def test_ids_unique(self):
+        corpus = build_corpus(CorpusConfig(num_benchmarks=5, min_classes=8,
+                                           max_classes=16))
+        ids = [b.benchmark_id for b in corpus]
+        assert len(ids) == len(set(ids))
