@@ -17,6 +17,7 @@ Package map (see README.md for the tour):
 - :mod:`repro.decompiler` — simulated buggy decompilers + mini-javac,
 - :mod:`repro.workloads` — seeded program generators and the corpus,
 - :mod:`repro.harness` — the Section 5 experiment harness,
+- :mod:`repro.observability` — spans, metrics, JSONL run telemetry,
 - :mod:`repro.cli` — the ``jlreduce`` command-line tool.
 """
 

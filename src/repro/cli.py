@@ -11,6 +11,11 @@ Subcommands:
   item syntax matches the bracket rendering, e.g. ``[A.m()!code]``).
 - ``jlreduce bench [--profile small|paper]`` — run the corpus experiment
   and print the Section 5 reports.
+- ``jlreduce trace summarize FILE.jsonl`` — aggregate a JSONL trace
+  written by ``--trace`` (per-span totals/mean/p95, counter totals).
+
+``reduce`` and ``bench`` accept ``--trace FILE.jsonl`` (record spans and
+metrics for the run) and ``--json`` (machine-readable result on stdout).
 
 Exit status is 0 on success, 1 on user errors (bad file, unknown item),
 2 on argument errors (argparse's convention).
@@ -19,6 +24,7 @@ Exit status is 0 on success, 1 on user errors (bad file, unknown item),
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -54,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ITEM",
         help="item that must survive, e.g. '[A.m()!code]' (repeatable)",
     )
+    reduce_cmd.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="write span/metric telemetry for the run as JSONL",
+    )
+    reduce_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as JSON instead of the reduced program",
+    )
 
     bench = sub.add_parser(
         "bench", help="run the corpus experiment and print the reports"
@@ -63,6 +79,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("small", "paper"),
         default="small",
         help="corpus size profile (default: small)",
+    )
+    bench.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        help="write span/metric telemetry for the experiment as JSONL",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print per-instance outcomes as JSON instead of the reports",
+    )
+
+    trace = sub.add_parser("trace", help="inspect JSONL trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize_cmd = trace_sub.add_parser(
+        "summarize", help="aggregate a trace into per-span/counter tables"
+    )
+    summarize_cmd.add_argument("file", help="path to a .jsonl trace file")
+    summarize_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregate summary as JSON",
     )
     return parser
 
@@ -74,9 +112,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "count":
         return _count(args.file)
     if args.command == "reduce":
-        return _reduce(args.file, args.keep)
+        return _reduce(args.file, args.keep, args.trace, args.json)
     if args.command == "bench":
-        return _bench(args.profile)
+        return _bench(args.profile, args.trace, args.json)
+    if args.command == "trace":
+        if args.trace_command == "summarize":
+            return _trace_summarize(args.file, args.json)
+        raise AssertionError(f"unhandled trace command {args.trace_command!r}")
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -107,6 +149,15 @@ def _demo() -> int:
           f"{result.predicate_calls} tool runs\n")
     print(pretty_program(reduce_program(program, result.solution)))
     return 0
+
+
+def _open_trace(path: str):
+    """Open a trace file for writing, failing fast (before the run)."""
+    try:
+        return open(path, "w", encoding="utf-8")
+    except OSError as exc:
+        print(f"jlreduce: cannot write {path}: {exc}", file=sys.stderr)
+        return None
 
 
 def _load_program(path: str):
@@ -144,10 +195,16 @@ def _count(path: str) -> int:
     return 0
 
 
-def _reduce(path: str, keep: List[str]) -> int:
+def _reduce(
+    path: str,
+    keep: List[str],
+    trace_path: Optional[str] = None,
+    json_output: bool = False,
+) -> int:
     from repro.fji.pretty import pretty_program
     from repro.fji.reducer import reduce_program
     from repro.fji.variables import variables_of
+    from repro.observability import tracing_session, write_trace
     from repro.reduction import ReductionProblem, generalized_binary_reduction
 
     loaded = _load_program(path)
@@ -172,16 +229,83 @@ def _reduce(path: str, keep: List[str]) -> int:
         constraint=constraints,
         description=path,
     )
-    result = generalized_binary_reduction(
-        problem, require_true=target
-    )
-    print(f"// kept {len(result.solution)} of {len(variables)} items "
-          f"in {result.predicate_calls} predicate runs")
-    print(pretty_program(reduce_program(program, result.solution)))
+    if trace_path:
+        trace_handle = _open_trace(trace_path)
+        if trace_handle is None:
+            return 1
+        with trace_handle:
+            with tracing_session() as (tracer, metrics):
+                result = generalized_binary_reduction(
+                    problem, require_true=target
+                )
+            write_trace(
+                trace_handle, tracer, metrics, label=f"reduce {path}"
+            )
+    else:
+        result = generalized_binary_reduction(problem, require_true=target)
+
+    if json_output:
+        payload = {
+            "file": path,
+            "keep": sorted(keep),
+            "total_items": len(variables),
+            "kept_items": len(result.solution),
+            "solution": sorted(str(v) for v in result.solution),
+            "predicate_calls": result.predicate_calls,
+            "iterations": result.iterations,
+            "elapsed_seconds": result.elapsed_seconds,
+            "metrics": result.extras.get("metrics", {}),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"// kept {len(result.solution)} of {len(variables)} items "
+              f"in {result.predicate_calls} predicate runs")
+        print(pretty_program(reduce_program(program, result.solution)))
     return 0
 
 
-def _bench(profile: str) -> int:
+def _bench(
+    profile: str,
+    trace_path: Optional[str] = None,
+    json_output: bool = False,
+) -> int:
+    from repro.observability import tracing_session, write_trace
+    from repro.workloads.corpus import CorpusConfig, build_corpus
+
+    config = (
+        CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
+    )
+    progress = (
+        None if json_output else lambda line: print(f"  {line}")
+    )
+    if not json_output:
+        print(f"building corpus ({profile} profile) ...")
+    corpus = build_corpus(config)
+    if trace_path:
+        trace_handle = _open_trace(trace_path)
+        if trace_handle is None:
+            return 1
+        with trace_handle:
+            with tracing_session() as (tracer, metrics):
+                outcomes = _run_bench(corpus, profile, json_output, progress)
+            write_trace(
+                trace_handle, tracer, metrics, label=f"bench {profile}"
+            )
+    else:
+        outcomes = _run_bench(corpus, profile, json_output, progress)
+
+    if json_output:
+        from dataclasses import asdict
+
+        payload = {
+            "profile": profile,
+            "outcomes": [asdict(outcome) for outcome in outcomes],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_bench(corpus, profile, json_output, progress):
     from repro.harness import (
         corpus_statistics,
         mean_reduction_over_time,
@@ -193,18 +317,13 @@ def _bench(profile: str) -> int:
         run_corpus_experiment,
     )
     from repro.harness.report import by_strategy
-    from repro.workloads.corpus import CorpusConfig, build_corpus
 
-    config = (
-        CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
-    )
-    print(f"building corpus ({profile} profile) ...")
-    corpus = build_corpus(config)
-    print(render_statistics(corpus_statistics(corpus)))
-    print("\nrunning strategies ...")
-    outcomes = run_corpus_experiment(
-        corpus, progress=lambda line: print(f"  {line}")
-    )
+    if not json_output:
+        print(render_statistics(corpus_statistics(corpus)))
+        print("\nrunning strategies ...")
+    outcomes = run_corpus_experiment(corpus, progress=progress)
+    if json_output:
+        return outcomes
     print()
     print(render_headline(outcomes))
     print()
@@ -223,6 +342,25 @@ def _bench(profile: str) -> int:
         if name in ("our-reducer", "jreduce")
     }
     print(render_timeline(series))
+    return outcomes
+
+
+def _trace_summarize(path: str, json_output: bool = False) -> int:
+    from repro.observability import load_trace, render_summary, summarize
+
+    try:
+        events = load_trace(path)
+    except OSError as exc:
+        print(f"jlreduce: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"jlreduce: {path}: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize(events)
+    if json_output:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
     return 0
 
 

@@ -19,6 +19,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.bytecode.constraints import class_dependency_graph
 from repro.bytecode.metrics import application_size_bytes
 from repro.bytecode.reducer import reduce_application
+from repro.observability import get_tracer
 from repro.reduction.binary import binary_reduction
 from repro.reduction.gbr import generalized_binary_reduction
 from repro.reduction.lossy import LossyVariant, lossy_reduce
@@ -65,6 +66,9 @@ class InstanceOutcome:
     simulated_seconds: float
     #: (simulated seconds, best bytes so far) steps.
     timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: Telemetry for this run (solver stats, cache hit rates, probe
+    #: counts) — the strategy's ``ReductionResult.extras['metrics']``.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def relative_bytes(self) -> float:
@@ -87,50 +91,64 @@ def run_instance(
 ) -> InstanceOutcome:
     """Run one strategy on one instance."""
     config = config or ExperimentConfig()
+    tracer = get_tracer()
     app = benchmark.app
     oracle = instance.oracle
     total_bytes = application_size_bytes(app)
     total_classes = len(app.classes)
     watch = Stopwatch()
 
-    if strategy == "jreduce":
-        instrumented = InstrumentedPredicate(
-            oracle.class_predicate,
-            cost_per_call=config.simulated_seconds_per_run,
-            size_of=lambda kept: application_size_bytes(
-                _class_subset(app, kept)
-            ),
-        )
-        result = binary_reduction(
-            class_dependency_graph(app),
-            instrumented,
-            required=[app.entry_class],
-        )
-        reduced = _class_subset(app, result.solution)
-    else:
-        problem = build_reduction_problem(app, oracle.decompiler)
-        instrumented = InstrumentedPredicate(
-            problem.predicate,
-            cost_per_call=config.simulated_seconds_per_run,
-            size_of=lambda kept: application_size_bytes(
-                reduce_application(app, kept)
-            ),
-        )
-        problem = ReductionProblem(
-            variables=problem.variables,
-            predicate=instrumented,
-            constraint=problem.constraint,
-            description=problem.description,
-        )
-        if strategy == "our-reducer":
-            result = generalized_binary_reduction(problem)
-        elif strategy == "lossy-first":
-            result = lossy_reduce(problem, LossyVariant.FIRST)
-        elif strategy == "lossy-last":
-            result = lossy_reduce(problem, LossyVariant.LAST)
+    with tracer.span(
+        "instance.run",
+        benchmark=benchmark.benchmark_id,
+        decompiler=instance.decompiler,
+        strategy=strategy,
+    ):
+        if strategy == "jreduce":
+            with tracer.span("instance.setup", strategy=strategy):
+                instrumented = InstrumentedPredicate(
+                    oracle.class_predicate,
+                    cost_per_call=config.simulated_seconds_per_run,
+                    size_of=lambda kept: application_size_bytes(
+                        _class_subset(app, kept)
+                    ),
+                )
+                graph = class_dependency_graph(app)
+            with tracer.span("instance.reduce", strategy=strategy):
+                result = binary_reduction(
+                    graph,
+                    instrumented,
+                    required=[app.entry_class],
+                )
+            with tracer.span("instance.measure", strategy=strategy):
+                reduced = _class_subset(app, result.solution)
         else:
-            raise ValueError(f"unknown strategy {strategy!r}")
-        reduced = reduce_application(app, result.solution)
+            with tracer.span("instance.setup", strategy=strategy):
+                problem = build_reduction_problem(app, oracle.decompiler)
+                instrumented = InstrumentedPredicate(
+                    problem.predicate,
+                    cost_per_call=config.simulated_seconds_per_run,
+                    size_of=lambda kept: application_size_bytes(
+                        reduce_application(app, kept)
+                    ),
+                )
+                problem = ReductionProblem(
+                    variables=problem.variables,
+                    predicate=instrumented,
+                    constraint=problem.constraint,
+                    description=problem.description,
+                )
+            with tracer.span("instance.reduce", strategy=strategy):
+                if strategy == "our-reducer":
+                    result = generalized_binary_reduction(problem)
+                elif strategy == "lossy-first":
+                    result = lossy_reduce(problem, LossyVariant.FIRST)
+                elif strategy == "lossy-last":
+                    result = lossy_reduce(problem, LossyVariant.LAST)
+                else:
+                    raise ValueError(f"unknown strategy {strategy!r}")
+            with tracer.span("instance.measure", strategy=strategy):
+                reduced = reduce_application(app, result.solution)
 
     return InstanceOutcome(
         benchmark_id=benchmark.benchmark_id,
@@ -144,6 +162,7 @@ def run_instance(
         real_seconds=watch.elapsed(),
         simulated_seconds=instrumented.now(),
         timeline=list(instrumented.timeline),
+        metrics=dict(result.extras.get("metrics", {})),
     )
 
 

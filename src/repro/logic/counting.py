@@ -32,6 +32,7 @@ from typing import (
 )
 
 from repro.logic.cnf import CNF
+from repro.observability import get_metrics, get_tracer
 
 __all__ = ["count_models", "enumerate_models"]
 
@@ -61,7 +62,20 @@ def count_models(
     indexed = cnf.to_indexed(sorted(universe, key=repr))
     clauses: ClauseSet = frozenset(indexed.clauses)
     counter = _Counter()
-    core = counter.count(clauses)
+    with get_tracer().span(
+        "counting.count_models",
+        variables=len(universe),
+        clauses=len(clauses),
+    ) as sp:
+        core = counter.count(clauses)
+        sp.set_attr("cache_hits", counter.hits)
+        sp.set_attr("cache_misses", counter.misses)
+    metrics = get_metrics()
+    metrics.counter("counting.calls").inc()
+    if counter.hits:
+        metrics.counter("counting.cache_hits").inc(counter.hits)
+    if counter.misses:
+        metrics.counter("counting.cache_misses").inc(counter.misses)
     free = len(universe) - len(_clause_vars(clauses))
     return core << free
 
@@ -92,6 +106,10 @@ class _Counter:
 
     def __init__(self) -> None:
         self.cache: Dict[ClauseSet, int] = {}
+        # Component-cache accounting (aggregated locally; count_models
+        # publishes the totals to the metrics registry once per call).
+        self.hits = 0
+        self.misses = 0
 
     def count(self, clauses: ClauseSet) -> int:
         """Models over exactly the variables mentioned in ``clauses``."""
@@ -101,7 +119,9 @@ class _Counter:
             return 1
         cached = self.cache.get(clauses)
         if cached is not None:
+            self.hits += 1
             return cached
+        self.misses += 1
 
         simplified, ok = _bcp(clauses)
         if not ok:

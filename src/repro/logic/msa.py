@@ -46,6 +46,7 @@ from typing import (
 
 from repro.logic.cnf import CNF, Clause
 from repro.logic.solver import solve
+from repro.observability import get_metrics
 
 __all__ = ["MsaSolver", "minimal_satisfying_assignment", "minimize_model"]
 
@@ -133,22 +134,30 @@ class MsaSolver:
         Returns False when it gets stuck on a clause with no positive
         literals (the caller then uses the solver fallback).
         """
-        while seeds:
-            clause = seeds.popleft()
-            if not _violated(clause, true_set):
-                continue
-            candidates = clause.positives - true_set
-            if not candidates:
-                return False  # pure-negative clause with all vars true
-            choice = self.smallest(candidates)
-            true_set.add(choice)
-            seeds.extend(self._neg_occurrences.get(choice, ()))
-            # The clause itself is now satisfied (choice is positive in it).
-        return True
+        repairs = 0
+        try:
+            while seeds:
+                clause = seeds.popleft()
+                if not _violated(clause, true_set):
+                    continue
+                candidates = clause.positives - true_set
+                if not candidates:
+                    return False  # pure-negative clause with all vars true
+                choice = self.smallest(candidates)
+                repairs += 1
+                true_set.add(choice)
+                seeds.extend(self._neg_occurrences.get(choice, ()))
+                # The clause itself is now satisfied (choice is positive
+                # in it).
+            return True
+        finally:
+            if repairs:
+                get_metrics().counter("msa.repairs").inc(repairs)
 
     def _fallback(
         self, require_true: AbstractSet[VarName]
     ) -> Optional[FrozenSet[VarName]]:
+        get_metrics().counter("msa.fallbacks").inc()
         result = solve(self.cnf, assume_true=require_true)
         if not result.satisfiable:
             return None

@@ -24,10 +24,41 @@ from typing import (
 
 from repro.logic.cnf import CNF, IndexedCNF
 from repro.logic.propagation import OccurrenceIndex, unit_propagate
+from repro.observability import get_metrics, get_tracer
 
 __all__ = ["SatResult", "solve", "is_satisfiable", "solve_indexed"]
 
 VarName = Hashable
+
+
+class _SolverStats:
+    """Per-call DPLL counters, pushed to the metrics registry once.
+
+    The inner loops are the hottest code in the repo, so we count with
+    plain attribute adds here and do a single ``Counter.inc`` per solver
+    call in :func:`solve_indexed`.
+    """
+
+    __slots__ = ("decisions", "propagations", "conflicts")
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+
+    def publish(self, satisfiable: bool) -> None:
+        metrics = get_metrics()
+        metrics.counter("solver.calls").inc()
+        if satisfiable:
+            metrics.counter("solver.sat").inc()
+        else:
+            metrics.counter("solver.unsat").inc()
+        if self.decisions:
+            metrics.counter("solver.decisions").inc(self.decisions)
+        if self.propagations:
+            metrics.counter("solver.propagations").inc(self.propagations)
+        if self.conflicts:
+            metrics.counter("solver.conflicts").inc(self.conflicts)
 
 
 class SatResult(NamedTuple):
@@ -82,14 +113,36 @@ def solve_indexed(
     Returns (satisfiable, set of true variable indices).  Unconstrained
     variables are left false, biasing the model toward small true sets.
     """
+    stats = _SolverStats()
+    with get_tracer().span(
+        "solver.solve",
+        variables=indexed.num_vars,
+        clauses=len(indexed.clauses),
+    ) as sp:
+        satisfiable, model = _solve_indexed(indexed, seed, stats)
+        sp.set_attr("satisfiable", satisfiable)
+        sp.set_attr("decisions", stats.decisions)
+        sp.set_attr("conflicts", stats.conflicts)
+    stats.publish(satisfiable)
+    return satisfiable, model
+
+
+def _solve_indexed(
+    indexed: IndexedCNF,
+    seed: Iterable[Tuple[int, bool]],
+    stats: _SolverStats,
+) -> Tuple[bool, Optional[FrozenSet[int]]]:
     if any(not clause for clause in indexed.clauses):
         return False, None  # an empty clause is trivially unsatisfiable
     index = OccurrenceIndex(indexed.clauses, indexed.num_vars)
+    seed = list(seed)
     result = unit_propagate(index, seed)
     if result.conflict:
+        stats.conflicts += 1
         return False, None
+    stats.propagations += len(result.assignment) - len(seed)
     assignment = result.assignment
-    final = _dpll(index, assignment)
+    final = _dpll(index, assignment, stats)
     if final is None:
         return False, None
     true_indices = frozenset(v for v, val in final.items() if val)
@@ -97,17 +150,23 @@ def solve_indexed(
 
 
 def _dpll(
-    index: OccurrenceIndex, assignment: Dict[int, bool]
+    index: OccurrenceIndex,
+    assignment: Dict[int, bool],
+    stats: _SolverStats,
 ) -> Optional[Dict[int, bool]]:
     """Recursive DPLL search on top of a propagated partial assignment."""
     branch_var = _pick_branch_variable(index, assignment)
     if branch_var is None:
         return assignment  # every clause satisfied
     for value in (False, True):  # false-first: prefer small models
+        stats.decisions += 1
         result = unit_propagate(index, [(branch_var, value)], base=assignment)
         if result.conflict:
+            stats.conflicts += 1
             continue
-        final = _dpll(index, result.assignment)
+        # Everything newly assigned beyond the decision itself was implied.
+        stats.propagations += len(result.assignment) - len(assignment) - 1
+        final = _dpll(index, result.assignment, stats)
         if final is not None:
             return final
     return None

@@ -1,0 +1,95 @@
+"""Structured tracing, metrics, and JSONL run telemetry.
+
+The paper's whole evaluation is run telemetry — predicate-invocation
+counts, wall-clock, best-size-over-time — and the ROADMAP's performance
+work needs per-phase visibility into the solver / #SAT / progression hot
+paths.  This package is that layer, zero-dependency and no-op by
+default:
+
+- :mod:`repro.observability.spans` — nestable span timers with a
+  thread-local context and a process-global :class:`Tracer` (disabled
+  unless installed, so instrumented hot paths pay one attribute check),
+- :mod:`repro.observability.metrics` — a registry of named counters,
+  gauges, and fixed-bucket histograms with ``snapshot()`` / ``reset()``,
+- :mod:`repro.observability.sink` — the JSONL event sink plus
+  ``load_trace()`` and ``summarize()`` (per-span-name total/mean/p95,
+  counter totals) behind ``jlreduce trace summarize``.
+
+Instrumented call sites: GBR iterations and prefix-search probes,
+progression rebuilds, predicate cache hits/misses and fresh-call
+latency, DPLL decisions/propagations/conflicts, #SAT component-cache
+hits, MSA clause repairs, and per-instance harness phases.
+
+:func:`tracing_session` is the one-stop entry point::
+
+    with tracing_session() as (tracer, metrics):
+        result = generalized_binary_reduction(problem)
+    write_trace("run.jsonl", tracer, metrics)
+"""
+
+from contextlib import contextmanager
+from typing import Iterator, Tuple
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_deltas,
+    get_metrics,
+    set_metrics,
+)
+from repro.observability.sink import (
+    JsonlSink,
+    load_trace,
+    render_summary,
+    summarize,
+    write_trace,
+)
+from repro.observability.spans import (
+    SpanEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_deltas",
+    "get_metrics",
+    "set_metrics",
+    "JsonlSink",
+    "load_trace",
+    "render_summary",
+    "summarize",
+    "write_trace",
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "tracing_session",
+]
+
+
+@contextmanager
+def tracing_session() -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Install a fresh enabled tracer and a fresh metrics registry.
+
+    Yields ``(tracer, metrics)`` scoped to the ``with`` block; the
+    previous globals are restored on exit, so nothing from the session
+    bleeds into (or out of) the surrounding process state.
+    """
+    tracer = Tracer(enabled=True)
+    metrics = MetricsRegistry()
+    previous_tracer = set_tracer(tracer)
+    previous_metrics = set_metrics(metrics)
+    try:
+        yield tracer, metrics
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)

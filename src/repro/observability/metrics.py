@@ -1,0 +1,204 @@
+"""A registry of named counters, gauges, and fixed-bucket histograms.
+
+Unlike tracing (which is off by default because spans read the clock),
+metrics are always on: incrementing a counter is one integer add, cheap
+enough for every call site in this codebase.  Truly hot inner loops
+(DPLL propagation) still aggregate locally and push one ``inc`` per
+solver call — see :mod:`repro.logic.solver`.
+
+Naming convention: dotted lowercase paths, ``<subsystem>.<what>``, e.g.
+``solver.decisions``, ``counting.cache_hits``, ``predicate.calls``.
+
+The registry is process-global by default (:func:`get_metrics`), with
+:func:`set_metrics` for swapping in a fresh one around a run — the CLI's
+``--trace`` and the tests do this so runs don't bleed into each other.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "counter_deltas",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Upper bounds (seconds) for latency histograms: 10 µs .. 10 s, with an
+#: implicit overflow bucket above the last edge.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative-style, like Prometheus).
+
+    ``buckets`` are sorted upper bounds; an observation lands in the
+    first bucket whose bound is >= the value, or in the implicit
+    overflow bucket past the end.  ``counts`` has ``len(buckets) + 1``
+    entries (the last one is the overflow).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float]):
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with snapshot/reset."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(name, Gauge(name))
+        return gauge
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(name, buckets)
+                )
+        return histogram
+
+    # -- snapshots -----------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, int]:
+        """Plain ``{name: value}`` of the counters (cheap, for diffing)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot of every registered metric."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (registrations are kept)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+
+def counter_deltas(
+    before: Dict[str, int], after: Dict[str, int]
+) -> Dict[str, int]:
+    """Per-counter increase from ``before`` to ``after`` (non-zero only).
+
+    Used to attribute global-registry activity to one reduction run:
+    snapshot :meth:`MetricsRegistry.counter_values` before and after, and
+    the delta is what the run did (solver decisions, cache hits, ...).
+    """
+    return {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value - before.get(name, 0)
+    }
+
+
+_GLOBAL_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` globally; returns the previous registry."""
+    global _GLOBAL_METRICS
+    previous = _GLOBAL_METRICS
+    _GLOBAL_METRICS = registry
+    return previous

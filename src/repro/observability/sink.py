@@ -1,0 +1,255 @@
+"""JSONL trace files: writing, reading back, and aggregating.
+
+A trace file is one JSON object per line, each tagged with a ``type``:
+
+- ``{"type": "meta", ...}`` — one header line (schema version, label),
+- ``{"type": "span", "name", "start", "duration", "span_id",
+  "parent_id", "attrs"}`` — one per finished span,
+- ``{"type": "counter" | "gauge", "name", "value"}`` — one per metric,
+- ``{"type": "histogram", "name", "buckets", "counts", "sum",
+  "count"}`` — one per histogram.
+
+The format is append-friendly and diff-friendly: two runs can be
+compared with ``summarize(load_trace(a))`` vs ``summarize(load_trace(b))``
+(or just the ``jlreduce trace summarize`` tables side by side).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import SpanEvent, Tracer
+
+__all__ = [
+    "JsonlSink",
+    "write_trace",
+    "load_trace",
+    "summarize",
+    "render_summary",
+    "TRACE_SCHEMA_VERSION",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+class JsonlSink:
+    """Writes JSON-serializable event dicts, one per line.
+
+    Accepts a path (opened lazily, closed by :meth:`close` / ``with``)
+    or an already-open text stream (left open).
+    """
+
+    def __init__(self, target: Union[str, TextIO]):
+        if isinstance(target, str):
+            self._handle: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        json.dump(event, self._handle, sort_keys=True, default=str)
+        self._handle.write("\n")
+
+    def emit_all(self, events: Iterable[Dict[str, Any]]) -> None:
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace(
+    target: Union[str, TextIO],
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    label: str = "",
+) -> int:
+    """Dump a tracer's spans and a registry's metrics as JSONL.
+
+    Either source may be None.  Returns the number of lines written
+    (including the meta header).
+    """
+    lines = 1
+    with JsonlSink(target) as sink:
+        sink.emit({
+            "type": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
+            "label": label,
+        })
+        if tracer is not None:
+            for event in tracer.events():
+                sink.emit(event.to_dict())
+                lines += 1
+        if metrics is not None:
+            snapshot = metrics.snapshot()
+            for name in sorted(snapshot["counters"]):
+                sink.emit({
+                    "type": "counter",
+                    "name": name,
+                    "value": snapshot["counters"][name],
+                })
+                lines += 1
+            for name in sorted(snapshot["gauges"]):
+                sink.emit({
+                    "type": "gauge",
+                    "name": name,
+                    "value": snapshot["gauges"][name],
+                })
+                lines += 1
+            for name in sorted(snapshot["histograms"]):
+                hist = snapshot["histograms"][name]
+                sink.emit({"type": "histogram", "name": name, **hist})
+                lines += 1
+    return lines
+
+
+def load_trace(target: Union[str, TextIO]) -> List[Dict[str, Any]]:
+    """Read a JSONL trace back into a list of event dicts.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number.
+    """
+    if isinstance(target, str):
+        with open(target, "r", encoding="utf-8") as handle:
+            return _parse_lines(handle)
+    return _parse_lines(target)
+
+
+def _parse_lines(handle: TextIO) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad JSONL at line {lineno}: {exc}") from None
+        if not isinstance(event, dict):
+            raise ValueError(f"bad JSONL at line {lineno}: not an object")
+        events.append(event)
+    return events
+
+
+def summarize(
+    events: Union[Iterable[Dict[str, Any]], Iterable[SpanEvent]],
+) -> Dict[str, Any]:
+    """Aggregate trace events into a compact summary.
+
+    Returns::
+
+        {"spans": {name: {"count", "total", "mean", "p95", "max"}},
+         "counters": {name: total},
+         "gauges": {name: value},
+         "histograms": {name: {"count", "sum", "mean"}}}
+
+    Accepts either raw :class:`SpanEvent` objects (straight from a
+    tracer) or dicts (from :func:`load_trace`); counter lines for the
+    same name are summed, so concatenated traces aggregate sensibly.
+    """
+    durations: Dict[str, List[float]] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+
+    for event in events:
+        if isinstance(event, SpanEvent):
+            event = event.to_dict()
+        kind = event.get("type")
+        if kind == "span":
+            durations.setdefault(event["name"], []).append(
+                float(event["duration"])
+            )
+        elif kind == "counter":
+            name = event["name"]
+            counters[name] = counters.get(name, 0) + event["value"]
+        elif kind == "gauge":
+            gauges[event["name"]] = event["value"]
+        elif kind == "histogram":
+            count = event.get("count", 0)
+            total = event.get("sum", 0.0)
+            histograms[event["name"]] = {
+                "count": count,
+                "sum": total,
+                "mean": total / count if count else 0.0,
+            }
+
+    spans = {
+        name: {
+            "count": len(values),
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+            "p95": _percentile(values, 0.95),
+            "max": max(values),
+        }
+        for name, values in durations.items()
+    }
+    return {
+        "spans": spans,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[rank]
+
+
+def render_summary(summary: Dict[str, Any]) -> str:
+    """Human-readable table for ``jlreduce trace summarize``."""
+    lines: List[str] = []
+    spans = summary.get("spans", {})
+    if spans:
+        lines.append("spans (seconds)")
+        header = (
+            f"  {'name':<28} {'count':>7} {'total':>10} "
+            f"{'mean':>10} {'p95':>10}"
+        )
+        lines.append(header)
+        for name in sorted(spans, key=lambda n: -spans[n]["total"]):
+            stats = spans[name]
+            lines.append(
+                f"  {name:<28} {stats['count']:>7} {stats['total']:>10.4f} "
+                f"{stats['mean']:>10.6f} {stats['p95']:>10.6f}"
+            )
+    counters = summary.get("counters", {})
+    if counters:
+        if lines:
+            lines.append("")
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:<38} {counters[name]:>12,}")
+    gauges = summary.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<38} {gauges[name]:>12}")
+    histograms = summary.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms")
+        for name in sorted(histograms):
+            stats = histograms[name]
+            lines.append(
+                f"  {name:<28} count={stats['count']:<8,} "
+                f"mean={stats['mean']:.6f}"
+            )
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Nestable span timers with a thread-local context.
+
+A *span* is a named, timed region of execution with free-form attributes
+and a parent (the span that was open on the same thread when it started).
+Spans form trees, so a trace of one reduction run reads like a profile:
+``gbr.run`` contains ``gbr.iteration`` contains ``progression.build``
+contains ``solver.solve`` and so on.
+
+Design constraints (this is a hot-path layer):
+
+- **No-op by default.**  The process-global tracer starts disabled, and
+  a disabled tracer returns a shared singleton null span — no allocation
+  and no clock reads — so instrumented code pays one attribute check.
+- **Thread-local nesting.**  Each thread keeps its own stack of open
+  spans; parent links never cross threads.
+- **Append-only events.**  Finished spans append a :class:`SpanEvent` to
+  a list under a lock; readers snapshot via :meth:`Tracer.events`.
+
+Timestamps are ``time.perf_counter()`` values relative to the tracer's
+creation, so events within one trace are directly comparable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One finished span: ``(name, start, duration, attrs, parent)``.
+
+    ``span_id``/``parent_id`` tie the events into a tree (``parent_id``
+    is None for roots).  ``start`` is seconds since the tracer was
+    created; ``duration`` is seconds.
+    """
+
+    name: str
+    start: float
+    duration: float
+    span_id: int
+    parent_id: Optional[int]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly form (the JSONL sink writes these)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """The do-nothing span returned by a disabled tracer (a singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set_attr(self, name: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; finishes (and records itself) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        span_id: int,
+        parent_id: Optional[int],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start = time.perf_counter()
+
+    def set_attr(self, name: str, value: Any) -> None:
+        """Attach/overwrite an attribute while the span is open."""
+        self.attrs[name] = value
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._finish(self, time.perf_counter())
+
+
+class Tracer:
+    """Records spans into an in-memory event list.
+
+    Args:
+        enabled: a disabled tracer hands out null spans and records
+            nothing; the process-global default tracer is disabled.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = enabled
+        self._epoch = time.perf_counter()
+        self._events: List[SpanEvent] = []
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = threading.local()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span (a context manager).
+
+        Usage::
+
+            with tracer.span("progression.build", scope=12) as sp:
+                ...
+                sp.set_attr("entries", len(entries))
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        parent_id = stack[-1] if stack else None
+        stack.append(span_id)
+        return _Span(self, name, dict(attrs), span_id, parent_id)
+
+    def events(self) -> List[SpanEvent]:
+        """Snapshot of the finished spans, in finish order."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Drop recorded events (open spans are unaffected)."""
+        with self._lock:
+            self._events.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, open_span: _Span, end: float) -> None:
+        stack = self._stack()
+        # Pop back to (and including) this span; tolerates exits out of
+        # order if a caller leaks an open span.
+        while stack:
+            top = stack.pop()
+            if top == open_span.span_id:
+                break
+        event = SpanEvent(
+            name=open_span.name,
+            start=open_span._start - self._epoch,
+            duration=end - open_span._start,
+            span_id=open_span.span_id,
+            parent_id=open_span.parent_id,
+            attrs=open_span.attrs,
+        )
+        with self._lock:
+            self._events.append(event)
+
+
+#: The process-global tracer; disabled (no-op) until someone installs an
+#: enabled one (the CLI's ``--trace`` does, tests do).
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled by default)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the process-global tracer."""
+    return _GLOBAL_TRACER.span(name, **attrs)

@@ -26,6 +26,7 @@ from typing import (
 
 from repro.graphs.closure import all_item_closures, closure_of
 from repro.graphs.digraph import DiGraph
+from repro.observability import counter_deltas, get_metrics, get_tracer
 from repro.reduction.predicate import InstrumentedPredicate
 from repro.reduction.problem import (
     ReductionError,
@@ -109,19 +110,30 @@ def binary_reduction(
     the starting base).
     """
     watch = Stopwatch()
+    metrics = get_metrics()
+    counters_before = metrics.counter_values()
     instrumented = (
         predicate
         if isinstance(predicate, InstrumentedPredicate)
         else InstrumentedPredicate(predicate)
     )
-    closures = all_item_closures(graph)
-    base = closure_of(graph, required)
-    deltas = [closure.members for closure in closures]
-    solution = binary_reduce_sets(deltas, instrumented, base)
+    with get_tracer().span(
+        "binary.run", nodes=len(graph.nodes), strategy=strategy
+    ) as sp:
+        closures = all_item_closures(graph)
+        base = closure_of(graph, required)
+        deltas = [closure.members for closure in closures]
+        solution = binary_reduce_sets(deltas, instrumented, base)
+        sp.set_attr("solution_size", len(solution))
     return ReductionResult(
         solution=solution,
         strategy=strategy,
         predicate_calls=instrumented.calls,
         elapsed_seconds=watch.elapsed(),
         timeline=list(instrumented.timeline),
+        extras={
+            "metrics": dict(
+                counter_deltas(counters_before, metrics.counter_values())
+            )
+        },
     )

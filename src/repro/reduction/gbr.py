@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence
 
+from repro.observability import counter_deltas, get_metrics, get_tracer
 from repro.reduction.ordering import declaration_order, dependency_order
 from repro.reduction.predicate import InstrumentedPredicate
 from repro.reduction.problem import (
@@ -76,6 +77,9 @@ def generalized_binary_reduction(
         ``P`` and ``R``.
     """
     watch = Stopwatch()
+    metrics = get_metrics()
+    tracer = get_tracer()
+    counters_before = metrics.counter_values()
     predicate = _instrument(problem)
     constraint = problem.constraint
     if order is None:
@@ -86,35 +90,47 @@ def generalized_binary_reduction(
     universe = problem.universe
     limit = max_iterations if max_iterations is not None else len(universe) + 1
 
-    learned: List[FrozenSet[VarName]] = []
-    scope = universe
-    progression = build_progression(
-        constraint, order, learned, scope, require_true
-    )
-    if trace:
-        trace.on_progression(progression)
-
-    iterations = 0
-    while not predicate(progression.first):
-        iterations += 1
-        if iterations > limit:
-            raise ReductionError(
-                "GBR exceeded its iteration bound; "
-                "is the predicate monotone on valid sub-inputs?"
-            )
-        r = _shortest_satisfying_prefix(predicate, progression)
-        learned_set = progression[r]
-        learned.append(learned_set)
-        if trace:
-            trace.on_learn(learned_set, r)
-        scope = progression.prefix_union(r)
+    with tracer.span(
+        "gbr.run", variables=len(universe), description=problem.description
+    ) as run_span:
+        learned: List[FrozenSet[VarName]] = []
+        scope = universe
         progression = build_progression(
             constraint, order, learned, scope, require_true
         )
         if trace:
             trace.on_progression(progression)
 
-    solution = progression.first
+        iterations = 0
+        while not predicate(progression.first):
+            iterations += 1
+            if iterations > limit:
+                raise ReductionError(
+                    "GBR exceeded its iteration bound; "
+                    "is the predicate monotone on valid sub-inputs?"
+                )
+            metrics.counter("gbr.iterations").inc()
+            with tracer.span(
+                "gbr.iteration",
+                iteration=iterations,
+                progression_entries=len(progression),
+            ):
+                r = _shortest_satisfying_prefix(predicate, progression)
+                learned_set = progression[r]
+                learned.append(learned_set)
+                if trace:
+                    trace.on_learn(learned_set, r)
+                scope = progression.prefix_union(r)
+                progression = build_progression(
+                    constraint, order, learned, scope, require_true
+                )
+            if trace:
+                trace.on_progression(progression)
+
+        solution = progression.first
+        run_span.set_attr("iterations", iterations)
+        run_span.set_attr("solution_size", len(solution))
+
     return ReductionResult(
         solution=solution,
         strategy="gbr",
@@ -122,6 +138,11 @@ def generalized_binary_reduction(
         elapsed_seconds=watch.elapsed(),
         iterations=iterations,
         timeline=list(predicate.timeline),
+        extras={
+            "metrics": _run_metrics(
+                counters_before, metrics.counter_values(), predicate
+            )
+        },
     )
 
 
@@ -130,6 +151,24 @@ def _instrument(problem: ReductionProblem) -> InstrumentedPredicate:
     if isinstance(predicate, InstrumentedPredicate):
         return predicate
     return InstrumentedPredicate(predicate)
+
+
+def _run_metrics(
+    before: dict, after: dict, predicate: InstrumentedPredicate
+) -> dict:
+    """Telemetry for ``ReductionResult.extras['metrics']``.
+
+    Counter deltas attribute the global registry's activity (solver
+    decisions, #SAT cache hits, MSA repairs, probes, ...) to this run;
+    the predicate-level stats come straight off the wrapper, so they are
+    exact even when the same wrapper is shared across runs.
+    """
+    run = dict(counter_deltas(before, after))
+    queries = predicate.queries
+    run["predicate.cache_hit_rate"] = (
+        round(1.0 - predicate.calls / queries, 4) if queries else 0.0
+    )
+    return run
 
 
 def _shortest_satisfying_prefix(
@@ -142,17 +181,26 @@ def _shortest_satisfying_prefix(
     by the loop invariant; if even it fails, the predicate was not
     monotone (or the progression lost part of the bug), which we report.
     """
-    low = 0  # known failing
-    high = len(progression) - 1  # expected satisfying
-    if high == 0 or not predicate(progression.prefix_union(high)):
-        raise ReductionError(
-            "the whole search space no longer satisfies P; "
-            "the predicate is not monotone on valid sub-inputs"
-        )
-    while high - low > 1:
-        mid = (low + high) // 2
-        if predicate(progression.prefix_union(mid)):
-            high = mid
-        else:
-            low = mid
+    metrics = get_metrics()
+    probes = metrics.counter("gbr.probes")
+    with get_tracer().span(
+        "gbr.prefix_search", entries=len(progression)
+    ) as sp:
+        low = 0  # known failing
+        high = len(progression) - 1  # expected satisfying
+        if high > 0:
+            probes.inc()
+        if high == 0 or not predicate(progression.prefix_union(high)):
+            raise ReductionError(
+                "the whole search space no longer satisfies P; "
+                "the predicate is not monotone on valid sub-inputs"
+            )
+        while high - low > 1:
+            mid = (low + high) // 2
+            probes.inc()
+            if predicate(progression.prefix_union(mid)):
+                high = mid
+            else:
+                low = mid
+        sp.set_attr("prefix_index", high)
     return high

@@ -7,6 +7,12 @@ the smallest input until that point that preserves the error message").
 :class:`InstrumentedPredicate` wraps a raw predicate and records all
 three, with memoization so repeated queries on the same sub-input are
 counted once — the paper's tools cache runs the same way.
+
+Telemetry: every query also feeds the process-global metrics registry
+(``predicate.calls`` / ``predicate.queries`` / ``predicate.cache_hits``
+counters, ``predicate.latency_seconds`` histogram of fresh-call
+latency), and fresh invocations open a ``predicate.call`` span when
+tracing is enabled.  See :mod:`repro.observability`.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from typing import (
     Optional,
     Tuple,
 )
+
+from repro.observability import get_metrics, get_tracer
 
 __all__ = ["InstrumentedPredicate"]
 
@@ -62,13 +70,23 @@ class InstrumentedPredicate:
 
     def __call__(self, sub_input: FrozenSet[VarName]) -> bool:
         sub_input = frozenset(sub_input)
+        metrics = get_metrics()
         self.queries += 1
+        metrics.counter("predicate.queries").inc()
         cached = self._cache.get(sub_input)
         if cached is not None:
+            metrics.counter("predicate.cache_hits").inc()
             return cached
         self.calls += 1
+        metrics.counter("predicate.calls").inc()
         self.virtual_clock += self._cost_per_call
-        outcome = self._predicate(sub_input)
+        with get_tracer().span("predicate.call", size=len(sub_input)) as sp:
+            before = time.perf_counter()
+            outcome = self._predicate(sub_input)
+            sp.set_attr("outcome", outcome)
+        metrics.histogram("predicate.latency_seconds").observe(
+            time.perf_counter() - before
+        )
         self._cache[sub_input] = outcome
         if outcome:
             size = self._size_of(sub_input)
@@ -83,5 +101,26 @@ class InstrumentedPredicate:
         return (time.perf_counter() - self._start) + self.virtual_clock
 
     def reset_clock(self) -> None:
+        """Restart only the time axis (clock + virtual cost).
+
+        The cache, counters, timeline, and best-so-far survive — use
+        :meth:`reset` to make the wrapper safe for reuse across runs.
+        """
         self._start = time.perf_counter()
         self.virtual_clock = 0.0
+
+    def reset(self) -> None:
+        """Forget everything: cache, counters, best-so-far, timeline, clock.
+
+        Strategies that reuse one instrumented predicate across runs
+        (e.g. back-to-back experiments on the same oracle) must call
+        this between runs, otherwise ``calls``/``timeline``/``best_*``
+        from the previous run leak into the next result.
+        """
+        self._cache.clear()
+        self.calls = 0
+        self.queries = 0
+        self.best_size = None
+        self.best_input = None
+        self.timeline.clear()
+        self.reset_clock()

@@ -32,6 +32,7 @@ from typing import (
 
 from repro.logic.cnf import CNF, Clause
 from repro.logic.msa import MsaSolver
+from repro.observability import get_metrics, get_tracer
 from repro.reduction.problem import ReductionError
 
 __all__ = ["Progression", "build_progression"]
@@ -105,43 +106,49 @@ def build_progression(
             space contains no valid sub-input hitting every learned set.
     """
     scope = frozenset(scope)
-    strengthened = constraint.restrict(scope)
-    for learned_set in learned:
-        inside = frozenset(learned_set) & scope
-        if not inside:
+    learned = list(learned)
+    get_metrics().counter("progression.rebuilds").inc()
+    with get_tracer().span(
+        "progression.build", scope=len(scope), learned=len(learned)
+    ) as sp:
+        strengthened = constraint.restrict(scope)
+        for learned_set in learned:
+            inside = frozenset(learned_set) & scope
+            if not inside:
+                raise ReductionError(
+                    "learned set fell fully outside the search space"
+                )
+            strengthened.add_clause(Clause.implication([], inside))
+
+        scoped_order = [v for v in order if v in scope]
+        solver = MsaSolver(strengthened, scoped_order)
+
+        first = solver.compute(require_true=frozenset(require_true) & scope)
+        if first is None:
             raise ReductionError(
-                "learned set fell fully outside the search space"
+                "R+ is unsatisfiable: no valid sub-input in the search space"
             )
-        strengthened.add_clause(Clause.implication([], inside))
 
-    scoped_order = [v for v in order if v in scope]
-    solver = MsaSolver(strengthened, scoped_order)
+        entries: List[FrozenSet[VarName]] = [first]
+        covered = set(first)
+        for var in scoped_order:
+            if var in covered:
+                continue
+            extended = solver.extend(covered, [var])
+            if extended is None:
+                raise ReductionError(
+                    f"could not extend progression with {var!r}; "
+                    "is R(J) violated?"
+                )
+            entry = frozenset(extended - covered)
+            entries.append(entry)
+            covered = set(extended)
 
-    first = solver.compute(require_true=frozenset(require_true) & scope)
-    if first is None:
-        raise ReductionError(
-            "R+ is unsatisfiable: no valid sub-input in the search space"
-        )
-
-    entries: List[FrozenSet[VarName]] = [first]
-    covered = set(first)
-    for var in scoped_order:
-        if var in covered:
-            continue
-        extended = solver.extend(covered, [var])
-        if extended is None:
-            raise ReductionError(
-                f"could not extend progression with {var!r}; "
-                "is R(J) violated?"
-            )
-        entry = frozenset(extended - covered)
-        entries.append(entry)
-        covered = set(extended)
-
-    leftovers = scope - covered
-    if leftovers:
-        # Unconstrained stragglers (can't happen with scoped_order built
-        # from a complete order, but guard against partial orders).
-        entries.append(frozenset(leftovers))
+        leftovers = scope - covered
+        if leftovers:
+            # Unconstrained stragglers (can't happen with scoped_order built
+            # from a complete order, but guard against partial orders).
+            entries.append(frozenset(leftovers))
+        sp.set_attr("entries", len(entries))
 
     return Progression(entries)

@@ -1,0 +1,89 @@
+"""Tests for the metrics registry: counters, gauges, histogram edges."""
+
+import pytest
+
+from repro.observability import MetricsRegistry, counter_deltas
+from repro.observability.metrics import Histogram
+
+
+class TestCounters:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_inc_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.snapshot()["counters"] == {"hits": 5}
+
+    def test_counter_values_is_plain_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(2)
+        values = registry.counter_values()
+        values["x"] = 99  # mutating the snapshot must not touch the registry
+        assert registry.counter("x").value == 2
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(7)
+        assert registry.snapshot()["gauges"] == {"depth": 7}
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_edge_lands_in_that_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.0)  # exactly on the first bound -> bucket 0
+        hist.observe(2.0)  # exactly on the second bound -> bucket 1
+        assert hist.counts == [1, 1, 0, 0]
+
+    def test_value_above_last_edge_overflows(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.counts == [0, 0, 1]
+
+    def test_value_below_first_edge(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.0)
+        hist.observe(-5.0)
+        assert hist.counts == [2, 0, 0]
+
+    def test_sum_count_mean(self):
+        hist = Histogram("h", buckets=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(6.0)
+        assert hist.mean() == pytest.approx(2.0)
+
+    def test_unsorted_bounds_are_sorted(self):
+        hist = Histogram("h", buckets=(4.0, 1.0, 2.0))
+        assert hist.buckets == (1.0, 2.0, 4.0)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestReset:
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 0}
+        assert snapshot["gauges"] == {"g": 0.0}
+        assert snapshot["histograms"]["h"]["count"] == 0
+        assert snapshot["histograms"]["h"]["counts"] == [0, 0]
+
+
+class TestCounterDeltas:
+    def test_deltas_ignore_unchanged_and_unknown(self):
+        before = {"a": 1, "b": 5}
+        after = {"a": 4, "b": 5, "c": 2}
+        assert counter_deltas(before, after) == {"a": 3, "c": 2}

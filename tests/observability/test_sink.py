@@ -1,0 +1,135 @@
+"""JSONL round-trip tests: emit → load_trace → summarize."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    load_trace,
+    render_summary,
+    summarize,
+    write_trace,
+)
+
+
+def _sample_trace(path):
+    tracer = Tracer()
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    metrics = MetricsRegistry()
+    metrics.counter("widget.count").inc(42)
+    metrics.gauge("depth").set(3)
+    metrics.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+    write_trace(str(path), tracer, metrics, label="sample")
+    return tracer, metrics
+
+
+class TestRoundTrip:
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _sample_trace(path)
+        lines = path.read_text().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "meta"
+        assert parsed[0]["label"] == "sample"
+        kinds = {p["type"] for p in parsed}
+        assert kinds == {"meta", "span", "counter", "gauge", "histogram"}
+
+    def test_load_trace_matches_emitted_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer, _ = _sample_trace(path)
+        events = load_trace(str(path))
+        spans = [e for e in events if e["type"] == "span"]
+        assert [s["name"] for s in spans] == [
+            e.name for e in tracer.events()
+        ]
+        counters = {
+            e["name"]: e["value"] for e in events if e["type"] == "counter"
+        }
+        assert counters == {"widget.count": 42}
+
+    def test_summarize_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer, _ = _sample_trace(path)
+        summary = summarize(load_trace(str(path)))
+        assert summary["spans"]["inner"]["count"] == 2
+        assert summary["spans"]["outer"]["count"] == 1
+        assert summary["counters"] == {"widget.count": 42}
+        assert summary["gauges"] == {"depth": 3}
+        assert summary["histograms"]["lat"]["count"] == 1
+        # Summarizing raw SpanEvents gives the same span stats.
+        direct = summarize(tracer.events())
+        assert direct["spans"].keys() == summary["spans"].keys()
+
+    def test_concatenated_traces_sum_counters(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _sample_trace(a)
+        _sample_trace(b)
+        merged = load_trace(str(a)) + load_trace(str(b))
+        assert summarize(merged)["counters"]["widget.count"] == 84
+
+    def test_write_to_stream(self):
+        buffer = io.StringIO()
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        lines = write_trace(buffer, tracer)
+        buffer.seek(0)
+        assert lines == 2
+        assert len(load_trace(buffer)) == 2
+
+
+class TestErrors:
+    def test_malformed_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(str(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            load_trace(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"type": "meta"}\n\n\n{"type": "counter", '
+                        '"name": "x", "value": 1}\n')
+        assert len(load_trace(str(path))) == 2
+
+
+class TestSummaryStats:
+    def test_p95_nearest_rank(self):
+        events = [
+            {"type": "span", "name": "s", "duration": float(i)}
+            for i in range(1, 101)
+        ]
+        summary = summarize(events)
+        assert summary["spans"]["s"]["p95"] == 95.0
+        assert summary["spans"]["s"]["max"] == 100.0
+        assert summary["spans"]["s"]["mean"] == pytest.approx(50.5)
+
+    def test_p95_single_value(self):
+        events = [{"type": "span", "name": "s", "duration": 2.5}]
+        assert summarize(events)["spans"]["s"]["p95"] == 2.5
+
+    def test_render_summary_mentions_everything(self):
+        events = [
+            {"type": "span", "name": "phase.one", "duration": 0.5},
+            {"type": "counter", "name": "hits", "value": 3},
+            {"type": "gauge", "name": "depth", "value": 2},
+            {"type": "histogram", "name": "lat", "count": 1, "sum": 0.1},
+        ]
+        text = render_summary(summarize(events))
+        for token in ("phase.one", "hits", "depth", "lat", "p95"):
+            assert token in text
+
+    def test_render_empty_summary(self):
+        assert "empty" in render_summary(summarize([]))

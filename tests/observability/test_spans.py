@@ -1,0 +1,121 @@
+"""Tests for the span tracer: nesting, ordering, thread-locality, no-op."""
+
+import threading
+
+from repro.observability import Tracer, get_tracer, set_tracer
+from repro.observability.spans import _NULL_SPAN
+
+
+class TestNesting:
+    def test_parent_links_follow_lexical_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        by_name = {e.name: e for e in tracer.events()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == outer.span_id
+        assert by_name["inner"].parent_id == middle.span_id
+        assert by_name["inner"].parent_id != by_name["middle"].parent_id
+
+    def test_events_recorded_in_finish_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        assert [e.name for e in tracer.events()] == ["b", "c", "a"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("s1"):
+                pass
+            with tracer.span("s2"):
+                pass
+        by_name = {e.name: e for e in tracer.events()}
+        assert by_name["s1"].parent_id == root.span_id
+        assert by_name["s2"].parent_id == root.span_id
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {e.name: e for e in tracer.events()}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert inner.start >= outer.start
+        assert inner.duration <= outer.duration
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as sp:
+            sp.set_attr("entries", 7)
+        (event,) = tracer.events()
+        assert event.attrs == {"size": 3, "entries": 7}
+
+    def test_exception_still_records_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [e.name for e in tracer.events()] == ["doomed"]
+
+
+class TestThreads:
+    def test_parents_do_not_cross_threads(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+            done.set()
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        by_name = {e.name: e for e in tracer.events()}
+        # The worker's span must be a root, not a child of main-root.
+        assert by_name["thread-root"].parent_id is None
+
+
+class TestDisabled:
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored", size=1) as sp:
+            sp.set_attr("more", 2)
+        assert tracer.events() == []
+
+    def test_disabled_tracer_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is _NULL_SPAN
+        assert tracer.span("b") is tracer.span("c")
+
+    def test_global_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_set_tracer_swaps_and_restores(self):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            assert get_tracer() is fresh
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+
+class TestClear:
+    def test_clear_drops_events(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert len(tracer.events()) == 1
+        tracer.clear()
+        assert tracer.events() == []

@@ -100,3 +100,27 @@ class TestInstrumentedPredicate:
         )
         wrapped(frozenset({"a"}))
         assert wrapped.best_size == 100
+
+    def test_reset_clock_keeps_run_state(self):
+        wrapped = InstrumentedPredicate(lambda s: True, cost_per_call=5.0)
+        wrapped(frozenset({"a"}))
+        wrapped.reset_clock()
+        assert wrapped.virtual_clock == 0.0
+        assert wrapped.calls == 1  # only the clock restarted
+
+    def test_full_reset_makes_reuse_safe(self):
+        wrapped = InstrumentedPredicate(lambda s: "bug" in s, cost_per_call=5.0)
+        wrapped(frozenset({"bug", "x"}))
+        wrapped(frozenset({"bug"}))
+        wrapped.reset()
+        assert wrapped.calls == 0
+        assert wrapped.queries == 0
+        assert wrapped.virtual_clock == 0.0
+        assert wrapped.best_size is None
+        assert wrapped.best_input is None
+        assert wrapped.timeline == []
+        # The memo cache is gone too: the same query is a fresh call.
+        wrapped(frozenset({"bug"}))
+        assert wrapped.calls == 1
+        assert wrapped.best_size == 1
+        assert [size for (_, size) in wrapped.timeline] == [1]

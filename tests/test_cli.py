@@ -1,8 +1,12 @@
 """Tests for the jlreduce CLI."""
 
+import json
+import re
+
 import pytest
 
 from repro.cli import main
+from repro.observability import load_trace, summarize
 
 FJI_SOURCE = """
 interface I { String m(); }
@@ -69,6 +73,151 @@ class TestReduce:
     def test_unknown_item(self, fji_file, capsys):
         assert main(["reduce", fji_file, "--keep", "[Nope]"]) == 1
         assert "unknown item" in capsys.readouterr().err
+
+
+class TestReduceJson:
+    def test_json_payload_matches_human_output(self, fji_file, capsys):
+        assert main(["reduce", fji_file, "--keep", "[A.m()!code]"]) == 0
+        human = capsys.readouterr().out
+        match = re.search(
+            r"kept (\d+) of (\d+) items in (\d+) predicate runs", human
+        )
+        assert match is not None
+        kept, total, calls = map(int, match.groups())
+
+        assert main(
+            ["reduce", fji_file, "--keep", "[A.m()!code]", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kept_items"] == kept == len(payload["solution"])
+        assert payload["total_items"] == total
+        assert payload["predicate_calls"] == calls
+        assert payload["keep"] == ["[A.m()!code]"]
+        assert "[A.m()!code]" in payload["solution"]
+        assert payload["metrics"]["predicate.calls"] == calls
+
+
+class TestReduceTrace:
+    def test_trace_counts_match_printed_calls(self, fji_file, tmp_path,
+                                              capsys):
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main(
+            ["reduce", fji_file, "--keep", "[A.m()!code]",
+             "--trace", trace_file]
+        ) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"in (\d+) predicate runs", out)
+        assert match is not None
+        printed_calls = int(match.group(1))
+
+        events = load_trace(trace_file)
+        assert events[0]["type"] == "meta"
+        summary = summarize(events)
+        assert summary["counters"]["predicate.calls"] == printed_calls
+        assert "gbr.run" in summary["spans"]
+        assert "progression.build" in summary["spans"]
+
+    def test_unwritable_trace_path_fails_cleanly(self, fji_file, capsys):
+        assert main(
+            ["reduce", fji_file, "--trace", "/nonexistent-dir/out.jsonl"]
+        ) == 1
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_trace_composes_with_json(self, fji_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main(
+            ["reduce", fji_file, "--json", "--trace", trace_file]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = summarize(load_trace(trace_file))
+        assert (
+            summary["counters"]["predicate.calls"]
+            == payload["predicate_calls"]
+        )
+
+
+class TestBenchJson:
+    @pytest.fixture()
+    def tiny_corpus(self, monkeypatch):
+        from repro.workloads.corpus import CorpusConfig
+
+        monkeypatch.setattr(
+            CorpusConfig,
+            "small",
+            classmethod(
+                lambda cls: cls(
+                    num_benchmarks=2, min_classes=8, max_classes=12
+                )
+            ),
+        )
+
+    def test_bench_json_payload(self, tiny_corpus, capsys):
+        assert main(["bench", "--profile", "small", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"] == "small"
+        assert payload["outcomes"]
+        outcome = payload["outcomes"][0]
+        for key in (
+            "benchmark_id", "decompiler", "strategy", "total_bytes",
+            "final_bytes", "predicate_calls", "metrics",
+        ):
+            assert key in outcome
+        gbr_runs = [
+            o for o in payload["outcomes"] if o["strategy"] == "our-reducer"
+        ]
+        assert gbr_runs
+        assert all(
+            o["metrics"]["predicate.calls"] == o["predicate_calls"]
+            for o in gbr_runs
+        )
+
+    def test_bench_trace_writes_instance_spans(self, tiny_corpus, tmp_path,
+                                               capsys):
+        trace_file = str(tmp_path / "bench.jsonl")
+        assert main(
+            ["bench", "--profile", "small", "--json",
+             "--trace", trace_file]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = summarize(load_trace(trace_file))
+        assert (
+            summary["spans"]["instance.run"]["count"]
+            == len(payload["outcomes"])
+        )
+        for phase in ("instance.setup", "instance.reduce",
+                      "instance.measure"):
+            assert phase in summary["spans"]
+
+
+class TestTraceSummarize:
+    def test_summarize_prints_tables(self, fji_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main(["reduce", fji_file, "--trace", trace_file]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "spans (seconds)" in out
+        assert "counters" in out
+        assert "gbr.run" in out
+        assert "predicate.calls" in out
+
+    def test_summarize_json(self, fji_file, tmp_path, capsys):
+        trace_file = str(tmp_path / "run.jsonl")
+        assert main(["reduce", fji_file, "--trace", trace_file]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", trace_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "spans" in payload and "counters" in payload
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["trace", "summarize", "/nonexistent.jsonl"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        assert main(["trace", "summarize", str(path)]) == 1
+        assert "bad JSONL" in capsys.readouterr().err
 
 
 class TestParser:
