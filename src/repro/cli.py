@@ -9,8 +9,10 @@ Subcommands:
   to the smallest valid sub-program whose kept-item set contains the
   named items (a containment predicate stands in for the buggy tool;
   item syntax matches the bracket rendering, e.g. ``[A.m()!code]``).
-- ``jlreduce bench [--profile small|paper]`` — run the corpus experiment
-  and print the Section 5 reports.
+- ``jlreduce bench [--profile small|paper] [--jobs N] [--store F]`` —
+  run the corpus experiment and print the Section 5 reports; ``--jobs``
+  fans instances out to a worker pool (0: one per CPU), ``--store``
+  persists predicate outcomes so repeat runs skip fresh invocations.
 - ``jlreduce trace summarize FILE.jsonl`` — aggregate a JSONL trace
   written by ``--trace`` (per-span totals/mean/p95, counter totals).
 
@@ -81,6 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus size profile (default: small)",
     )
     bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for instance runs (0: one per CPU; default 1)",
+    )
+    bench.add_argument(
+        "--store",
+        metavar="FILE.jsonl",
+        help="persistent predicate cache; warm entries skip fresh "
+        "predicate invocations",
+    )
+    bench.add_argument(
         "--trace",
         metavar="FILE.jsonl",
         help="write span/metric telemetry for the experiment as JSONL",
@@ -114,7 +129,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "reduce":
         return _reduce(args.file, args.keep, args.trace, args.json)
     if args.command == "bench":
-        return _bench(args.profile, args.trace, args.json)
+        return _bench(
+            args.profile, args.trace, args.json, args.jobs, args.store
+        )
     if args.command == "trace":
         if args.trace_command == "summarize":
             return _trace_summarize(args.file, args.json)
@@ -268,10 +285,15 @@ def _bench(
     profile: str,
     trace_path: Optional[str] = None,
     json_output: bool = False,
+    jobs: int = 1,
+    store_path: Optional[str] = None,
 ) -> int:
     from repro.observability import tracing_session, write_trace
     from repro.workloads.corpus import CorpusConfig, build_corpus
 
+    if jobs < 0:
+        print(f"jlreduce: --jobs must be >= 0, got {jobs}", file=sys.stderr)
+        return 1
     config = (
         CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
     )
@@ -281,18 +303,38 @@ def _bench(
     if not json_output:
         print(f"building corpus ({profile} profile) ...")
     corpus = build_corpus(config)
-    if trace_path:
-        trace_handle = _open_trace(trace_path)
-        if trace_handle is None:
-            return 1
-        with trace_handle:
-            with tracing_session() as (tracer, metrics):
-                outcomes = _run_bench(corpus, profile, json_output, progress)
-            write_trace(
-                trace_handle, tracer, metrics, label=f"bench {profile}"
+    store = None
+    if store_path:
+        from repro.parallel import PredicateStore
+
+        try:
+            store = PredicateStore(store_path)
+        except OSError as exc:
+            print(
+                f"jlreduce: cannot open store {store_path}: {exc}",
+                file=sys.stderr,
             )
-    else:
-        outcomes = _run_bench(corpus, profile, json_output, progress)
+            return 1
+    try:
+        if trace_path:
+            trace_handle = _open_trace(trace_path)
+            if trace_handle is None:
+                return 1
+            with trace_handle:
+                with tracing_session() as (tracer, metrics):
+                    outcomes = _run_bench(
+                        corpus, profile, json_output, progress, jobs, store
+                    )
+                write_trace(
+                    trace_handle, tracer, metrics, label=f"bench {profile}"
+                )
+        else:
+            outcomes = _run_bench(
+                corpus, profile, json_output, progress, jobs, store
+            )
+    finally:
+        if store is not None:
+            store.close()
 
     if json_output:
         from dataclasses import asdict
@@ -305,7 +347,7 @@ def _bench(
     return 0
 
 
-def _run_bench(corpus, profile, json_output, progress):
+def _run_bench(corpus, profile, json_output, progress, jobs=1, store=None):
     from repro.harness import (
         corpus_statistics,
         mean_reduction_over_time,
@@ -321,7 +363,9 @@ def _run_bench(corpus, profile, json_output, progress):
     if not json_output:
         print(render_statistics(corpus_statistics(corpus)))
         print("\nrunning strategies ...")
-    outcomes = run_corpus_experiment(corpus, progress=progress)
+    outcomes = run_corpus_experiment(
+        corpus, progress=progress, jobs=jobs, store=store
+    )
     if json_output:
         return outcomes
     print()

@@ -21,6 +21,7 @@ from repro.harness.stats import corpus_statistics, CorpusStatistics
 from repro.harness.experiments import (
     ExperimentConfig,
     InstanceOutcome,
+    oracle_fingerprint,
     run_corpus_experiment,
     run_instance,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "CorpusStatistics",
     "ExperimentConfig",
     "InstanceOutcome",
+    "oracle_fingerprint",
     "run_instance",
     "run_corpus_experiment",
     "mean_reduction_over_time",

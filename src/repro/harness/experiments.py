@@ -8,17 +8,28 @@ The paper's time axis is dominated by the decompile+compile cycle
 ("each taking 33 seconds on average"); our simulated decompilers run in
 microseconds, so outcomes also carry a *simulated* clock that charges a
 configurable cost per fresh predicate invocation — that clock is what
-the Figure 8 reproductions plot.
+the Figure 8 reproductions plot.  The simulated clock is purely virtual
+(``cost × fresh calls``), so outcomes are deterministic across hosts
+and across serial/parallel execution; only ``real_seconds`` varies.
+
+``run_corpus_experiment(..., jobs=N)`` fans instances out to the
+worker pool in :mod:`repro.parallel.runner`; passing a
+:class:`~repro.parallel.store.PredicateStore` makes predicate outcomes
+persist across runs (a warm store re-runs an instance with zero fresh
+predicate calls).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.bytecode.classfile import Application
 from repro.bytecode.constraints import class_dependency_graph
 from repro.bytecode.metrics import application_size_bytes
 from repro.bytecode.reducer import reduce_application
+from repro.bytecode.serializer import serialize_application
 from repro.observability import get_tracer
 from repro.reduction.binary import binary_reduction
 from repro.reduction.gbr import generalized_binary_reduction
@@ -31,6 +42,8 @@ from repro.workloads.corpus import Benchmark, BuggyInstance
 __all__ = [
     "ExperimentConfig",
     "InstanceOutcome",
+    "oracle_fingerprint",
+    "progress_line",
     "run_instance",
     "run_corpus_experiment",
     "STRATEGY_NAMES",
@@ -83,13 +96,32 @@ class InstanceOutcome:
         )
 
 
+def oracle_fingerprint(
+    app: Application, decompiler: str, granularity: str
+) -> str:
+    """A stable :class:`~repro.parallel.store.PredicateStore` namespace.
+
+    Hashes the serialized application bytes plus the decompiler name and
+    predicate granularity (``"item"`` or ``"class"``), so two oracles
+    share cached outcomes exactly when they are the same pure function.
+    """
+    digest = hashlib.sha256(serialize_application(app)).hexdigest()
+    return f"{granularity}:{decompiler}:{digest}"
+
+
 def run_instance(
     benchmark: Benchmark,
     instance: BuggyInstance,
     strategy: str,
     config: Optional[ExperimentConfig] = None,
+    store=None,
 ) -> InstanceOutcome:
-    """Run one strategy on one instance."""
+    """Run one strategy on one instance.
+
+    ``store`` (a :class:`~repro.parallel.store.PredicateStore`) makes
+    predicate outcomes persist: a repeat run of the same instance
+    against a warm store reports ``predicate_calls == 0``.
+    """
     config = config or ExperimentConfig()
     tracer = get_tracer()
     app = benchmark.app
@@ -97,6 +129,11 @@ def run_instance(
     total_bytes = application_size_bytes(app)
     total_classes = len(app.classes)
     watch = Stopwatch()
+
+    def _fingerprint(granularity: str) -> Optional[str]:
+        if store is None:
+            return None
+        return oracle_fingerprint(app, instance.decompiler, granularity)
 
     with tracer.span(
         "instance.run",
@@ -112,6 +149,8 @@ def run_instance(
                     size_of=lambda kept: application_size_bytes(
                         _class_subset(app, kept)
                     ),
+                    store=store,
+                    fingerprint=_fingerprint("class"),
                 )
                 graph = class_dependency_graph(app)
             with tracer.span("instance.reduce", strategy=strategy):
@@ -131,6 +170,8 @@ def run_instance(
                     size_of=lambda kept: application_size_bytes(
                         reduce_application(app, kept)
                     ),
+                    store=store,
+                    fingerprint=_fingerprint("item"),
                 )
                 problem = ReductionProblem(
                     variables=problem.variables,
@@ -160,9 +201,18 @@ def run_instance(
         final_classes=len(reduced.classes),
         predicate_calls=instrumented.calls,
         real_seconds=watch.elapsed(),
-        simulated_seconds=instrumented.now(),
+        simulated_seconds=instrumented.virtual_now(),
         timeline=list(instrumented.timeline),
         metrics=dict(result.extras.get("metrics", {})),
+    )
+
+
+def progress_line(outcome: InstanceOutcome) -> str:
+    """One human-readable status line per finished instance."""
+    return (
+        f"{outcome.benchmark_id}/{outcome.decompiler}/"
+        f"{outcome.strategy}: {outcome.relative_bytes:.1%} bytes in "
+        f"{outcome.predicate_calls} runs"
     )
 
 
@@ -170,21 +220,39 @@ def run_corpus_experiment(
     benchmarks: Sequence[Benchmark],
     config: Optional[ExperimentConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    store=None,
 ) -> List[InstanceOutcome]:
-    """Run every configured strategy on every buggy instance."""
+    """Run every configured strategy on every buggy instance.
+
+    Args:
+        benchmarks: the corpus.
+        config: shared strategy knobs.
+        progress: optional per-instance status-line callback.
+        jobs: worker threads; ``jobs != 1`` delegates to
+            :func:`repro.parallel.run_parallel_corpus_experiment`
+            (None/0 there means one worker per CPU).  Outcomes are
+            merged in serial order either way.
+        store: optional :class:`~repro.parallel.store.PredicateStore`
+            shared by every instance run.
+    """
     config = config or ExperimentConfig()
+    if jobs != 1:
+        from repro.parallel import run_parallel_corpus_experiment
+
+        return run_parallel_corpus_experiment(
+            benchmarks, config, progress=progress, jobs=jobs, store=store
+        )
     outcomes: List[InstanceOutcome] = []
     for benchmark in benchmarks:
         for instance in benchmark.instances:
             for strategy in config.strategies:
-                outcome = run_instance(benchmark, instance, strategy, config)
+                outcome = run_instance(
+                    benchmark, instance, strategy, config, store
+                )
                 outcomes.append(outcome)
                 if progress is not None:
-                    progress(
-                        f"{benchmark.benchmark_id}/{instance.decompiler}/"
-                        f"{strategy}: {outcome.relative_bytes:.1%} bytes in "
-                        f"{outcome.predicate_calls} runs"
-                    )
+                    progress(progress_line(outcome))
     return outcomes
 
 

@@ -37,6 +37,7 @@ from repro.observability.metrics import (
     MetricsRegistry,
     counter_deltas,
     get_metrics,
+    scoped_metrics,
     set_metrics,
 )
 from repro.observability.sink import (
@@ -61,6 +62,7 @@ __all__ = [
     "MetricsRegistry",
     "counter_deltas",
     "get_metrics",
+    "scoped_metrics",
     "set_metrics",
     "JsonlSink",
     "load_trace",

@@ -1,0 +1,37 @@
+"""Parallel experiment execution and the persistent predicate cache.
+
+The ROADMAP's north star is throughput: the harness used to run every
+(benchmark × decompiler × strategy) instance strictly serially with no
+outcome reuse across runs, even though the predicate — the paper's
+~33-second decompile+compile cycle — is a pure function of (oracle,
+kept items).  This package amortizes both axes:
+
+- :mod:`repro.parallel.runner` — a worker-pool corpus runner that fans
+  independent instances out and merges outcomes deterministically in
+  serial order (``jlreduce bench --jobs N``),
+- :mod:`repro.parallel.store` — :class:`PredicateStore`, an append-only
+  JSONL cache of predicate outcomes keyed by oracle fingerprint +
+  canonical sub-input hash, which
+  :class:`~repro.reduction.predicate.InstrumentedPredicate` reads
+  through and writes back, so repeat runs of the same instance cost
+  zero fresh predicate calls.
+
+Both lean on the concurrency-safe telemetry in
+:mod:`repro.observability`: lock-protected metrics and thread-scoped
+per-run registries (:func:`~repro.observability.scoped_metrics`), so
+concurrent reductions never pollute each other's
+``extras['metrics']``.
+"""
+
+from repro.parallel.runner import (
+    resolve_jobs,
+    run_parallel_corpus_experiment,
+)
+from repro.parallel.store import PredicateStore, fingerprint_of
+
+__all__ = [
+    "PredicateStore",
+    "fingerprint_of",
+    "resolve_jobs",
+    "run_parallel_corpus_experiment",
+]

@@ -1,0 +1,101 @@
+"""Fan corpus instances out to a worker pool, merge deterministically.
+
+Every (benchmark × decompiler × strategy) instance is independent: its
+predicate outcomes, progression rebuilds, and telemetry depend only on
+the instance itself.  That makes the corpus experiment embarrassingly
+parallel — the only historical obstacles were the telemetry bugs this
+package's sibling fixes removed (global-counter-delta attribution and
+the real-time-contaminated simulated clock).
+
+Why threads and not processes: the corpus objects (applications,
+oracles, closures over both) are not picklable, and the simulated
+decompilers are microsecond-scale pure Python, so the run is dominated
+by many small GIL-released-free steps rather than one hot C loop.  A
+thread pool gets the structure right — per-run scoped metrics, a shared
+persistent :class:`~repro.parallel.store.PredicateStore`, thread-local
+span nesting — and a process pool can slot in behind the same function
+once the corpus grows a serialized form.
+
+Determinism: results are merged in *serial order* — the exact order the
+serial runner would produce — regardless of completion order, and every
+:class:`~repro.harness.experiments.InstanceOutcome` field except
+``real_seconds`` is identical to a serial run's (the simulated clock
+and timeline are virtual, the metrics are per-run scoped).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from repro.harness.experiments import (
+    ExperimentConfig,
+    InstanceOutcome,
+    progress_line,
+    run_instance,
+)
+from repro.workloads.corpus import Benchmark
+
+__all__ = ["run_parallel_corpus_experiment", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def run_parallel_corpus_experiment(
+    benchmarks: Sequence[Benchmark],
+    config: Optional[ExperimentConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
+    store=None,
+) -> List[InstanceOutcome]:
+    """Run every configured strategy on every instance, ``jobs`` at a time.
+
+    Args:
+        benchmarks: the corpus.
+        config: shared strategy knobs.
+        progress: optional line callback; called in serial order (an
+            instance's line is emitted only after every earlier
+            instance finished), so output is reproducible.
+        jobs: worker threads (None/0: one per CPU; 1 degenerates to a
+            serial run through the same code path).
+        store: optional :class:`~repro.parallel.store.PredicateStore`
+            shared by all workers (it is thread-safe).  Note that a warm
+            store changes ``predicate_calls`` — byte-for-byte serial
+            equality holds for cold or absent stores.
+
+    Returns:
+        Outcomes in serial order: benchmarks, then instances, then
+        strategies, exactly like the serial runner.
+    """
+    config = config or ExperimentConfig()
+    jobs = resolve_jobs(jobs)
+    tasks = [
+        (benchmark, instance, strategy)
+        for benchmark in benchmarks
+        for instance in benchmark.instances
+        for strategy in config.strategies
+    ]
+    outcomes: List[InstanceOutcome] = []
+    with ThreadPoolExecutor(
+        max_workers=max(1, jobs), thread_name_prefix="jlreduce-worker"
+    ) as pool:
+        futures = [
+            pool.submit(
+                run_instance, benchmark, instance, strategy, config, store
+            )
+            for benchmark, instance, strategy in tasks
+        ]
+        for future in futures:
+            outcome = future.result()
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(progress_line(outcome))
+    return outcomes

@@ -1,0 +1,155 @@
+"""A persistent, append-only predicate cache (JSONL on disk).
+
+The paper's wall-clock is dominated by predicate invocations — one
+decompile+compile cycle averages ~33 s — and the outcome of a predicate
+on a kept-item set is a pure function of (oracle, kept items).  So the
+single highest-leverage cache in the system is one that *persists*
+those outcomes across processes: a repeat run of the same instance
+against a warm store costs zero fresh predicate calls.
+
+Key scheme (two-level, collision-resistant):
+
+- **fingerprint** — a stable identifier of the oracle: which program,
+  which decompiler, and at which granularity the predicate operates
+  (the harness hashes the serialized application bytes; see
+  ``repro.harness.experiments``).  Entries under different fingerprints
+  never mix, so one store file can serve a whole corpus.
+- **key** — SHA-256 over the sorted ``str()`` renderings of the kept
+  items, joined with an unprintable separator.  Canonical: independent
+  of set iteration order and of the item objects' identity, so any
+  process that reaches the same kept-item set hits the same entry.
+
+File format: one JSON object per line, ``{"f": fingerprint, "k": key,
+"v": outcome}``.  Append-only, so concurrent writers on POSIX never
+corrupt earlier entries; a torn final line (killed process, full disk)
+is tolerated on load and overwritten by later appends.  Within one
+process the store is thread-safe (one lock around the memory index and
+the file handle).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+__all__ = ["PredicateStore", "fingerprint_of"]
+
+VarName = Hashable
+
+_SEPARATOR = "\x1f"  # ASCII unit separator: never in an item rendering
+
+
+def fingerprint_of(*parts: str) -> str:
+    """A stable oracle fingerprint from arbitrary string parts."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(_SEPARATOR.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class PredicateStore:
+    """On-disk predicate outcomes, keyed by (fingerprint, sub-input).
+
+    Usage::
+
+        store = PredicateStore("outcomes.jsonl")
+        predicate = InstrumentedPredicate(
+            raw, store=store, fingerprint=fp
+        )
+        ...
+        store.close()
+
+    The constructor loads every well-formed line of an existing file
+    (malformed lines — e.g. a truncated final line from a killed writer
+    — are skipped and counted in :attr:`corrupt_lines`), then reopens
+    the file for appending.  :meth:`record` writes through immediately,
+    one flushed line per new outcome.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str], bool] = {}
+        self.corrupt_lines = 0
+        self._needs_newline = False
+        self._load()
+        self._handle = open(self._path, "a", encoding="utf-8")
+        if self._needs_newline:
+            # The file ends mid-line (torn write): start appends on a
+            # fresh line so the next record isn't corrupted too.
+            self._handle.write("\n")
+            self._handle.flush()
+
+    @staticmethod
+    def key_of(sub_input: Iterable[VarName]) -> str:
+        """Canonical hash of a kept-item set (order-independent)."""
+        rendered = _SEPARATOR.join(sorted(str(v) for v in sub_input))
+        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+    # -- lookup / record -----------------------------------------------------
+
+    def lookup(
+        self, fingerprint: str, sub_input: FrozenSet[VarName]
+    ) -> Optional[bool]:
+        """The stored outcome for this oracle + sub-input, or None."""
+        return self._entries.get((fingerprint, self.key_of(sub_input)))
+
+    def record(
+        self, fingerprint: str, sub_input: FrozenSet[VarName], outcome: bool
+    ) -> None:
+        """Persist an outcome (idempotent; last write wins on conflict)."""
+        key = (fingerprint, self.key_of(sub_input))
+        line = json.dumps(
+            {"f": fingerprint, "k": key[1], "v": bool(outcome)}
+        )
+        with self._lock:
+            if self._entries.get(key) == bool(outcome):
+                return
+            self._entries[key] = bool(outcome)
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "PredicateStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            handle = open(self._path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return
+        with handle:
+            for line in handle:
+                self._needs_newline = not line.endswith("\n")
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    fingerprint = entry["f"]
+                    key = entry["k"]
+                    outcome = bool(entry["v"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    self.corrupt_lines += 1
+                    continue
+                self._entries[(fingerprint, key)] = outcome

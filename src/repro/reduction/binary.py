@@ -26,7 +26,7 @@ from typing import (
 
 from repro.graphs.closure import all_item_closures, closure_of
 from repro.graphs.digraph import DiGraph
-from repro.observability import counter_deltas, get_metrics, get_tracer
+from repro.observability import get_tracer, scoped_metrics
 from repro.reduction.predicate import InstrumentedPredicate
 from repro.reduction.problem import (
     ReductionError,
@@ -110,14 +110,14 @@ def binary_reduction(
     the starting base).
     """
     watch = Stopwatch()
-    metrics = get_metrics()
-    counters_before = metrics.counter_values()
     instrumented = (
         predicate
         if isinstance(predicate, InstrumentedPredicate)
         else InstrumentedPredicate(predicate)
     )
-    with get_tracer().span(
+    calls_before = instrumented.calls
+    timeline_before = len(instrumented.timeline)
+    with scoped_metrics() as run_metrics, get_tracer().span(
         "binary.run", nodes=len(graph.nodes), strategy=strategy
     ) as sp:
         closures = all_item_closures(graph)
@@ -128,12 +128,14 @@ def binary_reduction(
     return ReductionResult(
         solution=solution,
         strategy=strategy,
-        predicate_calls=instrumented.calls,
+        predicate_calls=instrumented.calls - calls_before,
         elapsed_seconds=watch.elapsed(),
-        timeline=list(instrumented.timeline),
+        timeline=list(instrumented.timeline[timeline_before:]),
         extras={
-            "metrics": dict(
-                counter_deltas(counters_before, metrics.counter_values())
-            )
+            "metrics": {
+                name: value
+                for name, value in run_metrics.counter_values().items()
+                if value
+            }
         },
     )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence
 
-from repro.observability import counter_deltas, get_metrics, get_tracer
+from repro.observability import get_metrics, get_tracer, scoped_metrics
 from repro.reduction.ordering import declaration_order, dependency_order
 from repro.reduction.predicate import InstrumentedPredicate
 from repro.reduction.problem import (
@@ -77,10 +77,11 @@ def generalized_binary_reduction(
         ``P`` and ``R``.
     """
     watch = Stopwatch()
-    metrics = get_metrics()
     tracer = get_tracer()
-    counters_before = metrics.counter_values()
     predicate = _instrument(problem)
+    calls_before = predicate.calls
+    queries_before = predicate.queries
+    timeline_before = len(predicate.timeline)
     constraint = problem.constraint
     if order is None:
         order = dependency_order(constraint, problem.variables)
@@ -90,7 +91,7 @@ def generalized_binary_reduction(
     universe = problem.universe
     limit = max_iterations if max_iterations is not None else len(universe) + 1
 
-    with tracer.span(
+    with scoped_metrics() as run_metrics, tracer.span(
         "gbr.run", variables=len(universe), description=problem.description
     ) as run_span:
         learned: List[FrozenSet[VarName]] = []
@@ -109,7 +110,7 @@ def generalized_binary_reduction(
                     "GBR exceeded its iteration bound; "
                     "is the predicate monotone on valid sub-inputs?"
                 )
-            metrics.counter("gbr.iterations").inc()
+            run_metrics.counter("gbr.iterations").inc()
             with tracer.span(
                 "gbr.iteration",
                 iteration=iterations,
@@ -134,13 +135,13 @@ def generalized_binary_reduction(
     return ReductionResult(
         solution=solution,
         strategy="gbr",
-        predicate_calls=predicate.calls,
+        predicate_calls=predicate.calls - calls_before,
         elapsed_seconds=watch.elapsed(),
         iterations=iterations,
-        timeline=list(predicate.timeline),
+        timeline=list(predicate.timeline[timeline_before:]),
         extras={
             "metrics": _run_metrics(
-                counters_before, metrics.counter_values(), predicate
+                run_metrics, predicate, calls_before, queries_before
             )
         },
     )
@@ -154,19 +155,29 @@ def _instrument(problem: ReductionProblem) -> InstrumentedPredicate:
 
 
 def _run_metrics(
-    before: dict, after: dict, predicate: InstrumentedPredicate
+    run_metrics,
+    predicate: InstrumentedPredicate,
+    calls_before: int,
+    queries_before: int,
 ) -> dict:
     """Telemetry for ``ReductionResult.extras['metrics']``.
 
-    Counter deltas attribute the global registry's activity (solver
-    decisions, #SAT cache hits, MSA repairs, probes, ...) to this run;
-    the predicate-level stats come straight off the wrapper, so they are
-    exact even when the same wrapper is shared across runs.
+    ``run_metrics`` is this run's scoped registry (see
+    :func:`repro.observability.scoped_metrics`), so the counters cover
+    exactly this run even when other reductions execute concurrently.
+    The predicate hit rate is computed from start-of-run snapshots of
+    the wrapper's ``calls``/``queries``, so it is exact even when the
+    same wrapper is shared across runs.
     """
-    run = dict(counter_deltas(before, after))
-    queries = predicate.queries
+    run = {
+        name: value
+        for name, value in run_metrics.counter_values().items()
+        if value
+    }
+    queries = predicate.queries - queries_before
+    calls = predicate.calls - calls_before
     run["predicate.cache_hit_rate"] = (
-        round(1.0 - predicate.calls / queries, 4) if queries else 0.0
+        round(1.0 - calls / queries, 4) if queries else 0.0
     )
     return run
 

@@ -8,11 +8,28 @@ the smallest input until that point that preserves the error message").
 three, with memoization so repeated queries on the same sub-input are
 counted once — the paper's tools cache runs the same way.
 
-Telemetry: every query also feeds the process-global metrics registry
+Clocks: the wrapper keeps two.  The *real* clock is host wall time since
+construction (or :meth:`reset_clock`).  The *virtual* clock charges
+``cost_per_call`` simulated seconds per fresh invocation and nothing
+else, so it is a deterministic function of the query sequence —
+independent of host speed.  When a virtual cost is configured, the
+timeline and :meth:`virtual_now` use only the virtual clock (that is
+what the Figure 8b reproductions plot); without one, the timeline falls
+back to real time.
+
+Persistence: an optional *store* (see
+:class:`repro.parallel.store.PredicateStore`) makes outcomes survive
+across processes.  On an in-memory miss the wrapper reads through to the
+store; fresh outcomes are written back.  Store hits count as cache hits,
+not calls, so a warm store makes repeat runs cost zero fresh predicate
+invocations.
+
+Telemetry: every query also feeds the active metrics registry
 (``predicate.calls`` / ``predicate.queries`` / ``predicate.cache_hits``
-counters, ``predicate.latency_seconds`` histogram of fresh-call
-latency), and fresh invocations open a ``predicate.call`` span when
-tracing is enabled.  See :mod:`repro.observability`.
+/ ``predicate.store_hits`` counters, ``predicate.latency_seconds``
+histogram of fresh-call latency), and fresh invocations open a
+``predicate.call`` span when tracing is enabled.  See
+:mod:`repro.observability`.
 """
 
 from __future__ import annotations
@@ -41,13 +58,19 @@ class InstrumentedPredicate:
 
     Args:
         predicate: the raw black-box predicate.
-        cost_per_call: optional simulated seconds added to the *recorded*
-            timeline per fresh invocation.  The paper's decompile+compile
+        cost_per_call: optional simulated seconds added to the *virtual*
+            clock per fresh invocation.  The paper's decompile+compile
             cycle averages ~33 s; our simulated decompilers run in
             microseconds, so benchmarks can model the paper's time axis by
             charging a virtual cost without actually sleeping.
         size_of: how to measure a sub-input for the timeline (defaults to
             ``len``; the harness passes serialized-bytes measures).
+        store: optional persistent predicate cache, duck-typed with
+            ``lookup(fingerprint, sub_input)`` returning ``bool | None``
+            and ``record(fingerprint, sub_input, outcome)``.
+        fingerprint: stable identifier of the underlying oracle; required
+            when ``store`` is given (it namespaces the store entries so
+            different oracles never share outcomes).
     """
 
     def __init__(
@@ -55,13 +78,22 @@ class InstrumentedPredicate:
         predicate: Predicate,
         cost_per_call: float = 0.0,
         size_of: Optional[Callable[[FrozenSet[VarName]], int]] = None,
+        store=None,
+        fingerprint: Optional[str] = None,
     ):
+        if store is not None and not fingerprint:
+            raise ValueError(
+                "a predicate store needs an oracle fingerprint to key by"
+            )
         self._predicate = predicate
         self._cost_per_call = cost_per_call
         self._size_of = size_of or len
+        self._store = store
+        self._fingerprint = fingerprint
         self._cache: Dict[FrozenSet[VarName], bool] = {}
         self.calls = 0  # fresh (uncached) invocations
         self.queries = 0  # all queries, cached included
+        self.store_hits = 0  # queries answered by the persistent store
         self.virtual_clock = 0.0
         self.best_size: Optional[int] = None
         self.best_input: Optional[FrozenSet[VarName]] = None
@@ -77,6 +109,16 @@ class InstrumentedPredicate:
         if cached is not None:
             metrics.counter("predicate.cache_hits").inc()
             return cached
+        if self._store is not None:
+            stored = self._store.lookup(self._fingerprint, sub_input)
+            if stored is not None:
+                self.store_hits += 1
+                metrics.counter("predicate.cache_hits").inc()
+                metrics.counter("predicate.store_hits").inc()
+                self._cache[sub_input] = stored
+                if stored:
+                    self._note_success(sub_input)
+                return stored
         self.calls += 1
         metrics.counter("predicate.calls").inc()
         self.virtual_clock += self._cost_per_call
@@ -88,17 +130,35 @@ class InstrumentedPredicate:
             time.perf_counter() - before
         )
         self._cache[sub_input] = outcome
+        if self._store is not None:
+            self._store.record(self._fingerprint, sub_input, outcome)
         if outcome:
-            size = self._size_of(sub_input)
-            if self.best_size is None or size < self.best_size:
-                self.best_size = size
-                self.best_input = sub_input
-                self.timeline.append((self.now(), size))
+            self._note_success(sub_input)
         return outcome
+
+    def _note_success(self, sub_input: FrozenSet[VarName]) -> None:
+        size = self._size_of(sub_input)
+        if self.best_size is None or size < self.best_size:
+            self.best_size = size
+            self.best_input = sub_input
+            stamp = (
+                self.virtual_now() if self._cost_per_call else self.now()
+            )
+            self.timeline.append((stamp, size))
 
     def now(self) -> float:
         """Elapsed time: real seconds plus the simulated per-call cost."""
         return (time.perf_counter() - self._start) + self.virtual_clock
+
+    def virtual_now(self) -> float:
+        """The simulated clock alone: ``cost_per_call`` × fresh calls.
+
+        Deterministic across hosts and thread interleavings — this is
+        the "simulated seconds" axis the harness and Figure 8b use
+        (:meth:`now` mixes in real machine time and is only suitable for
+        wall-clock reporting).
+        """
+        return self.virtual_clock
 
     def reset_clock(self) -> None:
         """Restart only the time axis (clock + virtual cost).
@@ -115,11 +175,13 @@ class InstrumentedPredicate:
         Strategies that reuse one instrumented predicate across runs
         (e.g. back-to-back experiments on the same oracle) must call
         this between runs, otherwise ``calls``/``timeline``/``best_*``
-        from the previous run leak into the next result.
+        from the previous run leak into the next result.  The persistent
+        store (if any) is external state and is deliberately kept.
         """
         self._cache.clear()
         self.calls = 0
         self.queries = 0
+        self.store_hits = 0
         self.best_size = None
         self.best_input = None
         self.timeline.clear()

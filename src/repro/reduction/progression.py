@@ -122,6 +122,12 @@ def build_progression(
 
         scoped_order = [v for v in order if v in scope]
         solver = MsaSolver(strengthened, scoped_order)
+        # Under a partial `order` some scope variables are stragglers;
+        # they go through the same incremental-MSA extension as ordered
+        # variables (sorted by the solver's rank for determinism), so
+        # every prefix union keeps satisfying R+ (INV-PRO) instead of
+        # being appended as one unchecked raw entry.
+        stragglers = sorted(scope - set(scoped_order), key=solver.rank)
 
         first = solver.compute(require_true=frozenset(require_true) & scope)
         if first is None:
@@ -131,7 +137,7 @@ def build_progression(
 
         entries: List[FrozenSet[VarName]] = [first]
         covered = set(first)
-        for var in scoped_order:
+        for var in scoped_order + stragglers:
             if var in covered:
                 continue
             extended = solver.extend(covered, [var])
@@ -143,12 +149,6 @@ def build_progression(
             entry = frozenset(extended - covered)
             entries.append(entry)
             covered = set(extended)
-
-        leftovers = scope - covered
-        if leftovers:
-            # Unconstrained stragglers (can't happen with scoped_order built
-            # from a complete order, but guard against partial orders).
-            entries.append(frozenset(leftovers))
         sp.set_attr("entries", len(entries))
 
     return Progression(entries)

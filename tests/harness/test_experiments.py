@@ -92,6 +92,27 @@ class TestCorpusExperiment:
             assert worse_or_equal >= len(groups[variant]) // 2
 
 
+class TestSimulatedClock:
+    def test_simulated_seconds_is_virtual_only(self, tiny_corpus):
+        """The simulated axis must not depend on host machine speed."""
+        benchmark = next(b for b in tiny_corpus if b.instances)
+        instance = benchmark.instances[0]
+        first = run_instance(benchmark, instance, "our-reducer")
+        second = run_instance(benchmark, instance, "our-reducer")
+        assert first.simulated_seconds == second.simulated_seconds
+        assert first.simulated_seconds == 33.0 * first.predicate_calls
+        assert first.timeline == second.timeline
+
+    def test_timeline_stamps_are_multiples_of_the_per_run_cost(
+        self, tiny_corpus
+    ):
+        benchmark = next(b for b in tiny_corpus if b.instances)
+        instance = benchmark.instances[0]
+        outcome = run_instance(benchmark, instance, "jreduce")
+        for stamp, _ in outcome.timeline:
+            assert stamp == 33.0 * round(stamp / 33.0)
+
+
 class TestTimeline:
     def test_reduction_factor_steps(self, outcomes):
         outcome = outcomes[0]

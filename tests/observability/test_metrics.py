@@ -1,8 +1,15 @@
 """Tests for the metrics registry: counters, gauges, histogram edges."""
 
+import threading
+
 import pytest
 
-from repro.observability import MetricsRegistry, counter_deltas
+from repro.observability import (
+    MetricsRegistry,
+    counter_deltas,
+    get_metrics,
+    scoped_metrics,
+)
 from repro.observability.metrics import Histogram
 
 
@@ -87,3 +94,115 @@ class TestCounterDeltas:
         before = {"a": 1, "b": 5}
         after = {"a": 4, "b": 5, "c": 2}
         assert counter_deltas(before, after) == {"a": 3, "c": 2}
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+
+        def worker():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+    def test_concurrent_observations_lose_nothing(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+
+        def worker():
+            for _ in range(2_000):
+                hist.observe(0.5)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 12_000
+        assert hist.counts == [12_000, 0]
+
+
+class TestParentForwarding:
+    def test_child_updates_forward_to_parent(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.counter("x").inc(3)
+        child.gauge("g").set(1.5)
+        child.histogram("h", buckets=(1.0,)).observe(0.5)
+        assert parent.counter("x").value == 3
+        assert parent.gauge("g").value == 1.5
+        assert parent.histogram("h", buckets=(1.0,)).count == 1
+
+    def test_child_sees_only_its_own_activity(self):
+        parent = MetricsRegistry()
+        parent.counter("x").inc(100)
+        child = MetricsRegistry(parent=parent)
+        child.counter("x").inc(2)
+        assert child.counter_values() == {"x": 2}
+        assert parent.counter("x").value == 102
+
+    def test_child_reset_leaves_parent_untouched(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.counter("x").inc(4)
+        child.reset()
+        assert child.counter("x").value == 0
+        assert parent.counter("x").value == 4
+
+
+class TestScopedMetrics:
+    def test_scope_overrides_get_metrics_on_this_thread(self):
+        outside = get_metrics()
+        with scoped_metrics() as scoped:
+            assert get_metrics() is scoped
+            assert scoped.parent is outside
+        assert get_metrics() is outside
+
+    def test_scopes_nest(self):
+        with scoped_metrics() as outer:
+            with scoped_metrics() as inner:
+                assert get_metrics() is inner
+                assert inner.parent is outer
+                inner.counter("x").inc()
+            assert get_metrics() is outer
+        assert outer.counter("x").value == 1
+
+    def test_other_threads_are_unaffected(self):
+        seen = {}
+
+        def probe():
+            seen["registry"] = get_metrics()
+
+        with scoped_metrics() as scoped:
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["registry"] is not scoped
+
+    def test_concurrent_scopes_do_not_pollute_each_other(self):
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def run(tag, amount):
+            with scoped_metrics() as scoped:
+                barrier.wait()  # both scopes provably live at once
+                for _ in range(amount):
+                    get_metrics().counter("work").inc()
+                results[tag] = scoped.counter_values()["work"]
+
+        threads = [
+            threading.Thread(target=run, args=("a", 500)),
+            threading.Thread(target=run, args=("b", 900)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == {"a": 500, "b": 900}

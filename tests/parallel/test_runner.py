@@ -1,0 +1,144 @@
+"""Tests for the parallel corpus runner: determinism and cache reuse."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_corpus_experiment, run_instance
+from repro.parallel import PredicateStore, resolve_jobs
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return build_corpus(
+        CorpusConfig(num_benchmarks=2, min_classes=10, max_classes=18)
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(strategies=("our-reducer", "jreduce"))
+
+
+def comparable(outcome):
+    """Everything except host-dependent wall time."""
+    fields = dataclasses.asdict(outcome)
+    fields.pop("real_seconds")
+    return fields
+
+
+class TestResolveJobs:
+    def test_none_and_zero_mean_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestSerialParallelEquality:
+    def test_outcomes_identical_except_real_seconds(self, tiny_corpus, config):
+        serial = run_corpus_experiment(tiny_corpus, config)
+        parallel = run_corpus_experiment(tiny_corpus, config, jobs=4)
+        assert len(serial) == len(parallel)
+        for expected, actual in zip(serial, parallel):
+            assert comparable(expected) == comparable(actual)
+
+    def test_parallel_progress_lines_in_serial_order(
+        self, tiny_corpus, config
+    ):
+        serial_lines, parallel_lines = [], []
+        run_corpus_experiment(
+            tiny_corpus, config, progress=serial_lines.append
+        )
+        run_corpus_experiment(
+            tiny_corpus, config, progress=parallel_lines.append, jobs=4
+        )
+        assert serial_lines == parallel_lines
+
+    def test_jobs_kwarg_none_uses_all_cpus(self, tiny_corpus, config):
+        outcomes = run_corpus_experiment(tiny_corpus, config, jobs=None)
+        assert len(outcomes) == len(
+            run_corpus_experiment(tiny_corpus, config)
+        )
+
+
+class TestPersistentStoreReuse:
+    def test_warm_store_run_costs_zero_fresh_calls(
+        self, tiny_corpus, config, tmp_path
+    ):
+        benchmark = next(b for b in tiny_corpus if b.instances)
+        instance = benchmark.instances[0]
+        with PredicateStore(tmp_path / "store.jsonl") as store:
+            cold = run_instance(
+                benchmark, instance, "our-reducer", config, store
+            )
+            warm = run_instance(
+                benchmark, instance, "our-reducer", config, store
+            )
+        assert cold.predicate_calls > 0
+        assert warm.predicate_calls == 0
+        assert warm.metrics["predicate.cache_hit_rate"] == 1.0
+        # The reduction itself is unchanged — only the cost vanishes.
+        assert warm.final_bytes == cold.final_bytes
+        assert warm.final_classes == cold.final_classes
+        assert warm.simulated_seconds == 0.0
+
+    def test_store_survives_process_boundary(
+        self, tiny_corpus, config, tmp_path
+    ):
+        benchmark = next(b for b in tiny_corpus if b.instances)
+        instance = benchmark.instances[0]
+        path = tmp_path / "store.jsonl"
+        with PredicateStore(path) as store:
+            run_instance(benchmark, instance, "jreduce", config, store)
+        with PredicateStore(path) as reloaded:  # simulates a new process
+            warm = run_instance(
+                benchmark, instance, "jreduce", config, reloaded
+            )
+        assert warm.predicate_calls == 0
+
+    def test_granularities_do_not_share_entries(
+        self, tiny_corpus, config, tmp_path
+    ):
+        # our-reducer (item granularity) must not poison jreduce (class
+        # granularity) even though both run on the same oracle.
+        benchmark = next(b for b in tiny_corpus if b.instances)
+        instance = benchmark.instances[0]
+        with PredicateStore(tmp_path / "store.jsonl") as store:
+            run_instance(benchmark, instance, "our-reducer", config, store)
+            jreduce = run_instance(
+                benchmark, instance, "jreduce", config, store
+            )
+        assert jreduce.predicate_calls > 0
+
+    def test_parallel_run_with_shared_store(self, tiny_corpus, config,
+                                            tmp_path):
+        with PredicateStore(tmp_path / "store.jsonl") as store:
+            first = run_corpus_experiment(
+                tiny_corpus, config, jobs=4, store=store
+            )
+            second = run_corpus_experiment(
+                tiny_corpus, config, jobs=4, store=store
+            )
+        assert all(o.predicate_calls == 0 for o in second)
+        for cold, warm in zip(first, second):
+            assert warm.final_bytes == cold.final_bytes
+
+
+class TestConcurrentTelemetryIsolation:
+    def test_parallel_metrics_match_serial(self, tiny_corpus, config):
+        """Per-run metrics must not leak across concurrent reductions."""
+        serial = run_corpus_experiment(tiny_corpus, config)
+        parallel = run_corpus_experiment(tiny_corpus, config, jobs=8)
+        for expected, actual in zip(serial, parallel):
+            assert expected.metrics == actual.metrics
+            assert (
+                actual.metrics.get("predicate.calls", 0)
+                == actual.predicate_calls
+            )

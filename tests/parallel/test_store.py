@@ -1,0 +1,164 @@
+"""Tests for the persistent predicate store (JSONL round-trip, corruption)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.parallel import PredicateStore, fingerprint_of
+from repro.reduction.predicate import InstrumentedPredicate
+
+
+class TestKeying:
+    def test_key_is_order_independent(self):
+        assert PredicateStore.key_of(["b", "a"]) == PredicateStore.key_of(
+            ["a", "b"]
+        )
+
+    def test_key_distinguishes_sets(self):
+        assert PredicateStore.key_of(["a"]) != PredicateStore.key_of(
+            ["a", "b"]
+        )
+
+    def test_fingerprint_of_is_stable_and_part_sensitive(self):
+        assert fingerprint_of("x", "y") == fingerprint_of("x", "y")
+        assert fingerprint_of("x", "y") != fingerprint_of("xy")
+
+
+class TestRoundTrip:
+    def test_record_then_lookup(self, tmp_path):
+        with PredicateStore(tmp_path / "s.jsonl") as store:
+            store.record("oracle", frozenset({"a", "b"}), True)
+            store.record("oracle", frozenset({"a"}), False)
+            assert store.lookup("oracle", frozenset({"b", "a"})) is True
+            assert store.lookup("oracle", frozenset({"a"})) is False
+            assert store.lookup("oracle", frozenset({"b"})) is None
+
+    def test_fingerprints_namespace_entries(self, tmp_path):
+        with PredicateStore(tmp_path / "s.jsonl") as store:
+            store.record("one", frozenset({"a"}), True)
+            assert store.lookup("two", frozenset({"a"})) is None
+
+    def test_survives_reload(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with PredicateStore(path) as store:
+            store.record("oracle", frozenset({"a"}), True)
+            store.record("oracle", frozenset({"b"}), False)
+        with PredicateStore(path) as reloaded:
+            assert len(reloaded) == 2
+            assert reloaded.lookup("oracle", frozenset({"a"})) is True
+            assert reloaded.lookup("oracle", frozenset({"b"})) is False
+
+    def test_duplicate_records_write_once(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with PredicateStore(path) as store:
+            for _ in range(5):
+                store.record("oracle", frozenset({"a"}), True)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        with PredicateStore(tmp_path / "new.jsonl") as store:
+            assert len(store) == 0
+            assert store.corrupt_lines == 0
+
+
+class TestCorruptionTolerance:
+    def test_truncated_last_line_is_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with PredicateStore(path) as store:
+            store.record("oracle", frozenset({"a"}), True)
+            store.record("oracle", frozenset({"b"}), True)
+        # Simulate a writer killed mid-append: chop the final line.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 20])
+        with PredicateStore(path) as reloaded:
+            assert reloaded.corrupt_lines == 1
+            assert len(reloaded) == 1
+            assert reloaded.lookup("oracle", frozenset({"a"})) is True
+
+    def test_garbage_lines_are_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps({"f": "o", "k": PredicateStore.key_of(["a"]),
+                          "v": True})
+            + "\n"
+            + json.dumps({"missing": "keys"})
+            + "\n"
+        )
+        with PredicateStore(path) as store:
+            assert store.corrupt_lines == 2
+            assert store.lookup("o", frozenset({"a"})) is True
+
+    def test_appending_after_torn_line_recovers(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"f": "o", "k": "abc", "v": tr')  # torn write
+        with PredicateStore(path) as store:
+            store.record("o", frozenset({"x"}), False)
+        with PredicateStore(path) as reloaded:
+            assert reloaded.lookup("o", frozenset({"x"})) is False
+
+
+class TestThreadSafety:
+    def test_concurrent_records_all_land(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = PredicateStore(path)
+
+        def worker(tag):
+            for i in range(50):
+                store.record("oracle", frozenset({f"{tag}-{i}"}), i % 2 == 0)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store.close()
+        with PredicateStore(path) as reloaded:
+            assert len(reloaded) == 8 * 50
+            assert reloaded.corrupt_lines == 0
+            assert reloaded.lookup("oracle", frozenset({"3-4"})) is True
+            assert reloaded.lookup("oracle", frozenset({"3-5"})) is False
+
+
+class TestPredicateIntegration:
+    def test_wrapper_requires_fingerprint_with_store(self, tmp_path):
+        with PredicateStore(tmp_path / "s.jsonl") as store:
+            with pytest.raises(ValueError):
+                InstrumentedPredicate(lambda s: True, store=store)
+
+    def test_read_through_and_write_back(self, tmp_path):
+        calls = []
+
+        def raw(sub_input):
+            calls.append(sub_input)
+            return "x" in sub_input
+
+        with PredicateStore(tmp_path / "s.jsonl") as store:
+            first = InstrumentedPredicate(raw, store=store, fingerprint="fp")
+            assert first(frozenset({"x", "y"})) is True
+            assert first(frozenset({"y"})) is False
+            assert first.calls == 2
+
+            # A fresh wrapper (empty memory cache) answers from the store.
+            second = InstrumentedPredicate(raw, store=store, fingerprint="fp")
+            assert second(frozenset({"y", "x"})) is True
+            assert second(frozenset({"y"})) is False
+            assert second.calls == 0
+            assert second.store_hits == 2
+            assert len(calls) == 2
+
+    def test_store_hit_still_updates_best_and_timeline(self, tmp_path):
+        with PredicateStore(tmp_path / "s.jsonl") as store:
+            warmer = InstrumentedPredicate(
+                lambda s: True, store=store, fingerprint="fp"
+            )
+            warmer(frozenset({"a"}))
+            reader = InstrumentedPredicate(
+                lambda s: True, store=store, fingerprint="fp"
+            )
+            assert reader(frozenset({"a"})) is True
+            assert reader.best_size == 1
+            assert len(reader.timeline) == 1

@@ -101,6 +101,58 @@ class TestGbrBasics:
             pass
 
 
+class TestRunMetricsAttribution:
+    def _problem(self, predicate):
+        return ReductionProblem(
+            variables=["a", "b", "c"],
+            predicate=predicate,
+            constraint=CNF([edge("b", "c")], variables=["a", "b", "c"]),
+        )
+
+    def test_reused_wrapper_reports_per_run_deltas(self):
+        """A wrapper shared across runs must not leak prior-run stats.
+
+        The second run replays queries the first already cached, so its
+        fresh-call count is 0 and its cache hit rate is 1.0 — lifetime
+        ratios would report prior-run activity instead.
+        """
+        wrapper = InstrumentedPredicate(
+            containment_predicate({"b"})
+        )
+        first = generalized_binary_reduction(self._problem(wrapper))
+        lifetime_calls = wrapper.calls
+        assert first.predicate_calls == lifetime_calls > 0
+
+        second = generalized_binary_reduction(self._problem(wrapper))
+        assert second.solution == first.solution
+        assert wrapper.calls == lifetime_calls  # everything came from cache
+        assert second.predicate_calls == 0
+        assert second.extras["metrics"]["predicate.cache_hit_rate"] == 1.0
+        assert (
+            second.extras["metrics"].get("predicate.calls", 0) == 0
+        )
+
+    def test_reused_wrapper_timeline_is_per_run(self):
+        wrapper = InstrumentedPredicate(containment_predicate({"b"}))
+        first = generalized_binary_reduction(self._problem(wrapper))
+        second = generalized_binary_reduction(self._problem(wrapper))
+        # The second run's improvements all hit the cache, so its
+        # timeline carries no events copied from the first run.
+        assert len(first.timeline) == len(wrapper.timeline)
+        assert second.timeline == []
+
+    def test_fresh_run_metrics_match_wrapper(self):
+        wrapper = InstrumentedPredicate(containment_predicate({"b"}))
+        result = generalized_binary_reduction(self._problem(wrapper))
+        metrics = result.extras["metrics"]
+        assert metrics["predicate.calls"] == wrapper.calls
+        assert metrics["predicate.queries"] == wrapper.queries
+        expected = 1.0 - wrapper.calls / wrapper.queries
+        assert metrics["predicate.cache_hit_rate"] == pytest.approx(
+            expected, abs=1e-4
+        )
+
+
 class TestPaperSuboptimalityExample:
     def test_suboptimal_order_example(self):
         """§4.4: (a /\\ b => c) /\\ (c => b), P = b present, order (c,b,a).

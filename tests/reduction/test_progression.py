@@ -92,6 +92,35 @@ class TestBuildProgression:
         with pytest.raises(ReductionError):
             build_progression(cnf, ["a", "b"], [], frozenset({"b"}))
 
+    def test_partial_order_leftovers_keep_prefixes_valid(self):
+        # `c` is missing from the order but its dependency `d` must
+        # still be pulled in: appending leftovers raw would put `c`
+        # in a prefix union without `d`, violating INV-PRO.
+        cnf = CNF([edge("c", "d")], variables=["a", "c", "d"])
+        scope = frozenset({"a", "c", "d"})
+        prog = build_progression(cnf, ["a"], [], scope)
+        union = set()
+        for r, entry in enumerate(prog):
+            assert not (union & entry), "entries must stay disjoint"
+            union |= entry
+            assert cnf.satisfied_by(prog.prefix_union(r)), "INV-PRO"
+        assert union == scope
+
+    def test_partial_order_leftovers_are_deterministic(self):
+        cnf = CNF(variables=["a", "x", "y", "z"])
+        scope = frozenset({"a", "x", "y", "z"})
+        first = build_progression(cnf, ["a"], [], scope)
+        second = build_progression(cnf, ["a"], [], scope)
+        assert list(first) == list(second)
+
+    def test_partial_order_unsatisfiable_leftover_raises(self):
+        # `c` requires `d`, but `d` is outside the scope entirely — the
+        # leftover path must surface the violation, not emit an invalid
+        # progression.
+        cnf = CNF([edge("c", "d")], variables=["a", "c", "d"])
+        with pytest.raises(ReductionError):
+            build_progression(cnf, ["a"], [], frozenset({"a", "c"}))
+
     def test_require_true_lands_in_first_entry(self):
         cnf = CNF([edge("m", "i")], variables=["m", "i", "x"])
         prog = build_progression(

@@ -189,6 +189,51 @@ class TestBenchJson:
             assert phase in summary["spans"]
 
 
+class TestBenchParallel:
+    @pytest.fixture()
+    def tiny_corpus(self, monkeypatch):
+        from repro.workloads.corpus import CorpusConfig
+
+        monkeypatch.setattr(
+            CorpusConfig,
+            "small",
+            classmethod(
+                lambda cls: cls(
+                    num_benchmarks=2, min_classes=8, max_classes=12
+                )
+            ),
+        )
+
+    def _outcomes(self, capsys, *extra_args):
+        assert main(["bench", "--json", *extra_args]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        return payload["outcomes"]
+
+    def test_parallel_matches_serial_except_real_seconds(
+        self, tiny_corpus, capsys
+    ):
+        serial = self._outcomes(capsys)
+        parallel = self._outcomes(capsys, "--jobs", "4")
+        assert len(serial) == len(parallel)
+        for expected, actual in zip(serial, parallel):
+            expected.pop("real_seconds")
+            actual.pop("real_seconds")
+            assert expected == actual
+
+    def test_warm_store_second_run_makes_no_fresh_calls(
+        self, tiny_corpus, tmp_path, capsys
+    ):
+        store_file = str(tmp_path / "store.jsonl")
+        cold = self._outcomes(capsys, "--jobs", "2", "--store", store_file)
+        assert any(o["predicate_calls"] > 0 for o in cold)
+        warm = self._outcomes(capsys, "--jobs", "2", "--store", store_file)
+        assert all(o["predicate_calls"] == 0 for o in warm)
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["bench", "--jobs", "-2"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestTraceSummarize:
     def test_summarize_prints_tables(self, fji_file, tmp_path, capsys):
         trace_file = str(tmp_path / "run.jsonl")
