@@ -13,6 +13,12 @@ Subcommands:
   run the corpus experiment and print the Section 5 reports; ``--jobs``
   fans instances out to a worker pool (0: one per CPU), ``--store``
   persists predicate outcomes so repeat runs skip fresh invocations.
+  Resilience flags: ``--budget-calls`` / ``--budget-seconds`` cap each
+  run and yield anytime ``"partial"`` outcomes, ``--retries`` recovers
+  transient oracle failures, ``--deadline-seconds`` bounds each call,
+  ``--keep-going`` records crashed instances instead of aborting, and
+  ``--chaos KIND --chaos-rate P --chaos-seed N`` injects seeded faults
+  (the chaos bench mode).
 - ``jlreduce trace summarize FILE.jsonl`` — aggregate a JSONL trace
   written by ``--trace`` (per-span totals/mean/p95, counter totals).
 
@@ -72,6 +78,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the result as JSON instead of the reduced program",
     )
+    reduce_cmd.add_argument(
+        "--budget-calls",
+        type=int,
+        metavar="N",
+        help="stop after N fresh predicate calls and return the "
+        "best-so-far result (status: partial)",
+    )
+    reduce_cmd.add_argument(
+        "--budget-seconds",
+        type=float,
+        metavar="S",
+        help="stop once the simulated clock passes S seconds and return "
+        "the best-so-far result (status: partial)",
+    )
 
     bench = sub.add_parser(
         "bench", help="run the corpus experiment and print the reports"
@@ -105,6 +125,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-instance outcomes as JSON instead of the reports",
     )
+    bench.add_argument(
+        "--budget-calls",
+        type=int,
+        metavar="N",
+        help="per-run cap on fresh predicate attempts; exhausted runs "
+        "return their best-so-far result (status: partial)",
+    )
+    bench.add_argument(
+        "--budget-seconds",
+        type=float,
+        metavar="S",
+        help="per-run cap on simulated seconds (33 s per attempt)",
+    )
+    bench.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries per predicate call for transient oracle failures "
+        "(timeouts and flaky errors; default 0)",
+    )
+    bench.add_argument(
+        "--deadline-seconds",
+        type=float,
+        metavar="S",
+        help="wall-clock deadline per predicate attempt; overruns count "
+        "as transient failures",
+    )
+    bench.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="record a crashed instance as an error-marked outcome and "
+        "finish the rest of the corpus",
+    )
+    bench.add_argument(
+        "--chaos",
+        choices=("flaky", "flip", "slow", "crash"),
+        metavar="KIND",
+        help="inject seeded oracle faults: flaky (transient errors), "
+        "flip (wrong answers), slow (stalls), crash (unrecoverable)",
+    )
+    bench.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=0.2,
+        metavar="P",
+        help="per-call fault probability for --chaos (default 0.2)",
+    )
+    bench.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=2021,
+        metavar="N",
+        help="master seed for the fault schedule (default 2021)",
+    )
 
     trace = sub.add_parser("trace", help="inspect JSONL trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -127,10 +202,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "count":
         return _count(args.file)
     if args.command == "reduce":
-        return _reduce(args.file, args.keep, args.trace, args.json)
+        return _reduce(
+            args.file,
+            args.keep,
+            args.trace,
+            args.json,
+            budget_calls=args.budget_calls,
+            budget_seconds=args.budget_seconds,
+        )
     if args.command == "bench":
         return _bench(
-            args.profile, args.trace, args.json, args.jobs, args.store
+            args.profile,
+            args.trace,
+            args.json,
+            args.jobs,
+            args.store,
+            budget_calls=args.budget_calls,
+            budget_seconds=args.budget_seconds,
+            retries=args.retries,
+            deadline_seconds=args.deadline_seconds,
+            keep_going=args.keep_going,
+            chaos=args.chaos,
+            chaos_rate=args.chaos_rate,
+            chaos_seed=args.chaos_seed,
         )
     if args.command == "trace":
         if args.trace_command == "summarize":
@@ -217,6 +311,8 @@ def _reduce(
     keep: List[str],
     trace_path: Optional[str] = None,
     json_output: bool = False,
+    budget_calls: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
 ) -> int:
     from repro.fji.pretty import pretty_program
     from repro.fji.reducer import reduce_program
@@ -240,9 +336,23 @@ def _reduce(
         required.add(by_name[name])
 
     target = frozenset(required)
+    predicate = lambda kept: target <= kept  # noqa: E731 — tiny oracle
+    if budget_calls is not None or budget_seconds is not None:
+        from repro.resilience import Budget, ResilientPredicate
+
+        try:
+            budget = Budget(
+                max_calls=budget_calls,
+                max_seconds=budget_seconds,
+                seconds_per_call=33.0,  # the paper's mean tool-run cost
+            )
+        except ValueError as exc:
+            print(f"jlreduce: {exc}", file=sys.stderr)
+            return 1
+        predicate = ResilientPredicate(predicate, budget=budget)
     problem = ReductionProblem(
         variables=variables,
-        predicate=lambda kept: target <= kept,
+        predicate=predicate,
         constraint=constraints,
         description=path,
     )
@@ -271,12 +381,14 @@ def _reduce(
             "predicate_calls": result.predicate_calls,
             "iterations": result.iterations,
             "elapsed_seconds": result.elapsed_seconds,
+            "status": result.status,
             "metrics": result.extras.get("metrics", {}),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
+        suffix = " (partial: budget exhausted)" if result.is_partial else ""
         print(f"// kept {len(result.solution)} of {len(variables)} items "
-              f"in {result.predicate_calls} predicate runs")
+              f"in {result.predicate_calls} predicate runs{suffix}")
         print(pretty_program(reduce_program(program, result.solution)))
     return 0
 
@@ -287,13 +399,56 @@ def _bench(
     json_output: bool = False,
     jobs: int = 1,
     store_path: Optional[str] = None,
+    budget_calls: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    retries: int = 0,
+    deadline_seconds: Optional[float] = None,
+    keep_going: bool = False,
+    chaos: Optional[str] = None,
+    chaos_rate: float = 0.2,
+    chaos_seed: int = 2021,
 ) -> int:
+    from repro.harness.experiments import ExperimentConfig
     from repro.observability import tracing_session, write_trace
+    from repro.reduction import ReductionError
+    from repro.resilience import Budget, OracleCrash, TransientOracleError
     from repro.workloads.corpus import CorpusConfig, build_corpus
 
     if jobs < 0:
         print(f"jlreduce: --jobs must be >= 0, got {jobs}", file=sys.stderr)
         return 1
+    plan = None
+    if chaos is not None:
+        from repro.resilience import FaultPlan
+
+        try:
+            plan = FaultPlan(kind=chaos, rate=chaos_rate, seed=chaos_seed)
+        except ValueError as exc:
+            print(f"jlreduce: {exc}", file=sys.stderr)
+            return 1
+    if retries < 0:
+        print(f"jlreduce: --retries must be >= 0, got {retries}",
+              file=sys.stderr)
+        return 1
+    try:
+        # Validate the budget/deadline values once, up front, instead of
+        # per-instance deep inside the run.
+        Budget(max_calls=budget_calls, max_seconds=budget_seconds)
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"--deadline-seconds must be > 0, got {deadline_seconds}"
+            )
+    except ValueError as exc:
+        print(f"jlreduce: {exc}", file=sys.stderr)
+        return 1
+    experiment = ExperimentConfig(
+        budget_calls=budget_calls,
+        budget_seconds=budget_seconds,
+        retries=retries,
+        deadline_seconds=deadline_seconds,
+        keep_going=keep_going,
+        chaos=plan,
+    )
     config = (
         CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
     )
@@ -323,15 +478,22 @@ def _bench(
             with trace_handle:
                 with tracing_session() as (tracer, metrics):
                     outcomes = _run_bench(
-                        corpus, profile, json_output, progress, jobs, store
+                        corpus, profile, json_output, progress, jobs, store,
+                        experiment,
                     )
                 write_trace(
                     trace_handle, tracer, metrics, label=f"bench {profile}"
                 )
         else:
             outcomes = _run_bench(
-                corpus, profile, json_output, progress, jobs, store
+                corpus, profile, json_output, progress, jobs, store,
+                experiment,
             )
+    except (ReductionError, OracleCrash, TransientOracleError) as exc:
+        print(f"jlreduce: instance failed: {exc}", file=sys.stderr)
+        print("jlreduce: rerun with --keep-going to record failed "
+              "instances and finish the corpus", file=sys.stderr)
+        return 1
     finally:
         if store is not None:
             store.close()
@@ -347,7 +509,9 @@ def _bench(
     return 0
 
 
-def _run_bench(corpus, profile, json_output, progress, jobs=1, store=None):
+def _run_bench(
+    corpus, profile, json_output, progress, jobs=1, store=None, experiment=None
+):
     from repro.harness import (
         corpus_statistics,
         mean_reduction_over_time,
@@ -364,7 +528,7 @@ def _run_bench(corpus, profile, json_output, progress, jobs=1, store=None):
         print(render_statistics(corpus_statistics(corpus)))
         print("\nrunning strategies ...")
     outcomes = run_corpus_experiment(
-        corpus, progress=progress, jobs=jobs, store=store
+        corpus, config=experiment, progress=progress, jobs=jobs, store=store
     )
     if json_output:
         return outcomes

@@ -30,18 +30,21 @@ from repro.bytecode.constraints import class_dependency_graph
 from repro.bytecode.metrics import application_size_bytes
 from repro.bytecode.reducer import reduce_application
 from repro.bytecode.serializer import serialize_application
-from repro.observability import get_tracer
+from repro.observability import get_metrics, get_tracer
 from repro.reduction.binary import binary_reduction
 from repro.reduction.gbr import generalized_binary_reduction
 from repro.reduction.lossy import LossyVariant, lossy_reduce
 from repro.reduction.predicate import InstrumentedPredicate
 from repro.reduction.problem import ReductionProblem, Stopwatch
+from repro.resilience import Budget, FaultPlan, ResilientPredicate
+from repro.resilience.faults import derive_seed
 from repro.decompiler.oracle import build_reduction_problem
 from repro.workloads.corpus import Benchmark, BuggyInstance
 
 __all__ = [
     "ExperimentConfig",
     "InstanceOutcome",
+    "error_outcome",
     "oracle_fingerprint",
     "progress_line",
     "run_instance",
@@ -61,6 +64,33 @@ class ExperimentConfig:
     #: Simulated seconds charged per fresh predicate invocation (the
     #: paper's decompile+compile averages 33 s).
     simulated_seconds_per_run: float = 33.0
+    #: Per-run budget: max fresh predicate attempts (None: unlimited).
+    #: Exhaustion yields an anytime outcome with ``status == "partial"``.
+    budget_calls: Optional[int] = None
+    #: Per-run budget: max simulated seconds, charged
+    #: ``simulated_seconds_per_run`` per attempt (None: unlimited).
+    budget_seconds: Optional[float] = None
+    #: Transient-failure retries per predicate attempt slot.
+    retries: int = 0
+    #: Per-attempt wall-clock deadline; overruns raise
+    #: :class:`~repro.resilience.PredicateTimeout` and count as
+    #: transient failures (None: no deadline).
+    deadline_seconds: Optional[float] = None
+    #: Record a crashed instance as an error-marked outcome and keep
+    #: running the rest of the corpus, instead of aborting the bench.
+    keep_going: bool = False
+    #: Seeded fault injection (the chaos bench mode); None runs clean.
+    chaos: Optional[FaultPlan] = None
+
+    @property
+    def wants_resilience(self) -> bool:
+        """Does any knob require the ResilientPredicate layer?"""
+        return (
+            self.budget_calls is not None
+            or self.budget_seconds is not None
+            or self.retries > 0
+            or self.deadline_seconds is not None
+        )
 
 
 @dataclass
@@ -82,6 +112,12 @@ class InstanceOutcome:
     #: Telemetry for this run (solver stats, cache hit rates, probe
     #: counts) — the strategy's ``ReductionResult.extras['metrics']``.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: ``"complete"`` | ``"partial"`` (budget exhausted; anytime
+    #: best-so-far result) | ``"error"`` (the run crashed and
+    #: ``keep_going`` recorded it instead of aborting the bench).
+    status: str = "complete"
+    #: Human-readable failure, set only when ``status == "error"``.
+    error: Optional[str] = None
 
     @property
     def relative_bytes(self) -> float:
@@ -121,19 +157,70 @@ def run_instance(
     ``store`` (a :class:`~repro.parallel.store.PredicateStore`) makes
     predicate outcomes persist: a repeat run of the same instance
     against a warm store reports ``predicate_calls == 0``.
+
+    Resilience: ``config.chaos`` wraps the raw oracle in a seeded fault
+    injector; budgets/retries/deadlines wrap it in a
+    :class:`~repro.resilience.ResilientPredicate` (each run gets a
+    fresh per-run :class:`~repro.resilience.Budget`).  When
+    ``config.keep_going`` is set, any exception escaping the strategy —
+    an unrecoverable oracle crash, retry exhaustion, a broken encoding
+    — is recorded as an error-marked outcome instead of propagating.
     """
     config = config or ExperimentConfig()
+    watch = Stopwatch()
+    try:
+        return _run_instance_inner(benchmark, instance, strategy, config,
+                                   store, watch)
+    except Exception as exc:  # noqa: BLE001 — degraded, not swallowed
+        if not config.keep_going:
+            raise
+        return error_outcome(
+            benchmark, instance, strategy, exc, real_seconds=watch.elapsed()
+        )
+
+
+def _run_instance_inner(
+    benchmark: Benchmark,
+    instance: BuggyInstance,
+    strategy: str,
+    config: ExperimentConfig,
+    store,
+    watch: Stopwatch,
+) -> InstanceOutcome:
     tracer = get_tracer()
     app = benchmark.app
     oracle = instance.oracle
     total_bytes = application_size_bytes(app)
     total_classes = len(app.classes)
-    watch = Stopwatch()
 
     def _fingerprint(granularity: str) -> Optional[str]:
         if store is None:
             return None
         return oracle_fingerprint(app, instance.decompiler, granularity)
+
+    def _resilient(raw, granularity: str):
+        """Layer chaos injection and fault handling under the cache."""
+        key = (
+            f"{benchmark.benchmark_id}:{instance.decompiler}:"
+            f"{strategy}:{granularity}"
+        )
+        wrapped = raw
+        if config.chaos is not None:
+            wrapped = config.chaos.apply(wrapped, key)
+        if config.wants_resilience or config.chaos is not None:
+            budget = Budget(
+                max_calls=config.budget_calls,
+                max_seconds=config.budget_seconds,
+                seconds_per_call=config.simulated_seconds_per_run,
+            )
+            wrapped = ResilientPredicate(
+                wrapped,
+                budget=budget,
+                retries=config.retries,
+                deadline_seconds=config.deadline_seconds,
+                seed=derive_seed(0, key),
+            )
+        return wrapped
 
     with tracer.span(
         "instance.run",
@@ -144,7 +231,7 @@ def run_instance(
         if strategy == "jreduce":
             with tracer.span("instance.setup", strategy=strategy):
                 instrumented = InstrumentedPredicate(
-                    oracle.class_predicate,
+                    _resilient(oracle.class_predicate, "class"),
                     cost_per_call=config.simulated_seconds_per_run,
                     size_of=lambda kept: application_size_bytes(
                         _class_subset(app, kept)
@@ -165,7 +252,7 @@ def run_instance(
             with tracer.span("instance.setup", strategy=strategy):
                 problem = build_reduction_problem(app, oracle.decompiler)
                 instrumented = InstrumentedPredicate(
-                    problem.predicate,
+                    _resilient(problem.predicate, "item"),
                     cost_per_call=config.simulated_seconds_per_run,
                     size_of=lambda kept: application_size_bytes(
                         reduce_application(app, kept)
@@ -204,15 +291,54 @@ def run_instance(
         simulated_seconds=instrumented.virtual_now(),
         timeline=list(instrumented.timeline),
         metrics=dict(result.extras.get("metrics", {})),
+        status=result.status,
+    )
+
+
+def error_outcome(
+    benchmark: Benchmark,
+    instance: BuggyInstance,
+    strategy: str,
+    error: BaseException,
+    real_seconds: float = 0.0,
+) -> InstanceOutcome:
+    """An error-marked outcome for a crashed instance run.
+
+    Graceful degradation: the instance keeps its place in the corpus
+    report (sizes pinned at "no reduction"), the failure is legible in
+    ``outcome.error``, and the ``runner.failures`` counter records it
+    for trace summaries.
+    """
+    get_metrics().counter("runner.failures").inc()
+    app = benchmark.app
+    total_bytes = application_size_bytes(app)
+    return InstanceOutcome(
+        benchmark_id=benchmark.benchmark_id,
+        decompiler=instance.decompiler,
+        strategy=strategy,
+        total_bytes=total_bytes,
+        total_classes=len(app.classes),
+        final_bytes=total_bytes,
+        final_classes=len(app.classes),
+        predicate_calls=0,
+        real_seconds=real_seconds,
+        simulated_seconds=0.0,
+        status="error",
+        error=f"{type(error).__name__}: {error}",
     )
 
 
 def progress_line(outcome: InstanceOutcome) -> str:
     """One human-readable status line per finished instance."""
+    prefix = (
+        f"{outcome.benchmark_id}/{outcome.decompiler}/{outcome.strategy}"
+    )
+    if outcome.status == "error":
+        return f"{prefix}: ERROR {outcome.error}"
+    suffix = " (partial: budget exhausted)" if outcome.status == "partial" else ""
     return (
-        f"{outcome.benchmark_id}/{outcome.decompiler}/"
-        f"{outcome.strategy}: {outcome.relative_bytes:.1%} bytes in "
-        f"{outcome.predicate_calls} runs"
+        f"{prefix}: {outcome.relative_bytes:.1%} bytes in "
+        f"{outcome.predicate_calls} runs{suffix}"
     )
 
 

@@ -18,7 +18,10 @@ default:
 Instrumented call sites: GBR iterations and prefix-search probes,
 progression rebuilds, predicate cache hits/misses and fresh-call
 latency, DPLL decisions/propagations/conflicts, #SAT component-cache
-hits, MSA clause repairs, and per-instance harness phases.
+hits, MSA clause repairs, per-instance harness phases, and the
+resilience layer (``predicate.retries`` / ``predicate.timeouts`` from
+:class:`~repro.resilience.predicate.ResilientPredicate`,
+``runner.failures`` from degraded corpus instances).
 
 :func:`tracing_session` is the one-stop entry point::
 

@@ -32,6 +32,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.harness.experiments import (
     ExperimentConfig,
     InstanceOutcome,
+    error_outcome,
     progress_line,
     run_instance,
 )
@@ -71,6 +72,13 @@ def run_parallel_corpus_experiment(
             store changes ``predicate_calls`` — byte-for-byte serial
             equality holds for cold or absent stores.
 
+    Graceful degradation: with ``config.keep_going``, a worker whose
+    instance crashes (an unrecoverable oracle error, retry exhaustion,
+    a bug in a strategy) yields an error-marked
+    :class:`~repro.harness.experiments.InstanceOutcome` in its serial
+    position and the rest of the corpus completes; without it the first
+    failure propagates, matching the serial runner.
+
     Returns:
         Outcomes in serial order: benchmarks, then instances, then
         strategies, exactly like the serial runner.
@@ -93,8 +101,17 @@ def run_parallel_corpus_experiment(
             )
             for benchmark, instance, strategy in tasks
         ]
-        for future in futures:
-            outcome = future.result()
+        for future, (benchmark, instance, strategy) in zip(futures, tasks):
+            try:
+                outcome = future.result()
+            except Exception as exc:  # noqa: BLE001 — degraded below
+                # run_instance already converts failures when
+                # keep_going is set; this second net catches anything
+                # that escaped (e.g. setup code outside its guard), so
+                # one bad worker cannot abort the whole bench.
+                if not config.keep_going:
+                    raise
+                outcome = error_outcome(benchmark, instance, strategy, exc)
             outcomes.append(outcome)
             if progress is not None:
                 progress(progress_line(outcome))

@@ -14,10 +14,15 @@ Key scheme (two-level, collision-resistant):
   (the harness hashes the serialized application bytes; see
   ``repro.harness.experiments``).  Entries under different fingerprints
   never mix, so one store file can serve a whole corpus.
-- **key** — SHA-256 over the sorted ``str()`` renderings of the kept
-  items, joined with an unprintable separator.  Canonical: independent
-  of set iteration order and of the item objects' identity, so any
-  process that reaches the same kept-item set hits the same entry.
+- **key** — SHA-256 over the sorted, *length-prefixed* ``repr()``
+  renderings of the kept items.  Canonical: independent of set
+  iteration order and of the item objects' identity, so any process
+  that reaches the same kept-item set hits the same entry.  The length
+  prefix makes the encoding injective over rendering lists (a naive
+  separator-join let an item containing the separator collide with a
+  pair of items), and ``repr`` — unlike ``str`` — distinguishes items
+  of different types that happen to print alike (``1`` vs ``"1"``, or
+  two item dataclasses sharing a bracket rendering).
 
 File format: one JSON object per line, ``{"f": fingerprint, "k": key,
 "v": outcome}``.  Append-only, so concurrent writers on POSIX never
@@ -39,15 +44,18 @@ __all__ = ["PredicateStore", "fingerprint_of"]
 
 VarName = Hashable
 
-_SEPARATOR = "\x1f"  # ASCII unit separator: never in an item rendering
-
-
 def fingerprint_of(*parts: str) -> str:
-    """A stable oracle fingerprint from arbitrary string parts."""
+    """A stable oracle fingerprint from arbitrary string parts.
+
+    Parts are length-prefixed, so no choice of part contents can make
+    two different part lists hash alike.
+    """
     digest = hashlib.sha256()
     for part in parts:
-        digest.update(part.encode("utf-8"))
-        digest.update(_SEPARATOR.encode("utf-8"))
+        encoded = part.encode("utf-8")
+        digest.update(str(len(encoded)).encode("ascii"))
+        digest.update(b":")
+        digest.update(encoded)
     return digest.hexdigest()
 
 
@@ -86,8 +94,16 @@ class PredicateStore:
 
     @staticmethod
     def key_of(sub_input: Iterable[VarName]) -> str:
-        """Canonical hash of a kept-item set (order-independent)."""
-        rendered = _SEPARATOR.join(sorted(str(v) for v in sub_input))
+        """Canonical hash of a kept-item set (order-independent).
+
+        Each item's ``repr`` is length-prefixed before hashing, so the
+        encoding is injective over the sorted rendering list: an item
+        whose rendering contains a would-be separator can never alias a
+        different set, and distinct items never share an entry unless
+        their ``repr``\\ s are truly identical.
+        """
+        parts = sorted(repr(v) for v in sub_input)
+        rendered = "".join(f"{len(part)}:{part}" for part in parts)
         return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
     # -- lookup / record -----------------------------------------------------

@@ -20,8 +20,13 @@
   (caching, counting, reduction-over-time timelines).
 """
 
-from repro.reduction.problem import ReductionProblem, ReductionResult
-from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.problem import (
+    BudgetExhausted,
+    ReductionError,
+    ReductionProblem,
+    ReductionResult,
+)
+from repro.reduction.predicate import InstrumentedPredicate, best_so_far
 from repro.reduction.ordering import declaration_order, dependency_order
 from repro.reduction.progression import Progression, build_progression
 from repro.reduction.gbr import generalized_binary_reduction
@@ -35,7 +40,10 @@ from repro.reduction.strategies import STRATEGIES, run_strategy
 __all__ = [
     "ReductionProblem",
     "ReductionResult",
+    "ReductionError",
+    "BudgetExhausted",
     "InstrumentedPredicate",
+    "best_so_far",
     "declaration_order",
     "dependency_order",
     "Progression",

@@ -27,8 +27,9 @@ from typing import (
 from repro.graphs.closure import all_item_closures, closure_of
 from repro.graphs.digraph import DiGraph
 from repro.observability import get_tracer, scoped_metrics
-from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.predicate import InstrumentedPredicate, best_so_far
 from repro.reduction.problem import (
+    BudgetExhausted,
     ReductionError,
     ReductionResult,
     Stopwatch,
@@ -123,14 +124,27 @@ def binary_reduction(
         closures = all_item_closures(graph)
         base = closure_of(graph, required)
         deltas = [closure.members for closure in closures]
-        solution = binary_reduce_sets(deltas, instrumented, base)
+        status = "complete"
+        try:
+            solution = binary_reduce_sets(deltas, instrumented, base)
+        except BudgetExhausted:
+            # Anytime contract: the predicate budget is spent, so return
+            # the smallest satisfying union seen so far (the full input
+            # — base plus every closure — when nothing satisfying was
+            # ever queried).
+            status = "partial"
+            solution = best_so_far(
+                instrumented, frozenset(base).union(*deltas) if deltas else base
+            )
         sp.set_attr("solution_size", len(solution))
+        sp.set_attr("status", status)
     return ReductionResult(
         solution=solution,
         strategy=strategy,
         predicate_calls=instrumented.calls - calls_before,
         elapsed_seconds=watch.elapsed(),
         timeline=list(instrumented.timeline[timeline_before:]),
+        status=status,
         extras={
             "metrics": {
                 name: value

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Callable, FrozenSet, Hashable, List, Sequence
 
+from repro.reduction.problem import BudgetExhausted
+
 __all__ = ["ddmin"]
 
 VarName = Hashable
@@ -32,43 +34,54 @@ def ddmin(
 
     ``predicate(frozenset(...))`` must be true on the full input; it
     should return False for invalid sub-inputs (the "don't know" case).
+
+    Anytime behavior: when a budgeted predicate raises
+    :class:`~repro.reduction.problem.BudgetExhausted` mid-probe, the
+    current (smallest known failure-preserving) item list is returned
+    instead of propagating — every value ``current`` ever takes has
+    satisfied the predicate, so it is always a safe answer.
     """
     current: List[VarName] = list(items)
-    if not predicate(frozenset(current)):
-        raise ValueError("ddmin requires the predicate to hold on the input")
+    try:
+        if not predicate(frozenset(current)):
+            raise ValueError(
+                "ddmin requires the predicate to hold on the input"
+            )
 
-    granularity = 2
-    while len(current) >= 2:
-        chunks = _partition(current, granularity)
-        reduced = False
+        granularity = 2
+        while len(current) >= 2:
+            chunks = _partition(current, granularity)
+            reduced = False
 
-        # Try each chunk alone ("reduce to subset").
-        for chunk in chunks:
-            if predicate(frozenset(chunk)):
-                current = chunk
-                granularity = 2
-                reduced = True
-                break
-
-        if not reduced:
-            # Try each complement ("reduce to complement").
-            for i in range(len(chunks)):
-                complement = [
-                    item
-                    for j, chunk in enumerate(chunks)
-                    for item in chunk
-                    if j != i
-                ]
-                if complement and predicate(frozenset(complement)):
-                    current = complement
-                    granularity = max(granularity - 1, 2)
+            # Try each chunk alone ("reduce to subset").
+            for chunk in chunks:
+                if predicate(frozenset(chunk)):
+                    current = chunk
+                    granularity = 2
                     reduced = True
                     break
 
-        if not reduced:
-            if granularity >= len(current):
-                break
-            granularity = min(granularity * 2, len(current))
+            if not reduced:
+                # Try each complement ("reduce to complement").
+                for i in range(len(chunks)):
+                    complement = [
+                        item
+                        for j, chunk in enumerate(chunks)
+                        for item in chunk
+                        if j != i
+                    ]
+                    if complement and predicate(frozenset(complement)):
+                        current = complement
+                        granularity = max(granularity - 1, 2)
+                        reduced = True
+                        break
+
+            if not reduced:
+                if granularity >= len(current):
+                    break
+                granularity = min(granularity * 2, len(current))
+    except BudgetExhausted:
+        pass  # anytime: fall through with the best-so-far list
 
     return frozenset(current)
 

@@ -22,8 +22,9 @@ from typing import Callable, FrozenSet, Hashable, List, Optional, Sequence
 
 from repro.observability import get_metrics, get_tracer, scoped_metrics
 from repro.reduction.ordering import declaration_order, dependency_order
-from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.predicate import InstrumentedPredicate, best_so_far
 from repro.reduction.problem import (
+    BudgetExhausted,
     ReductionError,
     ReductionProblem,
     ReductionResult,
@@ -103,34 +104,42 @@ def generalized_binary_reduction(
             trace.on_progression(progression)
 
         iterations = 0
-        while not predicate(progression.first):
-            iterations += 1
-            if iterations > limit:
-                raise ReductionError(
-                    "GBR exceeded its iteration bound; "
-                    "is the predicate monotone on valid sub-inputs?"
-                )
-            run_metrics.counter("gbr.iterations").inc()
-            with tracer.span(
-                "gbr.iteration",
-                iteration=iterations,
-                progression_entries=len(progression),
-            ):
-                r = _shortest_satisfying_prefix(predicate, progression)
-                learned_set = progression[r]
-                learned.append(learned_set)
+        status = "complete"
+        try:
+            while not predicate(progression.first):
+                iterations += 1
+                if iterations > limit:
+                    raise ReductionError(
+                        "GBR exceeded its iteration bound; "
+                        "is the predicate monotone on valid sub-inputs?"
+                    )
+                run_metrics.counter("gbr.iterations").inc()
+                with tracer.span(
+                    "gbr.iteration",
+                    iteration=iterations,
+                    progression_entries=len(progression),
+                ):
+                    r = _shortest_satisfying_prefix(predicate, progression)
+                    learned_set = progression[r]
+                    learned.append(learned_set)
+                    if trace:
+                        trace.on_learn(learned_set, r)
+                    scope = progression.prefix_union(r)
+                    progression = build_progression(
+                        constraint, order, learned, scope, require_true
+                    )
                 if trace:
-                    trace.on_learn(learned_set, r)
-                scope = progression.prefix_union(r)
-                progression = build_progression(
-                    constraint, order, learned, scope, require_true
-                )
-            if trace:
-                trace.on_progression(progression)
-
-        solution = progression.first
+                    trace.on_progression(progression)
+            solution = progression.first
+        except BudgetExhausted:
+            # Anytime contract (Figure 8b): the predicate budget is
+            # spent, so stop here and return the smallest satisfying
+            # sub-input seen so far instead of raising.
+            status = "partial"
+            solution = best_so_far(predicate, universe)
         run_span.set_attr("iterations", iterations)
         run_span.set_attr("solution_size", len(solution))
+        run_span.set_attr("status", status)
 
     return ReductionResult(
         solution=solution,
@@ -139,6 +148,7 @@ def generalized_binary_reduction(
         elapsed_seconds=watch.elapsed(),
         iterations=iterations,
         timeline=list(predicate.timeline[timeline_before:]),
+        status=status,
         extras={
             "metrics": _run_metrics(
                 run_metrics, predicate, calls_before, queries_before

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Set
 
 from repro.reduction.ddmin import ddmin
+from repro.reduction.problem import BudgetExhausted
 
 __all__ = ["ItemTree", "hdd", "bytecode_item_tree"]
 
@@ -74,27 +75,39 @@ def hdd(tree: ItemTree, predicate: Predicate) -> FrozenSet[Node]:
 
     ``predicate`` is evaluated on kept-node sets; it must hold on the
     full tree.  Returns the kept set after minimizing every level.
+
+    Anytime behavior: when a budgeted predicate raises
+    :class:`~repro.reduction.problem.BudgetExhausted`, the current kept
+    set — which satisfied the predicate after every completed level —
+    is returned instead of propagating.  (The per-level ddmin calls
+    share the contract, so an exhaustion inside a level keeps that
+    level's best-so-far and the next level stops immediately.)
     """
     kept: Set[Node] = set(tree.all_nodes())
-    if not predicate(frozenset(kept)):
-        raise ValueError("hdd requires the predicate to hold on the input")
+    try:
+        if not predicate(frozenset(kept)):
+            raise ValueError(
+                "hdd requires the predicate to hold on the input"
+            )
 
-    for depth in range(tree.max_depth() + 1):
-        level_nodes = [n for n in tree.level(depth) if n in kept]
-        if len(level_nodes) < 2:
-            continue
+        for depth in range(tree.max_depth() + 1):
+            level_nodes = [n for n in tree.level(depth) if n in kept]
+            if len(level_nodes) < 2:
+                continue
 
-        def level_predicate(kept_level: FrozenSet[Node]) -> bool:
-            candidate = set(kept)
+            def level_predicate(kept_level: FrozenSet[Node]) -> bool:
+                candidate = set(kept)
+                for node in level_nodes:
+                    if node not in kept_level:
+                        candidate -= tree.subtree(node)
+                return predicate(frozenset(candidate))
+
+            surviving = ddmin(level_nodes, level_predicate)
             for node in level_nodes:
-                if node not in kept_level:
-                    candidate -= tree.subtree(node)
-            return predicate(frozenset(candidate))
-
-        surviving = ddmin(level_nodes, level_predicate)
-        for node in level_nodes:
-            if node not in surviving:
-                kept -= tree.subtree(node)
+                if node not in surviving:
+                    kept -= tree.subtree(node)
+    except BudgetExhausted:
+        pass  # anytime: fall through with the best-so-far kept set
 
     return frozenset(kept)
 

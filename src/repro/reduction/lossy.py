@@ -18,8 +18,9 @@ the spirit (two fixed extreme picks).
 Edge cases: a clause with no negative literals (a pure disjunction
 ``b_1 \\/ ... \\/ b_m``) strengthens to *requiring* ``b_{j'}``; a clause
 with no positive literals cannot be strengthened into a dependency edge
-at all, and :func:`lossy_graph_encoding` rejects it (the type-rule
-generators never emit one).
+at all, and :func:`lossy_graph_encoding` rejects it with a
+:class:`~repro.reduction.problem.ReductionError` (the type-rule
+generators never emit one, but hand-written constraints can).
 """
 
 from __future__ import annotations
@@ -43,6 +44,7 @@ from repro.reduction.binary import binary_reduction
 from repro.reduction.ordering import declaration_order
 from repro.reduction.predicate import InstrumentedPredicate
 from repro.reduction.problem import (
+    ReductionError,
     ReductionProblem,
     ReductionResult,
     Stopwatch,
@@ -87,7 +89,11 @@ def lossy_graph_encoding(
         positives = clause.positives
         negatives = clause.negatives
         if not positives:
-            raise ValueError(
+            # A ReductionError, not a bare ValueError: harness runs
+            # treat it as a per-instance domain failure (recorded as an
+            # error-marked outcome under --keep-going) instead of an
+            # unhandled crash that kills the whole corpus bench.
+            raise ReductionError(
                 f"clause {clause!r} has no positive literal and cannot be "
                 "strengthened into a graph constraint"
             )

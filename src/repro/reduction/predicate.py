@@ -47,7 +47,7 @@ from typing import (
 
 from repro.observability import get_metrics, get_tracer
 
-__all__ = ["InstrumentedPredicate"]
+__all__ = ["InstrumentedPredicate", "best_so_far"]
 
 VarName = Hashable
 Predicate = Callable[[FrozenSet[VarName]], bool]
@@ -119,13 +119,17 @@ class InstrumentedPredicate:
                 if stored:
                     self._note_success(sub_input)
                 return stored
-        self.calls += 1
-        metrics.counter("predicate.calls").inc()
-        self.virtual_clock += self._cost_per_call
         with get_tracer().span("predicate.call", size=len(sub_input)) as sp:
             before = time.perf_counter()
             outcome = self._predicate(sub_input)
             sp.set_attr("outcome", outcome)
+        # Counted only after the call returns: an invocation that raises
+        # (budget exhausted, unrecoverable oracle crash) never ran to
+        # completion, so it must not inflate the fresh-call counter or
+        # the virtual clock that anytime partial results are judged by.
+        self.calls += 1
+        metrics.counter("predicate.calls").inc()
+        self.virtual_clock += self._cost_per_call
         metrics.histogram("predicate.latency_seconds").observe(
             time.perf_counter() - before
         )
@@ -186,3 +190,21 @@ class InstrumentedPredicate:
         self.best_input = None
         self.timeline.clear()
         self.reset_clock()
+
+
+def best_so_far(
+    predicate: Callable[[FrozenSet[VarName]], bool],
+    fallback: FrozenSet[VarName],
+) -> FrozenSet[VarName]:
+    """The smallest satisfying sub-input a wrapper has seen, or a fallback.
+
+    The anytime contract (Figure 8b: "stop both algorithms at any point
+    and use the smallest input until that point") is implemented by
+    reading the instrumented wrapper's ``best_input``.  When the run was
+    cut off before *any* satisfying query (or the predicate is not an
+    :class:`InstrumentedPredicate`), the fallback — the full input, which
+    satisfies the predicate by Definition 4.1's assumptions — is the
+    best-known answer.
+    """
+    best = getattr(predicate, "best_input", None)
+    return best if best is not None else frozenset(fallback)

@@ -26,7 +26,12 @@ from typing import (
 
 from repro.logic.cnf import CNF
 
-__all__ = ["ReductionProblem", "ReductionResult", "ReductionError"]
+__all__ = [
+    "ReductionProblem",
+    "ReductionResult",
+    "ReductionError",
+    "BudgetExhausted",
+]
 
 VarName = Hashable
 Predicate = Callable[[FrozenSet[VarName]], bool]
@@ -39,6 +44,23 @@ class ReductionError(RuntimeError):
     validity constraint, a predicate that fails on the full input, or a
     non-monotone predicate.
     """
+
+
+class BudgetExhausted(ReductionError):
+    """A per-run call/time budget is spent (see :mod:`repro.resilience`).
+
+    Raised by a budgeted predicate wrapper when the next fresh
+    invocation would exceed the run's budget.  The reduction algorithms
+    treat it as a *stop* signal, not a failure: they catch it and return
+    the best bug-preserving sub-input found so far with
+    ``ReductionResult.status == "partial"`` (the paper's Figure 8b
+    anytime contract: "stop both algorithms at any point and use the
+    smallest input until that point").
+    """
+
+    def __init__(self, message: str, budget=None):
+        super().__init__(message)
+        self.budget = budget
 
 
 @dataclass
@@ -92,6 +114,12 @@ class ReductionResult:
     ``timeline`` records ``(seconds_since_start, best_size_so_far)`` pairs
     — one per predicate invocation that found a new smaller bug-preserving
     sub-input — which is what Figure 8b plots.
+
+    ``status`` is ``"complete"`` for a full run and ``"partial"`` when a
+    predicate budget exhausted mid-run and the strategy returned its
+    best-so-far satisfying sub-input instead (see
+    :class:`BudgetExhausted`).  A partial solution still satisfies the
+    predicate; it just may not be as small as a complete run's.
     """
 
     solution: FrozenSet[VarName]
@@ -101,10 +129,15 @@ class ReductionResult:
     iterations: int = 0
     timeline: List[Tuple[float, int]] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
+    status: str = "complete"
 
     @property
     def size(self) -> int:
         return len(self.solution)
+
+    @property
+    def is_partial(self) -> bool:
+        return self.status == "partial"
 
     def relative_size(self, problem: ReductionProblem) -> float:
         total = len(problem.variables)

@@ -90,6 +90,8 @@ def _run_ddmin(
     order: Optional[Sequence[VarName]] = None,
 ) -> ReductionResult:
     """Validity-blind ddmin: invalid sub-inputs probe as False."""
+    from repro.resilience import budget_of
+
     watch = Stopwatch()
     constraint = problem.constraint
     raw = problem.predicate
@@ -104,12 +106,19 @@ def _run_ddmin(
     instrumented = InstrumentedPredicate(guarded)
     items = list(order) if order is not None else list(problem.variables)
     solution = ddmin(items, instrumented)
+    # ddmin's anytime contract swallows BudgetExhausted and returns its
+    # best-so-far list, so partiality is read back off the budget.
+    budget = budget_of(problem.predicate)
+    status = (
+        "partial" if budget is not None and budget.exhausted else "complete"
+    )
     return ReductionResult(
         solution=solution,
         strategy="ddmin",
         predicate_calls=instrumented.calls,
         elapsed_seconds=watch.elapsed(),
         timeline=list(instrumented.timeline),
+        status=status,
     )
 
 

@@ -1,0 +1,62 @@
+"""Resilient predicate execution: budgets, retries, anytime results.
+
+The paper's predicate is a real decompile+compile cycle (~33 s) that
+can hang, crash, or flake, and Figure 8b's whole premise is that a
+reduction can be stopped at any point and still yield the smallest
+bug-preserving input found so far.  This package is that robustness
+axis of the ROADMAP:
+
+- :mod:`repro.resilience.budget` — :class:`Budget`, per-run caps on
+  fresh predicate attempts and simulated seconds; exhaustion raises
+  :class:`~repro.reduction.problem.BudgetExhausted`, which every
+  reduction algorithm converts into a ``status == "partial"`` anytime
+  result instead of a crash.
+- :mod:`repro.resilience.predicate` — :class:`ResilientPredicate`, the
+  fault-handling layer under ``InstrumentedPredicate``: per-call
+  deadlines (:class:`PredicateTimeout`), seeded
+  retry-with-exponential-backoff for transient failures, and
+  majority-vote resolution for flip-style flakiness.
+- :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection (:class:`FlakyOracle`, :class:`SlowOracle`,
+  :class:`CrashingOracle`) plus :class:`FaultPlan`, the recipe behind
+  ``jlreduce bench --chaos``.
+
+Layering (bottom = closest to the real tool)::
+
+    chaos injector → ResilientPredicate → InstrumentedPredicate
+
+so cache hits are free (no budget, no retries) and the timeline stays
+a function of logical fresh queries, not physical attempts.
+"""
+
+from repro.reduction.problem import BudgetExhausted
+from repro.resilience.budget import Budget
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    CrashingOracle,
+    FaultPlan,
+    FlakyOracle,
+    OracleCrash,
+    SlowOracle,
+    TransientOracleError,
+)
+from repro.resilience.predicate import (
+    PredicateTimeout,
+    ResilientPredicate,
+    budget_of,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "ResilientPredicate",
+    "PredicateTimeout",
+    "budget_of",
+    "TransientOracleError",
+    "OracleCrash",
+    "FlakyOracle",
+    "SlowOracle",
+    "CrashingOracle",
+    "FaultPlan",
+    "FAULT_KINDS",
+]

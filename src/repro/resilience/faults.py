@@ -1,0 +1,223 @@
+"""Deterministic fault injection for predicate oracles.
+
+Real predicate oracles — a decompile+compile cycle per invocation —
+hang, crash, and flake.  The replication literature (see PAPERS.md)
+reports nondeterministic oracles as the *common* case in production
+reduction pipelines, so the resilience layer must be testable against
+exactly those behaviors without any real nondeterminism.  Every wrapper
+here draws from a private ``random.Random(seed)``, so a fault schedule
+is a pure function of ``(seed, call index)``: tests and the chaos bench
+replay identical fault patterns on every run, on every host.
+
+Fault models:
+
+- :class:`FlakyOracle` — a seeded fraction of calls fail *transiently*:
+  mode ``"error"`` raises :class:`TransientOracleError` (a retry redraws
+  and eventually reaches the true outcome), mode ``"flip"`` returns the
+  wrong boolean (majority voting recovers the truth with high
+  probability).
+- :class:`SlowOracle` — a seeded fraction of calls sleep ``delay`` real
+  seconds first, to trip per-call deadlines.
+- :class:`CrashingOracle` — raises :class:`OracleCrash`, which the retry
+  policy deliberately does *not* retry: it models a dead tool, and the
+  harness should record the instance as failed and move on.
+
+:class:`FaultPlan` is the serializable recipe the CLI's chaos flags and
+the harness share; ``plan.apply(predicate, key)`` derives a per-instance
+seed from ``(plan.seed, key)`` so serial and parallel corpus runs inject
+byte-identical fault schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Hashable
+
+__all__ = [
+    "TransientOracleError",
+    "OracleCrash",
+    "FlakyOracle",
+    "SlowOracle",
+    "CrashingOracle",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "derive_seed",
+]
+
+
+def derive_seed(master: int, key: str) -> int:
+    """A stable per-instance seed from a master seed and a string key.
+
+    Hash-based (not ``random``-based), so it is identical across
+    processes, hosts, and ``PYTHONHASHSEED`` settings — serial and
+    parallel corpus runs derive the same schedule for the same instance.
+    """
+    digest = hashlib.sha256(f"{master}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+VarName = Hashable
+Predicate = Callable[[FrozenSet[VarName]], bool]
+
+#: Chaos kinds the CLI and :class:`FaultPlan` accept.
+FAULT_KINDS = ("flaky", "flip", "slow", "crash")
+
+
+class TransientOracleError(RuntimeError):
+    """A recoverable oracle failure: retrying the call may succeed."""
+
+
+class OracleCrash(RuntimeError):
+    """An unrecoverable oracle failure: retrying will not help."""
+
+
+def _check_rate(rate: float) -> float:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+    return float(rate)
+
+
+class FlakyOracle:
+    """A predicate whose calls fail transiently with seeded probability.
+
+    Args:
+        predicate: the true underlying predicate.
+        rate: per-call fault probability.
+        seed: RNG seed; the fault schedule is a pure function of it.
+        mode: ``"error"`` raises :class:`TransientOracleError` on a
+            fault; ``"flip"`` returns the negated true outcome instead.
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        rate: float,
+        seed: int = 0,
+        mode: str = "error",
+    ) -> None:
+        if mode not in ("error", "flip"):
+            raise ValueError(f"mode must be 'error' or 'flip', got {mode!r}")
+        self._predicate = predicate
+        self._rate = _check_rate(rate)
+        self._mode = mode
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.faults = 0
+
+    def __call__(self, sub_input: FrozenSet[VarName]) -> bool:
+        self.calls += 1
+        if self._rng.random() < self._rate:
+            self.faults += 1
+            if self._mode == "error":
+                raise TransientOracleError(
+                    f"injected transient fault on call {self.calls}"
+                )
+            return not self._predicate(sub_input)
+        return self._predicate(sub_input)
+
+
+class SlowOracle:
+    """A predicate where a seeded fraction of calls stall first.
+
+    ``delay`` is a *real* sleep — this oracle exists to trip the
+    deadline machinery in
+    :class:`~repro.resilience.predicate.ResilientPredicate`, which
+    measures wall time.
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        rate: float,
+        seed: int = 0,
+        delay: float = 0.05,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._predicate = predicate
+        self._rate = _check_rate(rate)
+        self._delay = delay
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.slow_calls = 0
+
+    def __call__(self, sub_input: FrozenSet[VarName]) -> bool:
+        self.calls += 1
+        if self._rng.random() < self._rate:
+            self.slow_calls += 1
+            time.sleep(self._delay)
+        return self._predicate(sub_input)
+
+
+class CrashingOracle:
+    """A predicate that dies unrecoverably.
+
+    Crashes with seeded probability ``rate`` per call, or exactly on
+    call number ``crash_at_call`` when given (1-based; handy for tests
+    that need one deterministic mid-run crash).
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        rate: float = 0.0,
+        seed: int = 0,
+        crash_at_call: int = 0,
+    ) -> None:
+        self._predicate = predicate
+        self._rate = _check_rate(rate)
+        self._crash_at_call = crash_at_call
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.crashes = 0
+
+    def __call__(self, sub_input: FrozenSet[VarName]) -> bool:
+        self.calls += 1
+        scheduled = self._crash_at_call and self.calls == self._crash_at_call
+        if scheduled or (self._rate and self._rng.random() < self._rate):
+            self.crashes += 1
+            raise OracleCrash(f"injected oracle crash on call {self.calls}")
+        return self._predicate(sub_input)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded fault-injection recipe (the CLI's ``--chaos`` flags).
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        rate: per-call fault probability.
+        seed: master seed; per-instance oracles derive their own seed
+            from ``(seed, key)`` so fault schedules are independent
+            across instances yet reproducible across runs and across
+            serial/parallel execution.
+        delay: real seconds a ``"slow"`` fault stalls for.
+    """
+
+    kind: str
+    rate: float = 0.2
+    seed: int = 0
+    delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {known}")
+        _check_rate(self.rate)
+
+    def derived_seed(self, key: str) -> int:
+        """A stable per-instance seed from the master seed and a key."""
+        return derive_seed(self.seed, key)
+
+    def apply(self, predicate: Predicate, key: str):
+        """Wrap ``predicate`` in this plan's fault injector."""
+        seed = self.derived_seed(key)
+        if self.kind == "flaky":
+            return FlakyOracle(predicate, self.rate, seed, mode="error")
+        if self.kind == "flip":
+            return FlakyOracle(predicate, self.rate, seed, mode="flip")
+        if self.kind == "slow":
+            return SlowOracle(predicate, self.rate, seed, delay=self.delay)
+        return CrashingOracle(predicate, self.rate, seed)

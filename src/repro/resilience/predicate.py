@@ -1,0 +1,221 @@
+"""ResilientPredicate: deadlines, retries, voting, and budgets.
+
+This wrapper layers *under*
+:class:`repro.reduction.predicate.InstrumentedPredicate`::
+
+    raw oracle (may flake / stall / crash)
+      └─ FlakyOracle / SlowOracle / CrashingOracle   (chaos mode only)
+           └─ ResilientPredicate   (deadline, retry, vote, budget)
+                └─ InstrumentedPredicate   (cache, timeline, telemetry)
+
+The ordering matters: the instrumented layer's cache means only *fresh*
+queries reach the resilient layer, so cache hits cost neither budget
+nor retries, and the timeline/virtual clock still count one fresh call
+per distinct sub-input regardless of how many physical attempts the
+resilient layer needed underneath.
+
+Per call the wrapper applies, in order:
+
+1. **budget** — every physical attempt charges the run's
+   :class:`~repro.resilience.budget.Budget` first; an over-budget
+   attempt raises :class:`~repro.reduction.problem.BudgetExhausted`,
+   which the reduction algorithms turn into an anytime partial result.
+2. **deadline** — with ``deadline_seconds`` set, the attempt runs on a
+   daemon thread and an overrun raises :class:`PredicateTimeout` (the
+   stuck call is abandoned, never joined).
+3. **retry** — retryable failures (:class:`TransientOracleError`,
+   which includes timeouts) are retried up to ``retries`` times with
+   seeded exponential backoff; anything else (e.g.
+   :class:`~repro.resilience.faults.OracleCrash`) propagates
+   immediately.
+4. **vote** — with ``votes = 2k+1 > 1``, each logical query resolves
+   that many independent attempts and returns the majority, which
+   recovers the truth from flip-style flakiness with high probability.
+
+Backoff is *virtual* by default (accumulated in ``backoff_seconds`` and
+charged to the budget's simulated clock, never slept), so resilient
+runs stay deterministic and fast; pass ``sleep=True`` for wall-clock
+backoff against a real tool.
+
+Telemetry: ``predicate.retries`` and ``predicate.timeouts`` counters on
+the active metrics registry (see :mod:`repro.observability`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, FrozenSet, Hashable, Optional, Tuple
+
+from repro.observability import get_metrics
+from repro.resilience.budget import Budget
+from repro.resilience.faults import TransientOracleError
+
+__all__ = ["ResilientPredicate", "PredicateTimeout", "budget_of"]
+
+VarName = Hashable
+Predicate = Callable[[FrozenSet[VarName]], bool]
+
+
+class PredicateTimeout(TransientOracleError):
+    """A predicate call exceeded its per-call deadline.
+
+    Subclasses :class:`TransientOracleError` because a timeout is
+    transient by assumption — the default retry policy retries it.
+    """
+
+
+class ResilientPredicate:
+    """A fault-handling predicate wrapper (see the module docstring).
+
+    Args:
+        predicate: the raw (possibly faulty) predicate.
+        budget: optional per-run :class:`Budget`; every physical
+            attempt charges it before running.
+        retries: retryable failures tolerated per attempt slot (0: fail
+            on the first one).
+        votes: odd number of successful attempts to majority-vote per
+            logical query (1: no voting).
+        deadline_seconds: optional per-attempt wall-clock deadline.
+        backoff_base: first retry's backoff in (virtual) seconds; the
+            delay doubles per retry with seeded jitter.  0 disables
+            backoff accounting entirely.
+        backoff_cap: upper bound on a single backoff delay.
+        seed: seeds the backoff jitter (determinism across runs).
+        sleep: really sleep the backoff delay (default: charge it to
+            the budget's simulated clock only).
+        retry_on: exception types considered transient.
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        *,
+        budget: Optional[Budget] = None,
+        retries: int = 0,
+        votes: int = 1,
+        deadline_seconds: Optional[float] = None,
+        backoff_base: float = 0.0,
+        backoff_cap: float = 60.0,
+        seed: int = 0,
+        sleep: bool = False,
+        retry_on: Tuple[type, ...] = (TransientOracleError,),
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if votes < 1 or votes % 2 == 0:
+            raise ValueError(f"votes must be a positive odd number, got {votes}")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {deadline_seconds}"
+            )
+        self._predicate = predicate
+        self.budget = budget
+        self.max_retries = retries
+        self.votes = votes
+        self._deadline = deadline_seconds
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._retry_on = retry_on
+        self._rng = random.Random(seed)
+        self.attempts = 0  # physical invocations, retries included
+        self.retries = 0  # retry attempts actually taken
+        self.timeouts = 0  # attempts killed by the deadline
+        self.backoff_seconds = 0.0  # accumulated (virtual) backoff
+
+    def __call__(self, sub_input: FrozenSet[VarName]) -> bool:
+        if self.votes == 1:
+            return self._resolve(sub_input)
+        true_votes = sum(
+            1 for _ in range(self.votes) if self._resolve(sub_input)
+        )
+        return true_votes * 2 > self.votes
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve(self, sub_input: FrozenSet[VarName]) -> bool:
+        """One voted outcome: budget-checked attempts with retries."""
+        metrics = get_metrics()
+        failures = 0
+        while True:
+            if self.budget is not None:
+                self.budget.spend_call()
+            try:
+                return self._attempt(sub_input)
+            except self._retry_on as exc:
+                if isinstance(exc, PredicateTimeout):
+                    self.timeouts += 1
+                    metrics.counter("predicate.timeouts").inc()
+                failures += 1
+                if failures > self.max_retries:
+                    raise
+                self.retries += 1
+                metrics.counter("predicate.retries").inc()
+                self._backoff(failures)
+
+    def _attempt(self, sub_input: FrozenSet[VarName]) -> bool:
+        self.attempts += 1
+        if self._deadline is None:
+            return self._predicate(sub_input)
+        return self._attempt_with_deadline(sub_input)
+
+    def _attempt_with_deadline(self, sub_input: FrozenSet[VarName]) -> bool:
+        """Run one attempt on a daemon thread; abandon it on overrun."""
+        box: list = []
+        done = threading.Event()
+
+        def work() -> None:
+            try:
+                box.append(("ok", self._predicate(sub_input)))
+            except BaseException as exc:  # noqa: BLE001 — relayed below
+                box.append(("err", exc))
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=work, daemon=True, name="predicate-deadline"
+        )
+        worker.start()
+        if not done.wait(self._deadline):
+            raise PredicateTimeout(
+                f"predicate call exceeded its {self._deadline}s deadline"
+            )
+        kind, payload = box[0]
+        if kind == "err":
+            raise payload
+        return payload
+
+    def _backoff(self, failures: int) -> None:
+        """Exponential backoff with seeded jitter in [0.5x, 1x]."""
+        if self._backoff_base <= 0:
+            return
+        delay = self._backoff_base * (2 ** (failures - 1))
+        delay = min(delay, self._backoff_cap) * (0.5 + self._rng.random() / 2)
+        self.backoff_seconds += delay
+        if self.budget is not None:
+            self.budget.charge_seconds(delay)
+        if self._sleep:
+            time.sleep(delay)
+
+
+def budget_of(predicate) -> Optional[Budget]:
+    """The :class:`Budget` inside a predicate wrapper chain, or None.
+
+    Walks ``_predicate`` links (both ``InstrumentedPredicate`` and
+    ``ResilientPredicate`` expose one) looking for a ``budget``
+    attribute.  Lets result-building code ask, after the fact, whether
+    a run's budget exhausted — e.g. ddmin returns its best-so-far set
+    on exhaustion rather than raising, so the strategy layer checks the
+    budget to label the result ``"partial"``.
+    """
+    seen = set()
+    current = predicate
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        budget = getattr(current, "budget", None)
+        if isinstance(budget, Budget):
+            return budget
+        current = getattr(current, "_predicate", None)
+    return None

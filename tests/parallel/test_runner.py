@@ -131,6 +131,79 @@ class TestPersistentStoreReuse:
             assert warm.final_bytes == cold.final_bytes
 
 
+class TestGracefulDegradation:
+    """A crashing worker must not take the bench down (with keep_going)."""
+
+    @staticmethod
+    def _crash_one(target_benchmark, target_strategy):
+        import repro.parallel.runner as runner_module
+
+        real_run_instance = runner_module.run_instance
+
+        def flaky_run_instance(benchmark, instance, strategy, config, store):
+            if (
+                benchmark.benchmark_id == target_benchmark
+                and strategy == target_strategy
+            ):
+                raise RuntimeError("worker exploded")
+            return real_run_instance(
+                benchmark, instance, strategy, config, store
+            )
+
+        return flaky_run_instance
+
+    def test_injected_worker_exception_degrades_in_place(
+        self, tiny_corpus, monkeypatch
+    ):
+        import repro.parallel.runner as runner_module
+
+        target = tiny_corpus[0].benchmark_id
+        monkeypatch.setattr(
+            runner_module,
+            "run_instance",
+            self._crash_one(target, "jreduce"),
+        )
+        config = ExperimentConfig(
+            strategies=("our-reducer", "jreduce"), keep_going=True
+        )
+        outcomes = runner_module.run_parallel_corpus_experiment(
+            tiny_corpus, config, jobs=4
+        )
+        expected_count = sum(len(b.instances) * 2 for b in tiny_corpus)
+        assert len(outcomes) == expected_count
+        # Error outcomes sit exactly where the serial order puts them.
+        for i, outcome in enumerate(outcomes):
+            serial_slot = (
+                outcome.benchmark_id == target
+                and outcome.strategy == "jreduce"
+            )
+            assert (outcome.status == "error") == serial_slot, i
+        errored = [o for o in outcomes if o.status == "error"]
+        assert all("worker exploded" in o.error for o in errored)
+        # The rest of the corpus completed normally.
+        assert all(
+            o.error is None and o.predicate_calls > 0
+            for o in outcomes
+            if o.status == "complete"
+        )
+
+    def test_without_keep_going_the_exception_propagates(
+        self, tiny_corpus, monkeypatch
+    ):
+        import repro.parallel.runner as runner_module
+
+        monkeypatch.setattr(
+            runner_module,
+            "run_instance",
+            self._crash_one(tiny_corpus[0].benchmark_id, "jreduce"),
+        )
+        config = ExperimentConfig(strategies=("our-reducer", "jreduce"))
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            runner_module.run_parallel_corpus_experiment(
+                tiny_corpus, config, jobs=4
+            )
+
+
 class TestConcurrentTelemetryIsolation:
     def test_parallel_metrics_match_serial(self, tiny_corpus, config):
         """Per-run metrics must not leak across concurrent reductions."""

@@ -20,9 +20,32 @@ class TestKeying:
             ["a", "b"]
         )
 
+    def test_key_survives_separator_in_item(self):
+        # Regression: the old scheme joined str() renderings with
+        # "\x1f", so one item containing the separator collided with
+        # the two-item set it split into.
+        assert PredicateStore.key_of(["a\x1fb"]) != PredicateStore.key_of(
+            ["a", "b"]
+        )
+
+    def test_key_distinguishes_item_types(self):
+        # Regression: str() rendered 1 and "1" identically; repr keeps
+        # them apart.
+        assert PredicateStore.key_of([1]) != PredicateStore.key_of(["1"])
+
+    def test_key_length_prefix_is_injective(self):
+        # Adjacent renderings must not re-associate: {"1:", "x"} vs
+        # {"1", ":x"} concatenate alike without length prefixes.
+        assert PredicateStore.key_of(["1:", "x"]) != PredicateStore.key_of(
+            ["1", ":x"]
+        )
+
     def test_fingerprint_of_is_stable_and_part_sensitive(self):
         assert fingerprint_of("x", "y") == fingerprint_of("x", "y")
         assert fingerprint_of("x", "y") != fingerprint_of("xy")
+
+    def test_fingerprint_of_part_boundaries(self):
+        assert fingerprint_of("a:b") != fingerprint_of("a", "b")
 
 
 class TestRoundTrip:

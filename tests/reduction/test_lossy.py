@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from repro.logic import CNF, Clause
 from repro.reduction import (
     LossyVariant,
+    ReductionError,
     ReductionProblem,
     lossy_graph_encoding,
     lossy_reduce,
@@ -50,8 +51,10 @@ class TestLossyGraphEncoding:
         assert graph.num_edges() == 0
 
     def test_pure_negative_clause_rejected(self):
+        # A ReductionError (domain failure), not a bare ValueError, so
+        # harness runs can record it as a failed outcome and keep going.
         cnf = CNF([Clause.implication(["a", "b"], [])])
-        with pytest.raises(ValueError):
+        with pytest.raises(ReductionError):
             lossy_graph_encoding(cnf, LossyVariant.FIRST)
 
     def test_paper_example_encoding(self):

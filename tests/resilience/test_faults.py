@@ -1,0 +1,132 @@
+"""Tests for the seeded fault-injection oracles."""
+
+import pytest
+
+from repro.resilience import (
+    CrashingOracle,
+    FaultPlan,
+    FlakyOracle,
+    OracleCrash,
+    SlowOracle,
+    TransientOracleError,
+)
+from repro.resilience.faults import derive_seed
+
+
+def always_true(sub_input):
+    return True
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "b1:alpha") == derive_seed(7, "b1:alpha")
+
+    def test_sensitive_to_master_and_key(self):
+        assert derive_seed(7, "b1:alpha") != derive_seed(8, "b1:alpha")
+        assert derive_seed(7, "b1:alpha") != derive_seed(7, "b1:beta")
+
+
+class TestFlakyOracle:
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        def run(seed):
+            oracle = FlakyOracle(always_true, rate=0.5, seed=seed)
+            pattern = []
+            for _ in range(50):
+                try:
+                    oracle(frozenset())
+                    pattern.append(True)
+                except TransientOracleError:
+                    pattern.append(False)
+            return pattern
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_rate_zero_never_faults(self):
+        oracle = FlakyOracle(always_true, rate=0.0, seed=1)
+        assert all(oracle(frozenset()) for _ in range(20))
+        assert oracle.faults == 0
+
+    def test_rate_one_always_faults(self):
+        oracle = FlakyOracle(always_true, rate=1.0, seed=1)
+        with pytest.raises(TransientOracleError):
+            oracle(frozenset())
+        assert oracle.faults == 1
+
+    def test_flip_mode_returns_the_wrong_answer(self):
+        oracle = FlakyOracle(always_true, rate=1.0, seed=1, mode="flip")
+        assert oracle(frozenset()) is False
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FlakyOracle(always_true, rate=0.5, mode="explode")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FlakyOracle(always_true, rate=1.5)
+
+
+class TestSlowOracle:
+    def test_slow_calls_still_return_the_true_outcome(self):
+        oracle = SlowOracle(always_true, rate=1.0, seed=1, delay=0.001)
+        assert oracle(frozenset()) is True
+        assert oracle.slow_calls == 1
+
+    def test_rate_zero_never_stalls(self):
+        oracle = SlowOracle(always_true, rate=0.0, seed=1, delay=10.0)
+        assert oracle(frozenset()) is True
+        assert oracle.slow_calls == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SlowOracle(always_true, rate=0.5, delay=-1.0)
+
+
+class TestCrashingOracle:
+    def test_scheduled_crash_is_exact(self):
+        oracle = CrashingOracle(always_true, crash_at_call=3)
+        assert oracle(frozenset()) is True
+        assert oracle(frozenset()) is True
+        with pytest.raises(OracleCrash):
+            oracle(frozenset())
+        assert oracle.crashes == 1
+
+    def test_zero_rate_without_schedule_never_crashes(self):
+        oracle = CrashingOracle(always_true)
+        assert all(oracle(frozenset()) for _ in range(20))
+
+    def test_seeded_probabilistic_crashes(self):
+        oracle = CrashingOracle(always_true, rate=1.0, seed=1)
+        with pytest.raises(OracleCrash):
+            oracle(frozenset())
+
+
+class TestFaultPlan:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kind="gremlins")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kind="flaky", rate=2.0)
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            ("flaky", FlakyOracle),
+            ("flip", FlakyOracle),
+            ("slow", SlowOracle),
+            ("crash", CrashingOracle),
+        ],
+    )
+    def test_apply_builds_the_right_injector(self, kind, expected):
+        plan = FaultPlan(kind=kind, rate=0.5, seed=3)
+        assert isinstance(plan.apply(always_true, "b1:alpha"), expected)
+
+    def test_per_instance_seeds_differ_but_replay(self):
+        plan = FaultPlan(kind="flaky", rate=0.2, seed=42)
+        assert plan.derived_seed("b1:alpha") != plan.derived_seed("b2:alpha")
+        # Serial and parallel runs construct separate plan objects from
+        # the same CLI flags; the schedule must not depend on identity.
+        again = FaultPlan(kind="flaky", rate=0.2, seed=42)
+        assert plan.derived_seed("b1:alpha") == again.derived_seed("b1:alpha")

@@ -1,0 +1,211 @@
+"""Tests for ResilientPredicate: deadlines, retries, voting, budgets."""
+
+import time
+
+import pytest
+
+from repro.observability import scoped_metrics
+from repro.reduction import BudgetExhausted, InstrumentedPredicate
+from repro.resilience import (
+    Budget,
+    CrashingOracle,
+    FlakyOracle,
+    OracleCrash,
+    PredicateTimeout,
+    ResilientPredicate,
+    TransientOracleError,
+    budget_of,
+)
+
+
+def always_true(sub_input):
+    return True
+
+
+class FailsFirst:
+    """Raises transiently on the first ``failures`` calls, then answers."""
+
+    def __init__(self, failures, answer=True):
+        self.remaining = failures
+        self.answer = answer
+        self.calls = 0
+
+    def __call__(self, sub_input):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise TransientOracleError("injected")
+        return self.answer
+
+
+class TestRetries:
+    def test_recovers_the_true_outcome(self):
+        resilient = ResilientPredicate(FailsFirst(2), retries=2)
+        assert resilient(frozenset()) is True
+        assert resilient.attempts == 3
+        assert resilient.retries == 2
+
+    def test_raises_after_retries_exhaust(self):
+        resilient = ResilientPredicate(FailsFirst(3), retries=2)
+        with pytest.raises(TransientOracleError):
+            resilient(frozenset())
+        assert resilient.attempts == 3
+
+    def test_zero_retries_fails_on_first_transient(self):
+        resilient = ResilientPredicate(FailsFirst(1))
+        with pytest.raises(TransientOracleError):
+            resilient(frozenset())
+        assert resilient.attempts == 1
+
+    def test_oracle_crash_is_not_retried(self):
+        crashing = CrashingOracle(always_true, crash_at_call=1)
+        resilient = ResilientPredicate(crashing, retries=5)
+        with pytest.raises(OracleCrash):
+            resilient(frozenset())
+        assert resilient.attempts == 1
+        assert resilient.retries == 0
+
+    def test_flaky_oracle_with_retries_matches_clean_run(self):
+        # The acceptance property in miniature: a retried flaky oracle
+        # produces exactly the clean predicate's outcomes.
+        queries = [frozenset({i}) for i in range(40)]
+        clean = [always_true(q) for q in queries]
+        flaky = FlakyOracle(always_true, rate=0.3, seed=9)
+        resilient = ResilientPredicate(flaky, retries=10)
+        assert [resilient(q) for q in queries] == clean
+        assert resilient.retries > 0
+
+    def test_retry_metrics_are_recorded(self):
+        with scoped_metrics() as metrics:
+            resilient = ResilientPredicate(FailsFirst(2), retries=2)
+            resilient(frozenset())
+        assert metrics.counter_values()["predicate.retries"] == 2
+
+
+class TestDeadline:
+    def test_overrun_raises_predicate_timeout(self):
+        def stall(sub_input):
+            time.sleep(0.5)
+            return True
+
+        resilient = ResilientPredicate(stall, deadline_seconds=0.02)
+        with pytest.raises(PredicateTimeout):
+            resilient(frozenset())
+        assert resilient.timeouts == 1
+
+    def test_timeout_is_transient_so_retries_recover(self):
+        state = {"calls": 0}
+
+        def slow_once(sub_input):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                time.sleep(0.5)
+            return True
+
+        resilient = ResilientPredicate(
+            slow_once, retries=1, deadline_seconds=0.02
+        )
+        assert resilient(frozenset()) is True
+        assert resilient.timeouts == 1
+        assert resilient.retries == 1
+
+    def test_fast_calls_pass_through(self):
+        resilient = ResilientPredicate(always_true, deadline_seconds=5.0)
+        assert resilient(frozenset()) is True
+        assert resilient.timeouts == 0
+
+
+class TestBudgetInteraction:
+    def test_every_physical_attempt_is_charged(self):
+        budget = Budget(max_calls=2)
+        resilient = ResilientPredicate(
+            FailsFirst(10), retries=10, budget=budget
+        )
+        with pytest.raises(BudgetExhausted):
+            resilient(frozenset())
+        assert resilient.attempts == 2  # the third attempt never ran
+
+    def test_successful_calls_spend_one_each(self):
+        budget = Budget(max_calls=3)
+        resilient = ResilientPredicate(always_true, budget=budget)
+        for _ in range(3):
+            resilient(frozenset())
+        with pytest.raises(BudgetExhausted):
+            resilient(frozenset())
+
+    def test_budget_of_sees_through_the_instrumented_layer(self):
+        budget = Budget(max_calls=10)
+        resilient = ResilientPredicate(always_true, budget=budget)
+        instrumented = InstrumentedPredicate(resilient)
+        assert budget_of(instrumented) is budget
+        assert budget_of(resilient) is budget
+
+    def test_budget_of_none_without_a_budget(self):
+        assert budget_of(always_true) is None
+        assert budget_of(InstrumentedPredicate(always_true)) is None
+
+
+class TestVoting:
+    def test_majority_recovers_from_a_minority_flip(self):
+        answers = iter([False, True, True])
+        resilient = ResilientPredicate(
+            lambda s: next(answers), votes=3
+        )
+        assert resilient(frozenset()) is True
+        assert resilient.attempts == 3
+
+    def test_majority_false_wins(self):
+        answers = iter([False, True, False])
+        resilient = ResilientPredicate(lambda s: next(answers), votes=3)
+        assert resilient(frozenset()) is False
+
+    def test_flip_chaos_recovered_with_high_probability(self):
+        # Seeded: this exact schedule has no majority-flip in 20 queries
+        # (5 votes at a 20% flip rate leave ~6% per query in general).
+        flaky = FlakyOracle(always_true, rate=0.2, seed=6, mode="flip")
+        resilient = ResilientPredicate(flaky, votes=5)
+        assert all(resilient(frozenset({i})) for i in range(20))
+
+    @pytest.mark.parametrize("votes", [0, 2, 4, -3])
+    def test_even_or_nonpositive_votes_rejected(self, votes):
+        with pytest.raises(ValueError):
+            ResilientPredicate(always_true, votes=votes)
+
+
+class TestBackoff:
+    def test_backoff_accumulates_and_is_seeded(self):
+        def run(seed):
+            resilient = ResilientPredicate(
+                FailsFirst(3), retries=3, backoff_base=1.0, seed=seed
+            )
+            resilient(frozenset())
+            return resilient.backoff_seconds
+
+        # Virtual: three retries at base 1.0 back off 1 + 2 + 4 seconds
+        # before jitter in [0.5, 1.0], so the total lands in [3.5, 7].
+        total = run(0)
+        assert 3.5 <= total <= 7.0
+        assert run(1) == run(1)  # pure function of the seed
+
+    def test_backoff_charges_the_budget_clock(self):
+        budget = Budget(seconds_per_call=0.0)
+        resilient = ResilientPredicate(
+            FailsFirst(2), retries=2, backoff_base=1.0, budget=budget
+        )
+        resilient(frozenset())
+        assert budget.seconds == pytest.approx(resilient.backoff_seconds)
+
+    def test_no_backoff_by_default(self):
+        resilient = ResilientPredicate(FailsFirst(1), retries=1)
+        resilient(frozenset())
+        assert resilient.backoff_seconds == 0.0
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientPredicate(always_true, retries=-1)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientPredicate(always_true, deadline_seconds=0.0)

@@ -234,6 +234,82 @@ class TestBenchParallel:
         assert "--jobs" in capsys.readouterr().err
 
 
+class TestResilienceCli:
+    @pytest.fixture()
+    def tiny_corpus(self, monkeypatch):
+        from repro.workloads.corpus import CorpusConfig
+
+        monkeypatch.setattr(
+            CorpusConfig,
+            "small",
+            classmethod(
+                lambda cls: cls(
+                    num_benchmarks=2, min_classes=8, max_classes=12
+                )
+            ),
+        )
+
+    def test_reduce_budget_exhaustion_is_partial(self, fji_file, capsys):
+        assert main(
+            ["reduce", fji_file, "--keep", "[A.m()!code]",
+             "--budget-calls", "0", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "partial"
+        # Zero budget: the anytime fallback is the full input.
+        assert payload["kept_items"] == payload["total_items"]
+
+    def test_reduce_generous_budget_is_complete(self, fji_file, capsys):
+        assert main(
+            ["reduce", fji_file, "--keep", "[A.m()!code]",
+             "--budget-calls", "1000", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "complete"
+
+    def test_bench_budget_yields_partial_outcomes(self, tiny_corpus, capsys):
+        assert main(
+            ["bench", "--json", "--budget-calls", "5"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        statuses = {o["status"] for o in payload["outcomes"]}
+        assert "partial" in statuses
+
+    def test_bench_chaos_flaky_with_retries_succeeds(
+        self, tiny_corpus, capsys
+    ):
+        assert main(
+            ["bench", "--json", "--chaos", "flaky", "--chaos-rate", "0.2",
+             "--chaos-seed", "2021", "--retries", "10", "--keep-going"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcomes"]
+        assert all(
+            o["status"] in ("complete", "error")
+            for o in payload["outcomes"]
+        )
+
+    def test_bench_crash_without_keep_going_fails_with_hint(
+        self, tiny_corpus, capsys
+    ):
+        assert main(
+            ["bench", "--json", "--chaos", "crash", "--chaos-rate", "0.2"]
+        ) == 1
+        assert "--keep-going" in capsys.readouterr().err
+
+    def test_bench_negative_retries_rejected(self, capsys):
+        assert main(["bench", "--retries", "-1"]) == 1
+        assert "--retries" in capsys.readouterr().err
+
+    def test_bench_bad_chaos_rate_rejected(self, capsys):
+        assert main(["bench", "--chaos", "flaky", "--chaos-rate", "1.5"]) == 1
+        assert "rate" in capsys.readouterr().err
+
+    def test_bench_negative_budget_rejected(self, capsys):
+        assert main(["bench", "--budget-calls", "-3"]) == 1
+        assert "max_calls" in capsys.readouterr().err
+
+
 class TestTraceSummarize:
     def test_summarize_prints_tables(self, fji_file, tmp_path, capsys):
         trace_file = str(tmp_path / "run.jsonl")
