@@ -1,0 +1,277 @@
+"""Solver hot-path benchmark: incremental sessions vs the legacy engine.
+
+Emits ``BENCH_4.json`` with solve calls/sec, propagation counts, and
+wall time on two solver-bound workloads:
+
+- **section2_gbr** — the paper's running example reduced end-to-end by
+  GBR, once through the current session-backed stack and once through
+  an inline replica of the pre-session stack
+  (:func:`build_progression_reference`, fresh solvers per rebuild).
+  Byte-identity of the ``ReductionResult`` (same solution, same
+  iteration count) is asserted, not assumed.
+- **corpus_microbench** — repeated ``solve(assume_true=…,
+  assume_false=…)`` queries against synthetic-corpus constraint CNFs,
+  answered by one reused :class:`SolverSession` vs the per-call legacy
+  path (:func:`solve_legacy`).  Every query's ``SatResult`` must match
+  exactly.
+
+Run it directly (pytest does not collect it — ``testpaths`` excludes
+``benchmarks/`` and everything here is ``__main__``-guarded)::
+
+    PYTHONPATH=src python benchmarks/bench_solver_hotpath.py --out BENCH_4.json
+
+CI regression gate: ``--check BENCH_4.json`` compares the fresh run
+against the committed baseline and exits non-zero when session solve
+calls/sec regressed more than ``--tolerance`` (default 20%), or when
+the session/legacy speedup fell below ``--min-speedup`` (default 2x,
+the machine-independent check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Dict, List
+
+from repro.fji.examples import MAIN_CODE, figure1_optimal_solution, figure1_problem
+from repro.bytecode.constraints import generate_constraints
+from repro.logic.session import SolverSession
+from repro.logic.solver import solve_legacy
+from repro.observability import scoped_metrics
+from repro.reduction import generalized_binary_reduction
+from repro.reduction.gbr import _shortest_satisfying_prefix
+from repro.reduction.ordering import dependency_order
+from repro.reduction.predicate import InstrumentedPredicate
+from repro.reduction.progression import build_progression_reference
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+SEED = 2021
+
+
+def reference_gbr(problem, require_true):
+    """The pre-session GBR loop: materializing progression rebuilds.
+
+    Mirrors :func:`generalized_binary_reduction` exactly (same binary
+    search, same learned-set trajectory) but rebuilds via
+    :func:`build_progression_reference`, i.e. a fresh restricted CNF,
+    occurrence index, and solver per iteration.
+    """
+    predicate = InstrumentedPredicate(problem.predicate)
+    constraint = problem.constraint
+    order = dependency_order(constraint, problem.variables)
+    universe = problem.universe
+    learned: List[frozenset] = []
+    scope = universe
+    progression = build_progression_reference(
+        constraint, order, learned, scope, require_true
+    )
+    iterations = 0
+    while not predicate(progression.first):
+        iterations += 1
+        r = _shortest_satisfying_prefix(predicate, progression)
+        learned.append(progression[r])
+        scope = progression.prefix_union(r)
+        progression = build_progression_reference(
+            constraint, order, learned, scope, require_true
+        )
+    return progression.first, iterations
+
+
+def bench_section2(repeats: int) -> Dict:
+    require = frozenset({MAIN_CODE})
+    optimum = figure1_optimal_solution()
+
+    def timed(runner):
+        with scoped_metrics() as metrics:
+            start = time.perf_counter()
+            results = [runner() for _ in range(repeats)]
+            wall = time.perf_counter() - start
+        counters = metrics.counter_values()
+        return results, wall, counters
+
+    session_runs, session_wall, session_counters = timed(
+        lambda: generalized_binary_reduction(
+            figure1_problem(), require_true=require
+        )
+    )
+    reference_runs, reference_wall, reference_counters = timed(
+        lambda: reference_gbr(figure1_problem(), require)
+    )
+
+    for result, (solution, iterations) in zip(session_runs, reference_runs):
+        assert result.solution == solution, "GBR solutions diverged"
+        assert result.solution == optimum, "GBR missed the Figure 1b optimum"
+        assert result.iterations == iterations, "GBR trajectories diverged"
+
+    return {
+        "repeats": repeats,
+        "identical_results": True,
+        "session": {
+            "wall_seconds": round(session_wall, 4),
+            "solver_calls": session_counters.get("solver.calls", 0),
+            "propagations": session_counters.get("solver.propagations", 0),
+        },
+        "legacy": {
+            "wall_seconds": round(reference_wall, 4),
+            "solver_calls": reference_counters.get("solver.calls", 0),
+            "propagations": reference_counters.get("solver.propagations", 0),
+        },
+        "speedup": round(reference_wall / session_wall, 2),
+    }
+
+
+def _query_workload(cnf, queries: int, seed: int):
+    names = sorted(cnf.variables, key=repr)
+    rng = random.Random(seed)
+    workload = []
+    for _ in range(queries):
+        chosen = rng.sample(names, k=min(len(names), rng.randint(0, 6)))
+        split = rng.randint(0, len(chosen))
+        workload.append(
+            (frozenset(chosen[:split]), frozenset(chosen[split:]))
+        )
+    return workload
+
+
+def bench_corpus(apps: int, queries: int) -> Dict:
+    corpus = build_corpus(CorpusConfig.small())
+    picked = corpus[:apps]
+    per_app = []
+    total_session_wall = 0.0
+    total_legacy_wall = 0.0
+    total_queries = 0
+    for position, benchmark in enumerate(picked):
+        cnf = generate_constraints(benchmark.app)
+        workload = _query_workload(cnf, queries, SEED + position)
+
+        with scoped_metrics() as metrics:
+            session = SolverSession(cnf)
+            start = time.perf_counter()
+            session_results = [
+                session.solve(assume_true=t, assume_false=f)
+                for t, f in workload
+            ]
+            session_wall = time.perf_counter() - start
+        session_propagations = metrics.counter_values().get(
+            "solver.propagations", 0
+        )
+
+        with scoped_metrics() as metrics:
+            start = time.perf_counter()
+            legacy_results = [
+                solve_legacy(cnf, assume_true=t, assume_false=f)
+                for t, f in workload
+            ]
+            legacy_wall = time.perf_counter() - start
+        legacy_propagations = metrics.counter_values().get(
+            "solver.propagations", 0
+        )
+
+        assert session_results == legacy_results, (
+            f"engines diverged on {benchmark.benchmark_id}"
+        )
+        total_session_wall += session_wall
+        total_legacy_wall += legacy_wall
+        total_queries += len(workload)
+        per_app.append(
+            {
+                "benchmark_id": benchmark.benchmark_id,
+                "variables": len(cnf.variables),
+                "clauses": len(cnf),
+                "queries": len(workload),
+                "session": {
+                    "wall_seconds": round(session_wall, 4),
+                    "calls_per_sec": round(len(workload) / session_wall, 1),
+                    "propagations": session_propagations,
+                },
+                "legacy": {
+                    "wall_seconds": round(legacy_wall, 4),
+                    "calls_per_sec": round(len(workload) / legacy_wall, 1),
+                    "propagations": legacy_propagations,
+                },
+                "speedup": round(legacy_wall / session_wall, 2),
+            }
+        )
+    return {
+        "apps": [entry["benchmark_id"] for entry in per_app],
+        "identical_results": True,
+        "queries": total_queries,
+        "session_calls_per_sec": round(total_queries / total_session_wall, 1),
+        "legacy_calls_per_sec": round(total_queries / total_legacy_wall, 1),
+        "speedup": round(total_legacy_wall / total_session_wall, 2),
+        "per_app": per_app,
+    }
+
+
+def check_against_baseline(
+    payload: Dict, baseline_path: str, tolerance: float, min_speedup: float
+) -> List[str]:
+    failures = []
+    speedup = payload["corpus_microbench"]["speedup"]
+    if speedup < min_speedup:
+        failures.append(
+            f"session/legacy speedup {speedup}x fell below {min_speedup}x"
+        )
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    old_rate = baseline["corpus_microbench"]["session_calls_per_sec"]
+    new_rate = payload["corpus_microbench"]["session_calls_per_sec"]
+    floor = old_rate * (1.0 - tolerance)
+    if new_rate < floor:
+        failures.append(
+            f"solver calls/sec regressed: {new_rate} < {floor:.1f} "
+            f"(baseline {old_rate}, tolerance {tolerance:.0%})"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_4.json")
+    parser.add_argument("--check", metavar="BASELINE", default=None)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--apps", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=150)
+    args = parser.parse_args(argv)
+
+    payload = {
+        "bench": "solver_hotpath",
+        "seed": SEED,
+        "section2_gbr": bench_section2(args.repeats),
+        "corpus_microbench": bench_corpus(args.apps, args.queries),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    section2 = payload["section2_gbr"]
+    corpus = payload["corpus_microbench"]
+    print(f"section2 GBR   : {section2['speedup']}x "
+          f"({section2['legacy']['wall_seconds']}s -> "
+          f"{section2['session']['wall_seconds']}s, "
+          f"{section2['repeats']} repeats, identical results)")
+    print(f"corpus queries : {corpus['speedup']}x "
+          f"({corpus['legacy_calls_per_sec']} -> "
+          f"{corpus['session_calls_per_sec']} calls/sec over "
+          f"{corpus['queries']} queries, identical results)")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_against_baseline(
+            payload, args.check, args.tolerance, args.min_speedup
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

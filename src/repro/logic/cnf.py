@@ -192,6 +192,7 @@ class CNF:
         self.clauses: List[Clause] = []
         self._clause_set: set = set()
         self._variables: set = set(variables)
+        self._indexed_cache: Optional["IndexedCNF"] = None
         for clause in clauses:
             self.add_clause(clause)
 
@@ -205,19 +206,31 @@ class CNF:
             cnf.add_clause(Clause(Lit(v, p) for (v, p) in raw))
         return cnf
 
-    def add_clause(self, clause: Clause) -> None:
-        """Add a clause (tautologies and duplicates are dropped)."""
+    def add_clause(self, clause: Clause) -> bool:
+        """Add a clause (tautologies and duplicates are dropped).
+
+        Returns True when the clause actually entered the database —
+        incremental callers (solver sessions, MSA occurrence indexes)
+        use this to know whether their derived structures need the
+        clause too.
+        """
         if clause.is_tautology():
+            # Even a dropped tautology can widen the universe, which
+            # changes the default compilation order.
+            self._indexed_cache = None
             self._variables.update(clause.variables())
-            return
+            return False
         if clause in self._clause_set:
-            return
+            return False
+        self._indexed_cache = None
         self.clauses.append(clause)
         self._clause_set.add(clause)
         self._variables.update(clause.variables())
+        return True
 
     def add_formula(self, formula: Formula) -> None:
         """Add all clauses of a formula."""
+        self._indexed_cache = None
         self._variables.update(formula.variables())
         for raw in formula.to_clauses():
             self.add_clause(Clause(Lit(v, p) for (v, p) in raw))
@@ -301,14 +314,24 @@ class CNF:
 
         ``order`` fixes variable indices (index 0 = smallest); by default
         variables are sorted by repr for determinism.
+
+        The default-order compilation is memoized on the instance
+        (invalidated by :meth:`add_clause`), so the solver stack's many
+        ``to_indexed()`` calls on one CNF pay for the repr-sort and
+        clause encoding once.  Treat the returned object as immutable —
+        it is shared between callers.
         """
         if order is None:
+            if self._indexed_cache is not None:
+                return self._indexed_cache
             ordered = sorted(self._variables, key=repr)
-        else:
-            ordered = list(order)
-            missing = self._variables - set(ordered)
-            if missing:
-                raise ValueError(f"order is missing variables: {missing!r}")
+            indexed = IndexedCNF(self, ordered)
+            self._indexed_cache = indexed
+            return indexed
+        ordered = list(order)
+        missing = self._variables - set(ordered)
+        if missing:
+            raise ValueError(f"order is missing variables: {missing!r}")
         return IndexedCNF(self, ordered)
 
     def __repr__(self) -> str:

@@ -33,6 +33,7 @@ from typing import (
 
 from repro.logic.cnf import CNF
 from repro.observability import get_metrics, get_tracer
+from repro.observability.spans import NULL_SPAN
 
 __all__ = ["count_models", "enumerate_models"]
 
@@ -59,14 +60,24 @@ def count_models(
     if stray:
         raise ValueError(f"clauses mention variables outside universe: {stray!r}")
 
-    indexed = cnf.to_indexed(sorted(universe, key=repr))
+    if variables is None:
+        # Same order as sorting the universe by repr — use the CNF's
+        # memoized default compilation instead of re-encoding.
+        indexed = cnf.to_indexed()
+    else:
+        indexed = cnf.to_indexed(sorted(universe, key=repr))
     clauses: ClauseSet = frozenset(indexed.clauses)
     counter = _Counter()
-    with get_tracer().span(
-        "counting.count_models",
-        variables=len(universe),
-        clauses=len(clauses),
-    ) as sp:
+    tracer = get_tracer()
+    if tracer.enabled:
+        cm = tracer.span(
+            "counting.count_models",
+            variables=len(universe),
+            clauses=len(clauses),
+        )
+    else:
+        cm = NULL_SPAN
+    with cm as sp:
         core = counter.count(clauses)
         sp.set_attr("cache_hits", counter.hits)
         sp.set_attr("cache_misses", counter.misses)

@@ -45,7 +45,7 @@ from typing import (
 )
 
 from repro.logic.cnf import CNF, Clause
-from repro.logic.solver import solve
+from repro.logic.session import SolverSession
 from repro.observability import get_metrics
 
 __all__ = ["MsaSolver", "minimal_satisfying_assignment", "minimize_model"]
@@ -59,23 +59,68 @@ class MsaSolver:
     The order is given as a sequence of variable names; earlier means
     ``<``-smaller.  Variables absent from the order sort last (ties broken
     deterministically by ``repr``).
+
+    The solver can run *scoped* (see :meth:`set_scope`): out-of-scope
+    variables are treated as false — semantically ``cnf.restrict(scope)``
+    — but implemented with solver-session assumptions instead of
+    materializing a restricted CNF, which is what makes PROGRESSION's
+    per-iteration rebuilds cheap.  Incremental callers may pass a
+    pre-built ``session`` (and feed appended clauses through
+    :meth:`notice_clause`); otherwise one is created lazily on the first
+    solver fallback.
     """
 
-    def __init__(self, cnf: CNF, order: Sequence[VarName] = ()):
+    def __init__(
+        self,
+        cnf: CNF,
+        order: Sequence[VarName] = (),
+        session: Optional[SolverSession] = None,
+    ):
         self.cnf = cnf
         self._order_index: Dict[VarName, int] = {
             name: i for i, name in enumerate(order)
         }
+        self._session = session
+        self._scope: Optional[FrozenSet[VarName]] = None
         # Clauses indexed by the variables whose *truth* can violate them
         # (i.e. variables occurring negatively).
         self._neg_occurrences: Dict[VarName, List[Clause]] = {}
         self._positive_clauses: List[Clause] = []
         for clause in cnf.clauses:
-            negatives = clause.negatives
-            if not negatives:
-                self._positive_clauses.append(clause)
-            for var in negatives:
-                self._neg_occurrences.setdefault(var, []).append(clause)
+            self._index_clause(clause)
+
+    def _index_clause(self, clause: Clause) -> None:
+        negatives = clause.negatives
+        if not negatives:
+            self._positive_clauses.append(clause)
+        for var in negatives:
+            self._neg_occurrences.setdefault(var, []).append(clause)
+
+    def notice_clause(self, clause: Clause) -> None:
+        """Register a clause appended to ``self.cnf`` after construction.
+
+        Keeps the cascade's occurrence structures — and the fallback
+        session's clause database — in sync with the growing CNF.  The
+        caller is responsible for having actually added the clause
+        (``CNF.add_clause`` returning True).
+        """
+        self._index_clause(clause)
+        if self._session is not None:
+            self._session.add_clause(clause)
+
+    def set_scope(self, scope: Optional[FrozenSet[VarName]]) -> None:
+        """Restrict (or, with None, unrestrict) the solver to ``scope``.
+
+        While scoped, every computation behaves as if run against
+        ``cnf.restrict(scope)``: out-of-scope variables are false, never
+        eligible as repairs, and assumed false in fallback solves.
+        """
+        self._scope = None if scope is None else frozenset(scope)
+
+    def _ensure_session(self) -> SolverSession:
+        if self._session is None:
+            self._session = SolverSession(self.cnf)
+        return self._session
 
     # -- ordering -----------------------------------------------------------
 
@@ -141,6 +186,8 @@ class MsaSolver:
                 if not _violated(clause, true_set):
                     continue
                 candidates = clause.positives - true_set
+                if self._scope is not None:
+                    candidates &= self._scope
                 if not candidates:
                     return False  # pure-negative clause with all vars true
                 choice = self.smallest(candidates)
@@ -158,7 +205,16 @@ class MsaSolver:
         self, require_true: AbstractSet[VarName]
     ) -> Optional[FrozenSet[VarName]]:
         get_metrics().counter("msa.fallbacks").inc()
-        result = solve(self.cnf, assume_true=require_true)
+        session = self._ensure_session()
+        if self._scope is None:
+            assume_false: FrozenSet[VarName] = frozenset()
+        else:
+            # Scope-as-assumptions: semantically cnf.restrict(scope),
+            # without compiling a restricted CNF per call.
+            assume_false = self.cnf.variables - self._scope
+        result = session.solve(
+            assume_true=require_true, assume_false=assume_false
+        )
         if not result.satisfiable:
             return None
         assert result.model is not None
@@ -168,6 +224,7 @@ class MsaSolver:
             model,
             protect=require_true,
             rank=self.rank,
+            occurrences=session.positive_occurrences(),
         )
 
 
@@ -193,18 +250,33 @@ def minimize_model(
     model: AbstractSet[VarName],
     protect: AbstractSet[VarName] = frozenset(),
     rank=None,
+    occurrences: Optional[Dict[VarName, List[Clause]]] = None,
 ) -> FrozenSet[VarName]:
     """Locally minimize a model by attempting single-variable removals.
 
     Variables are tried in reverse ``rank`` order (largest first), so the
     ``<``-smallest variables are the last to go.  The result still
     satisfies ``cnf`` and contains ``protect``.  Runs removal passes to a
-    fixpoint; each pass is linear in ``|model| * |cnf|``.
+    fixpoint.
+
+    Removal checks are incremental: flipping ``var`` true→false can only
+    falsify clauses where ``var`` occurs *positively* (every other
+    clause's literals are unaffected or strengthened), so each attempt
+    re-checks just those clauses via a per-variable index instead of the
+    whole CNF — O(occ(var)) per attempt instead of O(|cnf|).
+    ``occurrences`` lets session-holding callers share a prebuilt index
+    (see :meth:`repro.logic.session.SolverSession.positive_occurrences`);
+    it must cover at least every removable variable's positive clauses.
     """
     if not cnf.satisfied_by(model):
         raise ValueError("minimize_model requires a satisfying model")
     if rank is None:
         rank = lambda var: repr(var)  # noqa: E731 - local default key
+    if occurrences is None:
+        occurrences = {}
+        for clause in cnf.clauses:
+            for var in clause.positives:
+                occurrences.setdefault(var, []).append(clause)
     current: Set[VarName] = set(model)
     changed = True
     while changed:
@@ -214,7 +286,10 @@ def minimize_model(
         )
         for var in removable:
             candidate = current - {var}
-            if cnf.satisfied_by(candidate):
+            if all(
+                clause.satisfied_by(candidate)
+                for clause in occurrences.get(var, ())
+            ):
                 current = candidate
                 changed = True
     return frozenset(current)

@@ -6,6 +6,19 @@ overwhelmingly Horn-like implications (97.5% plain edges in the paper's
 benchmarks), which BCP handles almost entirely on its own.  The solver
 branches false-first, which biases discovered models toward *small* true
 sets — useful because callers in :mod:`repro.logic.msa` minimize models.
+
+Two engines answer queries:
+
+- :class:`repro.logic.session.SolverSession` — the production engine:
+  persistent compilation, two-watched-literal propagation, trail-based
+  backtracking.  :func:`solve` runs every one-shot query through a
+  session over the CNF's memoized compilation.
+- the occurrence-list engine below (:func:`solve_indexed`,
+  :func:`solve_legacy`) — the original per-call implementation, kept as
+  the executable reference baseline: differential tests assert the two
+  engines return byte-identical models, and the hot-path benchmark
+  (``benchmarks/bench_solver_hotpath.py``) reports the session's speedup
+  over it.
 """
 
 from __future__ import annotations
@@ -17,59 +30,25 @@ from typing import (
     Hashable,
     Iterable,
     List,
-    NamedTuple,
     Optional,
     Tuple,
 )
 
 from repro.logic.cnf import CNF, IndexedCNF
 from repro.logic.propagation import OccurrenceIndex, unit_propagate
-from repro.observability import get_metrics, get_tracer
+from repro.logic.session import SatResult, SolverSession, _SolverStats
+from repro.observability import get_tracer
+from repro.observability.spans import NULL_SPAN
 
-__all__ = ["SatResult", "solve", "is_satisfiable", "solve_indexed"]
+__all__ = [
+    "SatResult",
+    "solve",
+    "is_satisfiable",
+    "solve_indexed",
+    "solve_legacy",
+]
 
 VarName = Hashable
-
-
-class _SolverStats:
-    """Per-call DPLL counters, pushed to the metrics registry once.
-
-    The inner loops are the hottest code in the repo, so we count with
-    plain attribute adds here and do a single ``Counter.inc`` per solver
-    call in :func:`solve_indexed`.
-    """
-
-    __slots__ = ("decisions", "propagations", "conflicts")
-
-    def __init__(self) -> None:
-        self.decisions = 0
-        self.propagations = 0
-        self.conflicts = 0
-
-    def publish(self, satisfiable: bool) -> None:
-        metrics = get_metrics()
-        metrics.counter("solver.calls").inc()
-        if satisfiable:
-            metrics.counter("solver.sat").inc()
-        else:
-            metrics.counter("solver.unsat").inc()
-        if self.decisions:
-            metrics.counter("solver.decisions").inc(self.decisions)
-        if self.propagations:
-            metrics.counter("solver.propagations").inc(self.propagations)
-        if self.conflicts:
-            metrics.counter("solver.conflicts").inc(self.conflicts)
-
-
-class SatResult(NamedTuple):
-    """Result of a SAT call: satisfiable flag plus a model (if SAT).
-
-    The model is returned as the frozenset of true variable names; all
-    other variables in the CNF's universe are false.
-    """
-
-    satisfiable: bool
-    model: Optional[FrozenSet[VarName]]
 
 
 def solve(
@@ -77,8 +56,38 @@ def solve(
     assume_true: AbstractSet[VarName] = frozenset(),
     assume_false: AbstractSet[VarName] = frozenset(),
 ) -> SatResult:
-    """Decide satisfiability of ``cnf`` under the given assumptions."""
-    indexed = cnf.to_indexed()
+    """Decide satisfiability of ``cnf`` under the given assumptions.
+
+    One-shot convenience over :class:`SolverSession`; the CNF's
+    compilation is memoized, so repeated calls on the same CNF only pay
+    for the session's (cheap) watch/scan setup.  Callers with a genuinely
+    hot loop should hold a session and call it directly.
+    """
+    return SolverSession(cnf).solve(assume_true, assume_false)
+
+
+def is_satisfiable(
+    cnf: CNF,
+    assume_true: AbstractSet[VarName] = frozenset(),
+    assume_false: AbstractSet[VarName] = frozenset(),
+) -> bool:
+    """Shorthand for ``solve(...).satisfiable``."""
+    return solve(cnf, assume_true, assume_false).satisfiable
+
+
+def solve_legacy(
+    cnf: CNF,
+    assume_true: AbstractSet[VarName] = frozenset(),
+    assume_false: AbstractSet[VarName] = frozenset(),
+) -> SatResult:
+    """The pre-session code path, preserved verbatim as a baseline.
+
+    Pays the original per-call costs on purpose — a fresh repr-sort of
+    the universe, a fresh :class:`OccurrenceIndex`, dict-copy
+    backtracking — so benchmarks and differential tests measure against
+    the real former behaviour, not a half-accelerated one.
+    """
+    indexed = IndexedCNF(cnf, sorted(cnf.variables, key=repr))
     seed: List[Tuple[int, bool]] = []
     for name in assume_true:
         if name in indexed.index:
@@ -95,30 +104,26 @@ def solve(
     return SatResult(True, indexed.decode(model_indices))
 
 
-def is_satisfiable(
-    cnf: CNF,
-    assume_true: AbstractSet[VarName] = frozenset(),
-    assume_false: AbstractSet[VarName] = frozenset(),
-) -> bool:
-    """Shorthand for ``solve(...).satisfiable``."""
-    return solve(cnf, assume_true, assume_false).satisfiable
-
-
 def solve_indexed(
     indexed: IndexedCNF,
     seed: Iterable[Tuple[int, bool]] = (),
 ) -> Tuple[bool, Optional[FrozenSet[int]]]:
-    """DPLL over the integer-indexed form.
+    """DPLL over the integer-indexed form (occurrence-list engine).
 
     Returns (satisfiable, set of true variable indices).  Unconstrained
     variables are left false, biasing the model toward small true sets.
     """
     stats = _SolverStats()
-    with get_tracer().span(
-        "solver.solve",
-        variables=indexed.num_vars,
-        clauses=len(indexed.clauses),
-    ) as sp:
+    tracer = get_tracer()
+    if tracer.enabled:
+        cm = tracer.span(
+            "solver.solve",
+            variables=indexed.num_vars,
+            clauses=len(indexed.clauses),
+        )
+    else:
+        cm = NULL_SPAN
+    with cm as sp:
         satisfiable, model = _solve_indexed(indexed, seed, stats)
         sp.set_attr("satisfiable", satisfiable)
         sp.set_attr("decisions", stats.decisions)

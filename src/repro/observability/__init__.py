@@ -51,6 +51,7 @@ from repro.observability.sink import (
     write_trace,
 )
 from repro.observability.spans import (
+    NULL_SPAN,
     SpanEvent,
     Tracer,
     get_tracer,
@@ -74,6 +75,7 @@ __all__ = [
     "write_trace",
     "SpanEvent",
     "Tracer",
+    "NULL_SPAN",
     "get_tracer",
     "set_tracer",
     "span",

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional
 __all__ = [
     "SpanEvent",
     "Tracer",
+    "NULL_SPAN",
     "get_tracer",
     "set_tracer",
     "span",
@@ -82,6 +83,13 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Public handle on the shared null span.  Hot paths that would pay for
+#: building a ``**attrs`` dict before ``Tracer.span`` can even decline it
+#: check ``tracer.enabled`` themselves and use this directly::
+#:
+#:     cm = tracer.span("solver.solve", clauses=n) if tracer.enabled else NULL_SPAN
+NULL_SPAN = _NULL_SPAN
+
 
 class _Span:
     """An open span; finishes (and records itself) on ``__exit__``."""
@@ -120,10 +128,19 @@ class Tracer:
     Args:
         enabled: a disabled tracer hands out null spans and records
             nothing; the process-global default tracer is disabled.
+        sample_every: stride sampling for high-frequency spans — record
+            only every Nth ``span()`` call (1 = record all).  The stride
+            counter is a plain attribute increment, not locked: under
+            threads the sampling is best-effort, which is fine for a
+            load-shedding knob.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self._enabled = enabled
+        self._sample_every = sample_every
+        self._sample_tick = 0
         self._epoch = time.perf_counter()
         self._events: List[SpanEvent] = []
         self._lock = threading.Lock()
@@ -133,6 +150,10 @@ class Tracer:
     @property
     def enabled(self) -> bool:
         return self._enabled
+
+    @property
+    def sample_every(self) -> int:
+        return self._sample_every
 
     def span(self, name: str, **attrs: Any):
         """Open a nested span (a context manager).
@@ -145,6 +166,10 @@ class Tracer:
         """
         if not self._enabled:
             return _NULL_SPAN
+        if self._sample_every > 1:
+            self._sample_tick += 1
+            if self._sample_tick % self._sample_every:
+                return _NULL_SPAN
         stack = self._stack()
         with self._lock:
             span_id = self._next_id

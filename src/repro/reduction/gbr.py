@@ -30,7 +30,7 @@ from repro.reduction.problem import (
     ReductionResult,
     Stopwatch,
 )
-from repro.reduction.progression import Progression, build_progression
+from repro.reduction.progression import Progression, ProgressionEngine
 
 __all__ = ["generalized_binary_reduction", "GbrTrace"]
 
@@ -95,11 +95,13 @@ def generalized_binary_reduction(
     with scoped_metrics() as run_metrics, tracer.span(
         "gbr.run", variables=len(universe), description=problem.description
     ) as run_span:
+        # One engine per run: learned clauses accumulate and the scope
+        # only shrinks, so every rebuild reuses the same compiled
+        # constraint and solver session.
+        engine = ProgressionEngine(constraint, order)
         learned: List[FrozenSet[VarName]] = []
         scope = universe
-        progression = build_progression(
-            constraint, order, learned, scope, require_true
-        )
+        progression = engine.build(scope, require_true)
         if trace:
             trace.on_progression(progression)
 
@@ -122,12 +124,11 @@ def generalized_binary_reduction(
                     r = _shortest_satisfying_prefix(predicate, progression)
                     learned_set = progression[r]
                     learned.append(learned_set)
+                    engine.learn(learned_set)
                     if trace:
                         trace.on_learn(learned_set, r)
                     scope = progression.prefix_union(r)
-                    progression = build_progression(
-                        constraint, order, learned, scope, require_true
-                    )
+                    progression = engine.build(scope, require_true)
                 if trace:
                     trace.on_progression(progression)
             solution = progression.first

@@ -16,6 +16,17 @@ The per-entry MSA calls are implemented incrementally
 (:meth:`repro.logic.msa.MsaSolver.extend`), so building a progression is
 one cascading pass over the clause database rather than a fresh solve per
 entry.
+
+Across GBR iterations the work is incremental too: a
+:class:`ProgressionEngine` keeps one working CNF, one
+:class:`~repro.logic.msa.MsaSolver` (with its lazily-built solver
+session), and the learned clauses for a whole run.  Each iteration only
+*appends* a learned clause and *shrinks* the scope, so instead of
+re-materializing ``constraint.restrict(scope)`` plus a fresh solver per
+rebuild, the engine scopes the persistent solver with assumptions
+(out-of-scope variables false) — same results, none of the per-rebuild
+compilation.  :func:`build_progression_reference` preserves the
+materializing implementation for differential tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -35,7 +46,12 @@ from repro.logic.msa import MsaSolver
 from repro.observability import get_metrics, get_tracer
 from repro.reduction.problem import ReductionError
 
-__all__ = ["Progression", "build_progression"]
+__all__ = [
+    "Progression",
+    "ProgressionEngine",
+    "build_progression",
+    "build_progression_reference",
+]
 
 VarName = Hashable
 
@@ -82,6 +98,103 @@ class Progression:
         return f"Progression({len(self.entries)} entries, sizes={sizes})"
 
 
+class ProgressionEngine:
+    """Incremental ``PROGRESSION_{R_I}`` builder for a whole GBR run.
+
+    GBR only ever *adds* learned sets and *shrinks* the scope, so one
+    engine serves every rebuild of a run:
+
+    - the working CNF is cloned once from ``R_I``; learned clauses are
+      appended monotonically (never popped),
+    - one :class:`MsaSolver` (and the solver session it lazily builds)
+      persists across rebuilds; learned clauses flow into its occurrence
+      structures via :meth:`MsaSolver.notice_clause`,
+    - the scope is applied as assumptions (:meth:`MsaSolver.set_scope`)
+      for the duration of one :meth:`build` — semantically identical to
+      the reference's ``constraint.restrict(scope)``, without
+      re-compiling the restricted CNF and its indexes every iteration.
+    """
+
+    def __init__(self, constraint: CNF, order: Sequence[VarName]):
+        self.order = list(order)
+        self.working = CNF(constraint.clauses, variables=constraint.variables)
+        self.solver = MsaSolver(self.working, self.order)
+        self.learned: List[FrozenSet[VarName]] = []
+
+    def learn(self, learned_set: FrozenSet[VarName]) -> None:
+        """Append a learned set (as an all-positive clause) to ``R+``."""
+        learned_set = frozenset(learned_set)
+        self.learned.append(learned_set)
+        clause = Clause.implication([], learned_set)
+        if self.working.add_clause(clause):
+            self.solver.notice_clause(clause)
+
+    def build(
+        self,
+        scope: FrozenSet[VarName],
+        require_true: FrozenSet[VarName] = frozenset(),
+    ) -> Progression:
+        """``PROGRESSION_{R_I}(L, J)`` with ``L`` = the learned sets so far.
+
+        Raises:
+            ReductionError: when ``R+`` is unsatisfiable, i.e. the
+                search space contains no valid sub-input hitting every
+                learned set.
+        """
+        scope = frozenset(scope)
+        get_metrics().counter("progression.rebuilds").inc()
+        with get_tracer().span(
+            "progression.build", scope=len(scope), learned=len(self.learned)
+        ) as sp:
+            for learned_set in self.learned:
+                if not learned_set & scope:
+                    raise ReductionError(
+                        "learned set fell fully outside the search space"
+                    )
+            solver = self.solver
+            solver.set_scope(scope)
+            try:
+                scoped_order = [v for v in self.order if v in scope]
+                # Under a partial `order` some scope variables are
+                # stragglers; they go through the same incremental-MSA
+                # extension as ordered variables (sorted by the solver's
+                # rank for determinism), so every prefix union keeps
+                # satisfying R+ (INV-PRO) instead of being appended as
+                # one unchecked raw entry.
+                stragglers = sorted(
+                    scope - set(scoped_order), key=solver.rank
+                )
+
+                first = solver.compute(
+                    require_true=frozenset(require_true) & scope
+                )
+                if first is None:
+                    raise ReductionError(
+                        "R+ is unsatisfiable: "
+                        "no valid sub-input in the search space"
+                    )
+
+                entries: List[FrozenSet[VarName]] = [first]
+                covered = set(first)
+                for var in scoped_order + stragglers:
+                    if var in covered:
+                        continue
+                    extended = solver.extend(covered, [var])
+                    if extended is None:
+                        raise ReductionError(
+                            f"could not extend progression with {var!r}; "
+                            "is R(J) violated?"
+                        )
+                    entry = frozenset(extended - covered)
+                    entries.append(entry)
+                    covered = set(extended)
+            finally:
+                solver.set_scope(None)
+            sp.set_attr("entries", len(entries))
+
+        return Progression(entries)
+
+
 def build_progression(
     constraint: CNF,
     order: Sequence[VarName],
@@ -89,7 +202,7 @@ def build_progression(
     scope: FrozenSet[VarName],
     require_true: FrozenSet[VarName] = frozenset(),
 ) -> Progression:
-    """``PROGRESSION_{R_I}(L, J)`` (see module docstring).
+    """One-shot ``PROGRESSION_{R_I}(L, J)`` (see module docstring).
 
     Args:
         constraint: ``R_I``.
@@ -104,6 +217,29 @@ def build_progression(
     Raises:
         ReductionError: when ``R+`` is unsatisfiable, i.e. the search
             space contains no valid sub-input hitting every learned set.
+
+    Callers rebuilding per iteration (GBR) should hold a
+    :class:`ProgressionEngine` instead of re-invoking this.
+    """
+    engine = ProgressionEngine(constraint, order)
+    for learned_set in learned:
+        engine.learn(frozenset(learned_set))
+    return engine.build(frozenset(scope), require_true)
+
+
+def build_progression_reference(
+    constraint: CNF,
+    order: Sequence[VarName],
+    learned: Iterable[FrozenSet[VarName]],
+    scope: FrozenSet[VarName],
+    require_true: FrozenSet[VarName] = frozenset(),
+) -> Progression:
+    """The pre-engine implementation, preserved as a baseline.
+
+    Materializes ``constraint.restrict(scope)`` plus the learned clauses
+    and builds a fresh :class:`MsaSolver` per call — the differential
+    tests assert :class:`ProgressionEngine` produces identical entries,
+    and the hot-path benchmark measures the engine's speedup over this.
     """
     scope = frozenset(scope)
     learned = list(learned)
@@ -122,11 +258,6 @@ def build_progression(
 
         scoped_order = [v for v in order if v in scope]
         solver = MsaSolver(strengthened, scoped_order)
-        # Under a partial `order` some scope variables are stragglers;
-        # they go through the same incremental-MSA extension as ordered
-        # variables (sorted by the solver's rank for determinism), so
-        # every prefix union keeps satisfying R+ (INV-PRO) instead of
-        # being appended as one unchecked raw entry.
         stragglers = sorted(scope - set(scoped_order), key=solver.rank)
 
         first = solver.compute(require_true=frozenset(require_true) & scope)

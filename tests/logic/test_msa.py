@@ -2,6 +2,7 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.logic import (
     CNF,
@@ -10,6 +11,7 @@ from repro.logic import (
     minimize_model,
 )
 from repro.logic.msa import MsaSolver
+from repro.logic.session import SolverSession
 from tests.strategies import implication_cnfs, satisfiable_cnfs
 
 
@@ -145,6 +147,116 @@ class TestMinimizeModel:
         minimized = minimize_model(cnf, {"a", "b", "c"})
         for var in minimized:
             assert not cnf.satisfied_by(minimized - {var})
+
+    @staticmethod
+    def _minimize_full_scan(cnf, model, protect=frozenset(), rank=None):
+        """The pre-index implementation: full satisfied_by per attempt."""
+        if rank is None:
+            rank = lambda var: repr(var)  # noqa: E731
+        current = set(model)
+        changed = True
+        while changed:
+            changed = False
+            removable = sorted(
+                (v for v in current if v not in protect),
+                key=rank,
+                reverse=True,
+            )
+            for var in removable:
+                candidate = current - {var}
+                if cnf.satisfied_by(candidate):
+                    current = candidate
+                    changed = True
+        return frozenset(current)
+
+    @settings(max_examples=100, deadline=None)
+    @given(satisfiable_cnfs(), st.data())
+    def test_incremental_check_matches_full_scan(self, cnf_and_model, data):
+        """Regression for the per-variable index: identical minimized
+        models to the original O(|model|·|cnf|)-per-pass re-verification."""
+        cnf, model = cnf_and_model
+        protect = frozenset(
+            data.draw(st.sets(st.sampled_from(sorted(model) or ["v0"])))
+        ) & model
+        expected = self._minimize_full_scan(cnf, model, protect=protect)
+        assert minimize_model(cnf, model, protect=protect) == expected
+
+    def test_shared_occurrence_index_gives_same_result(self):
+        cnf = CNF(
+            [edge("a", "b"), Clause.implication([], ["b", "c"])],
+            variables=["a", "b", "c"],
+        )
+        session = SolverSession(cnf)
+        model = {"a", "b", "c"}
+        assert minimize_model(
+            cnf, model, occurrences=session.positive_occurrences()
+        ) == minimize_model(cnf, model)
+
+
+class TestScopedMsaSolver:
+    """set_scope must behave exactly like solving cnf.restrict(scope)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(implication_cnfs(), st.data())
+    def test_scoped_compute_matches_restricted_cnf(self, cnf, data):
+        universe = sorted(cnf.variables, key=repr)
+        scope = frozenset(
+            data.draw(st.sets(st.sampled_from(universe or ["v0"])))
+        ) & cnf.variables
+        require = frozenset(
+            data.draw(st.sets(st.sampled_from(sorted(scope) or ["v0"])))
+        ) & scope
+
+        restricted = cnf.restrict(scope)
+        reference = MsaSolver(
+            restricted, [v for v in universe if v in scope]
+        ).compute(require_true=require)
+
+        scoped = MsaSolver(cnf, universe)
+        scoped.set_scope(scope)
+        try:
+            got = scoped.compute(require_true=require)
+        finally:
+            scoped.set_scope(None)
+        assert got == reference
+
+    def test_scope_excludes_out_of_scope_repairs(self):
+        # b | c with order putting b first; b out of scope → c chosen.
+        cnf = CNF([Clause.implication([], ["b", "c"])], variables="abc")
+        solver = MsaSolver(cnf, ["a", "b", "c"])
+        solver.set_scope(frozenset({"a", "c"}))
+        assert solver.compute() == {"c"}
+        solver.set_scope(None)
+        assert solver.compute() == {"b"}
+
+    def test_scoped_fallback_assumes_out_of_scope_false(self):
+        # ~a strands the greedy pass (it reaches for a first), forcing
+        # the solver fallback; the scope must keep the fallback's model
+        # from using the out-of-scope variable c.
+        cnf = CNF(
+            [Clause.unit("a", positive=False), Clause.implication([], ["a", "b", "c"])],
+            variables=["a", "b", "c"],
+        )
+        solver = MsaSolver(cnf, ["a", "b", "c"])
+        solver.set_scope(frozenset({"a", "b"}))
+        assert solver.compute() == {"b"}
+        solver.set_scope(None)
+        unscoped = solver.compute()
+        assert unscoped is not None and "c" in unscoped
+
+    def test_notice_clause_reaches_live_session(self):
+        # ~a plus a|b strands the greedy pass (it reaches for a first),
+        # so every compute() goes through the solver-session fallback.
+        cnf = CNF(
+            [Clause.unit("a", positive=False), Clause.implication([], ["a", "b"])],
+            variables=["a", "b", "c"],
+        )
+        solver = MsaSolver(cnf, ["a", "b", "c"])
+        assert solver.compute() == {"b"}  # session now exists
+        added = Clause.implication([], ["c"])
+        assert cnf.add_clause(added)
+        solver.notice_clause(added)
+        assert solver.compute() == {"b", "c"}
 
 
 class TestMsaProperties:

@@ -2,7 +2,9 @@
 
 import threading
 
-from repro.observability import Tracer, get_tracer, set_tracer
+import pytest
+
+from repro.observability import NULL_SPAN, Tracer, get_tracer, set_tracer
 from repro.observability.spans import _NULL_SPAN
 
 
@@ -109,6 +111,44 @@ class TestDisabled:
         finally:
             set_tracer(previous)
         assert get_tracer() is previous
+
+
+class TestFastPathAndSampling:
+    def test_public_null_span_is_the_shared_singleton(self):
+        """Hot paths (solver.py, counting.py) check ``tracer.enabled``
+        and use NULL_SPAN directly, skipping the attrs-dict build."""
+        assert NULL_SPAN is _NULL_SPAN
+        with NULL_SPAN as sp:
+            sp.set_attr("ignored", 1)
+
+    def test_sampling_records_every_nth_span(self):
+        tracer = Tracer(sample_every=3)
+        for i in range(9):
+            with tracer.span("tick", i=i):
+                pass
+        events = tracer.events()
+        assert len(events) == 3
+        assert [e.attrs["i"] for e in events] == [2, 5, 8]
+
+    def test_sampling_default_records_everything(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("tick"):
+                pass
+        assert len(tracer.events()) == 5
+
+    def test_sampled_out_spans_are_null(self):
+        tracer = Tracer(sample_every=2)
+        first = tracer.span("a")
+        second = tracer.span("b")
+        assert first is _NULL_SPAN
+        with second:
+            pass
+        assert [e.name for e in tracer.events()] == ["b"]
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
 
 
 class TestClear:

@@ -2,11 +2,16 @@
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.logic import CNF, Clause
 from repro.reduction import build_progression
 from repro.reduction.problem import ReductionError
-from repro.reduction.progression import Progression
+from repro.reduction.progression import (
+    Progression,
+    ProgressionEngine,
+    build_progression_reference,
+)
 from tests.strategies import implication_cnfs
 
 
@@ -131,6 +136,70 @@ class TestBuildProgression:
             require_true=frozenset({"m"}),
         )
         assert {"m", "i"} <= prog.first
+
+
+class TestEngineMatchesReference:
+    """The incremental engine must replay the materializing reference
+    bit-for-bit, including across learn/shrink sequences like GBR's."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(implication_cnfs(), st.data())
+    def test_single_build_matches_reference(self, cnf, data):
+        universe = sorted(cnf.variables, key=repr)
+        scope = frozenset(
+            data.draw(st.sets(st.sampled_from(universe or ["v0"])))
+        ) & cnf.variables
+
+        def run(builder):
+            try:
+                return list(builder(cnf, universe, [], scope))
+            except ReductionError as error:
+                return ("error", str(error))
+
+        assert run(build_progression) == run(build_progression_reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(implication_cnfs(), st.data())
+    def test_gbr_like_learn_shrink_sequence(self, cnf, data):
+        """Drive both implementations through the same learned/scope
+        trajectory and compare every rebuilt progression."""
+        universe = sorted(cnf.variables, key=repr)
+        scope = frozenset(cnf.variables)
+        if not cnf.satisfied_by(scope):
+            return
+        engine = ProgressionEngine(cnf, universe)
+        learned = []
+        for _ in range(3):
+            from_engine = engine.build(scope)
+            reference = build_progression_reference(
+                cnf, universe, learned, scope
+            )
+            assert list(from_engine) == list(reference)
+            if len(from_engine) < 2:
+                break
+            # Learn a random non-first entry and shrink to its prefix,
+            # exactly as GBR does.
+            r = data.draw(
+                st.integers(min_value=1, max_value=len(from_engine) - 1)
+            )
+            learned.append(from_engine[r])
+            engine.learn(from_engine[r])
+            scope = from_engine.prefix_union(r)
+
+    def test_learned_set_outside_scope_raises(self):
+        cnf = CNF(variables=["a", "b", "c"])
+        engine = ProgressionEngine(cnf, ["a", "b", "c"])
+        engine.learn(frozenset({"c"}))
+        with pytest.raises(ReductionError):
+            engine.build(frozenset({"a", "b"}))
+
+    def test_duplicate_learned_sets_are_tolerated(self):
+        cnf = CNF(variables=["a", "b"])
+        engine = ProgressionEngine(cnf, ["a", "b"])
+        engine.learn(frozenset({"b"}))
+        engine.learn(frozenset({"b"}))
+        prog = engine.build(frozenset({"a", "b"}))
+        assert prog.first == frozenset({"b"})
 
 
 class TestProgressionProperties:
