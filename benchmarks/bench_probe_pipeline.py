@@ -1,0 +1,382 @@
+"""Probe-pipeline benchmark: speculative search + materialization memos.
+
+Emits ``BENCH_5.json`` with end-to-end corpus cost and raw probe
+materialization rates on two workloads:
+
+- **corpus_end_to_end** — every ``our-reducer`` instance of a seeded
+  corpus reduced three ways: an inline replica of the PR-4 sequential
+  stack (raw ``reduce_application`` + ``serialize_application`` per
+  probe, strictly sequential binary search), the current sequential
+  stack (materialization memos, ``--speculate 1``), and the speculative
+  stack (``--speculate 4`` on a shared probe pool).  The headline
+  number is the **simulated-seconds speedup** — the repo's end-to-end
+  clock, charging the paper's 33-second decompile+compile per fresh
+  predicate round (max-of-batch for speculative rounds) — because the
+  simulated decompilers run in microseconds and the GIL hides thread
+  overlap from wall time.  Final bytes/classes/status equality across
+  all three runs is asserted, not assumed.
+- **probe_materialization** — a physical probe stream recorded from a
+  real GBR run, replayed through the PR-4 path (materialize the
+  sub-application, serialize every class from scratch) and through the
+  memoized fast path (:class:`~repro.bytecode.serializer
+  .ApplicationSerializer`), both producing the full bytes so equality
+  is asserted on the timed outputs.  ``size_of_items`` — the harness's
+  actual per-query hot path, which never assembles bytes — is timed as
+  a third lane.
+
+Run it directly (pytest does not collect it — ``testpaths`` excludes
+``benchmarks/`` and everything here is ``__main__``-guarded)::
+
+    PYTHONPATH=src python benchmarks/bench_probe_pipeline.py --out BENCH_5.json
+
+CI regression gate: ``--check BENCH_5.json`` compares a fresh run
+against the committed baseline and exits non-zero when the corpus
+simulated speedup fell below ``--min-corpus-speedup`` (default 2x), the
+materialization speedup fell below ``--min-speedup`` (default 3x), or
+the memoized probe rate regressed more than ``--tolerance`` (default
+20%) against the baseline's machine-dependent rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.bytecode.metrics import application_size_bytes
+from repro.bytecode.reducer import reduce_application
+from repro.bytecode.serializer import (
+    ApplicationSerializer,
+    serialize_application,
+)
+from repro.decompiler.oracle import build_reduction_problem
+from repro.harness import ExperimentConfig, probe_pool, run_instance
+from repro.reduction import (
+    InstrumentedPredicate,
+    ReductionProblem,
+    generalized_binary_reduction,
+)
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+SEED = 2021
+
+SPECULATE_COUNTERS = (
+    "speculate.rounds",
+    "speculate.probes_useful",
+    "speculate.probes_wasted",
+    "gbr.probes",
+    "gbr.probes_cached",
+    "serializer.memo_hits",
+    "serializer.memo_misses",
+    "closure.memo_hits",
+    "closure.memo_misses",
+)
+
+
+def pr4_sequential_replica(benchmark, instance):
+    """One instance through the pre-memo, pre-speculation stack.
+
+    Mirrors PR-4's ``run_instance`` exactly: the oracle predicate
+    materializes via a fresh :func:`reduce_application` per probe,
+    ``size_of`` serializes the whole sub-application from scratch, and
+    GBR runs the strictly sequential binary search.
+    """
+    app = benchmark.app
+    oracle = instance.oracle
+    problem = build_reduction_problem(app, oracle.decompiler)
+
+    def raw_predicate(kept):
+        reduced = reduce_application(app, kept)
+        return oracle.errors_of(reduced) == oracle.original_errors
+
+    predicate = InstrumentedPredicate(
+        raw_predicate,
+        cost_per_call=33.0,
+        size_of=lambda kept: application_size_bytes(
+            reduce_application(app, kept)
+        ),
+    )
+    result = generalized_binary_reduction(
+        ReductionProblem(
+            variables=problem.variables,
+            predicate=predicate,
+            constraint=problem.constraint,
+            description=problem.description,
+        )
+    )
+    reduced = reduce_application(app, result.solution)
+    return {
+        "final_bytes": application_size_bytes(reduced),
+        "final_classes": len(reduced.classes),
+        "status": result.status,
+        "simulated_seconds": predicate.virtual_now(),
+        "predicate_calls": predicate.calls,
+    }
+
+
+def bench_corpus(apps: int, min_classes: int, max_classes: int) -> Dict:
+    corpus = build_corpus(
+        CorpusConfig(
+            num_benchmarks=apps,
+            min_classes=min_classes,
+            max_classes=max_classes,
+        )
+    )
+    pairs = [(b, i) for b in corpus for i in b.instances]
+
+    start = time.perf_counter()
+    baseline = [pr4_sequential_replica(b, i) for b, i in pairs]
+    baseline_wall = time.perf_counter() - start
+
+    def run_all(config):
+        probes = probe_pool(config)
+        try:
+            start = time.perf_counter()
+            outcomes = [
+                run_instance(b, i, "our-reducer", config,
+                             probe_executor=probes)
+                for b, i in pairs
+            ]
+            return outcomes, time.perf_counter() - start
+        finally:
+            if probes is not None:
+                probes.shutdown(wait=True)
+
+    sequential, sequential_wall = run_all(
+        ExperimentConfig(strategies=("our-reducer",))
+    )
+    speculative, speculative_wall = run_all(
+        ExperimentConfig(strategies=("our-reducer",), speculate=4)
+    )
+
+    for old, seq, spec in zip(baseline, sequential, speculative):
+        key = (seq.benchmark_id, seq.decompiler)
+        for outcome in (seq, spec):
+            assert outcome.final_bytes == old["final_bytes"], key
+            assert outcome.final_classes == old["final_classes"], key
+            assert outcome.status == old["status"], key
+
+    def summarize(outcomes, wall):
+        return {
+            "simulated_seconds": round(
+                sum(o.simulated_seconds for o in outcomes), 1
+            ),
+            "wall_seconds": round(wall, 3),
+            "predicate_calls": sum(o.predicate_calls for o in outcomes),
+        }
+
+    baseline_sim = sum(entry["simulated_seconds"] for entry in baseline)
+    spec_summary = summarize(speculative, speculative_wall)
+    counters: Dict[str, float] = {}
+    for outcome in speculative:
+        for name in SPECULATE_COUNTERS:
+            if name in outcome.metrics:
+                counters[name] = counters.get(name, 0) + outcome.metrics[name]
+    spec_summary.update(counters)
+
+    return {
+        "apps": [b.benchmark_id for b in corpus],
+        "instances": len(pairs),
+        "identical_results": True,
+        "pr4_baseline": {
+            "simulated_seconds": round(baseline_sim, 1),
+            "wall_seconds": round(baseline_wall, 3),
+            "predicate_calls": sum(e["predicate_calls"] for e in baseline),
+        },
+        "sequential": summarize(sequential, sequential_wall),
+        "speculate4": spec_summary,
+        "simulated_speedup": round(
+            baseline_sim / spec_summary["simulated_seconds"], 2
+        ),
+        "wall_speedup": round(baseline_wall / speculative_wall, 2),
+    }
+
+
+def record_probe_stream(benchmark, instance) -> List[frozenset]:
+    """The physical probe sets a real GBR run materializes, in order."""
+    problem = build_reduction_problem(
+        benchmark.app, instance.oracle.decompiler
+    )
+    raw = problem.predicate
+    record: List[frozenset] = []
+
+    def recording(kept):
+        record.append(kept)
+        return raw(kept)
+
+    generalized_binary_reduction(
+        ReductionProblem(
+            variables=problem.variables,
+            predicate=InstrumentedPredicate(recording),
+            constraint=problem.constraint,
+            description=problem.description,
+        )
+    )
+    return record
+
+
+def bench_materialization(apps: int, min_classes: int, max_classes: int) -> Dict:
+    corpus = build_corpus(
+        CorpusConfig(
+            num_benchmarks=apps,
+            min_classes=min_classes,
+            max_classes=max_classes,
+        )
+    )
+    streams = [
+        (benchmark.app, record_probe_stream(benchmark, instance))
+        for benchmark in corpus
+        for instance in benchmark.instances
+    ]
+
+    # Fresh serializers per stream, exactly as run_instance builds one
+    # per reduction run; lane times aggregate across every stream.
+    baseline_wall = memo_wall = size_wall = 0.0
+    total_probes = 0
+    for app, probes in streams:
+        total_probes += len(probes)
+        start = time.perf_counter()
+        baseline_bytes = [
+            serialize_application(reduce_application(app, kept))
+            for kept in probes
+        ]
+        baseline_wall += time.perf_counter() - start
+
+        serializer = ApplicationSerializer(app)
+        start = time.perf_counter()
+        memo_bytes = [serializer.serialize_items(kept) for kept in probes]
+        memo_wall += time.perf_counter() - start
+
+        sizer = ApplicationSerializer(app)
+        start = time.perf_counter()
+        sizes = [sizer.size_of_items(kept) for kept in probes]
+        size_wall += time.perf_counter() - start
+
+        assert memo_bytes == baseline_bytes, "memoized serialization diverged"
+        assert sizes == [len(b) for b in baseline_bytes], "size_of diverged"
+
+    def lane(wall):
+        return {
+            "wall_seconds": round(wall, 4),
+            "probes_per_sec": round(total_probes / wall, 1),
+        }
+
+    return {
+        "probes": total_probes,
+        "streams": len(streams),
+        "classes": [len(b.app.classes) for b in corpus],
+        "identical_results": True,
+        "baseline": lane(baseline_wall),
+        "serialize_memo": lane(memo_wall),
+        "size_only": lane(size_wall),
+        "speedup": round(baseline_wall / memo_wall, 2),
+        "size_only_speedup": round(baseline_wall / size_wall, 2),
+    }
+
+
+def check_against_baseline(
+    payload: Dict,
+    baseline_path: str,
+    tolerance: float,
+    min_speedup: float,
+    min_corpus_speedup: float,
+) -> List[str]:
+    failures = []
+    corpus_speedup = payload["corpus_end_to_end"]["simulated_speedup"]
+    if corpus_speedup < min_corpus_speedup:
+        failures.append(
+            f"corpus simulated speedup {corpus_speedup}x fell below "
+            f"{min_corpus_speedup}x"
+        )
+    memo_speedup = payload["probe_materialization"]["speedup"]
+    if memo_speedup < min_speedup:
+        failures.append(
+            f"materialization speedup {memo_speedup}x fell below "
+            f"{min_speedup}x"
+        )
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    old_rate = baseline["probe_materialization"]["serialize_memo"][
+        "probes_per_sec"
+    ]
+    new_rate = payload["probe_materialization"]["serialize_memo"][
+        "probes_per_sec"
+    ]
+    floor = old_rate * (1.0 - tolerance)
+    if new_rate < floor:
+        failures.append(
+            f"memoized probes/sec regressed: {new_rate} < {floor:.1f} "
+            f"(baseline {old_rate}, tolerance {tolerance:.0%})"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_5.json")
+    parser.add_argument("--check", metavar="BASELINE", default=None)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--min-corpus-speedup", type=float, default=2.0)
+    parser.add_argument("--apps", type=int, default=2)
+    parser.add_argument("--min-classes", type=int, default=30)
+    parser.add_argument("--max-classes", type=int, default=50)
+    # The microbench wants longer probe streams than the end-to-end
+    # corpus apps produce, so the memo warm-up amortizes as it does in
+    # a real reduction; larger apps provide them.
+    parser.add_argument("--micro-apps", type=int, default=2)
+    parser.add_argument("--micro-min-classes", type=int, default=120)
+    parser.add_argument("--micro-max-classes", type=int, default=180)
+    args = parser.parse_args(argv)
+
+    payload = {
+        "bench": "probe_pipeline",
+        "seed": SEED,
+        "corpus_end_to_end": bench_corpus(
+            args.apps, args.min_classes, args.max_classes
+        ),
+        "probe_materialization": bench_materialization(
+            args.micro_apps, args.micro_min_classes, args.micro_max_classes
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    corpus = payload["corpus_end_to_end"]
+    micro = payload["probe_materialization"]
+    print(
+        f"corpus end-to-end : {corpus['simulated_speedup']}x simulated "
+        f"({corpus['pr4_baseline']['simulated_seconds']}s -> "
+        f"{corpus['speculate4']['simulated_seconds']}s over "
+        f"{corpus['instances']} instances, identical results)"
+    )
+    print(
+        f"materialization   : {micro['speedup']}x "
+        f"({micro['baseline']['probes_per_sec']} -> "
+        f"{micro['serialize_memo']['probes_per_sec']} probes/sec, "
+        f"size-only {micro['size_only_speedup']}x, "
+        f"{micro['probes']} probes, identical bytes)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_against_baseline(
+            payload,
+            args.check,
+            args.tolerance,
+            args.min_speedup,
+            args.min_corpus_speedup,
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

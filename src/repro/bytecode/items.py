@@ -40,6 +40,8 @@ __all__ = [
     "AttributeItem",
     "Item",
     "items_of",
+    "items_of_class",
+    "items_by_class",
     "type_item",
     "ITEM_KINDS",
 ]
@@ -187,44 +189,65 @@ def type_item(app, name: str):
     return ClassItem(name)
 
 
+def items_of_class(decl) -> List[Item]:
+    """The reducible items owned by one class declaration, in order."""
+    from repro.bytecode.classfile import JAVA_OBJECT
+
+    out: List[Item] = []
+    if decl.is_interface:
+        out.append(InterfaceItem(decl.name))
+    else:
+        out.append(ClassItem(decl.name))
+        if decl.superclass != JAVA_OBJECT:
+            out.append(SuperClassItem(decl.name))
+    for iface in decl.interfaces:
+        out.append(ImplementsItem(decl.name, iface))
+    for attribute in decl.attributes:
+        out.append(AttributeItem(decl.name, attribute.name))
+    for fdecl in decl.fields:
+        out.append(FieldItem(decl.name, fdecl.name))
+    for method in decl.methods:
+        if method.is_constructor:
+            out.append(ConstructorItem(decl.name, method.descriptor))
+            if method.code is not None:
+                out.append(
+                    ConstructorCodeItem(decl.name, method.descriptor)
+                )
+        elif method.is_abstract or decl.is_interface:
+            out.append(
+                SignatureItem(decl.name, method.name, method.descriptor)
+            )
+        else:
+            out.append(
+                MethodItem(decl.name, method.name, method.descriptor)
+            )
+            if method.code is not None:
+                out.append(
+                    CodeItem(decl.name, method.name, method.descriptor)
+                )
+    return out
+
+
 def items_of(app) -> List[Item]:
     """All reducible items of an application, in declaration order.
 
     Declaration order doubles as the default variable order ``<``.
     """
-    from repro.bytecode.classfile import JAVA_OBJECT
-
     out: List[Item] = []
     for decl in app.classes:
-        if decl.is_interface:
-            out.append(InterfaceItem(decl.name))
-        else:
-            out.append(ClassItem(decl.name))
-            if decl.superclass != JAVA_OBJECT:
-                out.append(SuperClassItem(decl.name))
-        for iface in decl.interfaces:
-            out.append(ImplementsItem(decl.name, iface))
-        for attribute in decl.attributes:
-            out.append(AttributeItem(decl.name, attribute.name))
-        for fdecl in decl.fields:
-            out.append(FieldItem(decl.name, fdecl.name))
-        for method in decl.methods:
-            if method.is_constructor:
-                out.append(ConstructorItem(decl.name, method.descriptor))
-                if method.code is not None:
-                    out.append(
-                        ConstructorCodeItem(decl.name, method.descriptor)
-                    )
-            elif method.is_abstract or decl.is_interface:
-                out.append(
-                    SignatureItem(decl.name, method.name, method.descriptor)
-                )
-            else:
-                out.append(
-                    MethodItem(decl.name, method.name, method.descriptor)
-                )
-                if method.code is not None:
-                    out.append(
-                        CodeItem(decl.name, method.name, method.descriptor)
-                    )
+        out.extend(items_of_class(decl))
     return out
+
+
+def items_by_class(app):
+    """``{class name: frozenset of its items}`` for every declared class.
+
+    Every item kind names the class that owns it, so an application's
+    item set partitions cleanly by class — the key fact behind the
+    per-class materialization and serialization memos: intersecting a
+    probe's kept-item set with one class's partition yields a key that
+    changes only when *that class's* survivors change.
+    """
+    return {
+        decl.name: frozenset(items_of_class(decl)) for decl in app.classes
+    }

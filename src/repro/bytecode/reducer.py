@@ -55,9 +55,11 @@ from repro.bytecode.items import (
     MethodItem,
     SignatureItem,
     SuperClassItem,
+    items_by_class,
 )
+from repro.observability import get_metrics
 
-__all__ = ["reduce_application", "trivial_code"]
+__all__ = ["reduce_application", "MaterializationMemo", "trivial_code"]
 
 
 def reduce_application(
@@ -74,6 +76,62 @@ def reduce_application(
         if item in true_items:
             kept.append(_reduce_class(decl, true_items))
     return app.replace_classes(tuple(kept))
+
+
+class MaterializationMemo:
+    """Per-class memo for repeated reductions of one base application.
+
+    Consecutive probes of a reduction run keep near-identical item sets
+    — a binary-search step toggles one progression entry — yet
+    :func:`reduce_application` rebuilds every kept class from scratch on
+    each call.  Every item names the class that owns it, so the kept
+    set partitions by class, and a class's reduced form depends only on
+    the intersection of the kept set with *its own* items.  The memo
+    keys each class on that intersection and reuses the reduced
+    :class:`ClassFile` object whenever it recurs, which also lets
+    downstream per-class caches (decompile, serialize) key by identity.
+
+    Thread-safety: worker threads evaluating speculative probes share
+    one memo.  Entries are pure functions of their key, so concurrent
+    duplicate computation is benign (last write wins, same value); no
+    lock sits on the hot path.
+
+    Telemetry: ``reducer.memo_hits`` / ``reducer.memo_misses``.
+    """
+
+    def __init__(self, app: Application) -> None:
+        self.app = app
+        self._class_items = items_by_class(app)
+        self._reduced: dict = {}
+
+    def reduce(self, true_items: AbstractSet[Item]) -> Application:
+        """``reduce(app, phi)`` — same result as :func:`reduce_application`."""
+        metrics = get_metrics()
+        hits = misses = 0
+        kept: List[ClassFile] = []
+        for decl in self.app.classes:
+            relevant = self._class_items[decl.name] & true_items
+            root = (
+                InterfaceItem(decl.name)
+                if decl.is_interface
+                else ClassItem(decl.name)
+            )
+            if root not in relevant:
+                continue
+            key = (decl.name, relevant)
+            reduced = self._reduced.get(key)
+            if reduced is None:
+                misses += 1
+                reduced = _reduce_class(decl, relevant)
+                self._reduced[key] = reduced
+            else:
+                hits += 1
+            kept.append(reduced)
+        if hits:
+            metrics.counter("reducer.memo_hits").inc(hits)
+        if misses:
+            metrics.counter("reducer.memo_misses").inc(misses)
+        return self.app.replace_classes(tuple(kept))
 
 
 def _reduce_class(

@@ -11,7 +11,7 @@ length of these bytes.  :func:`deserialize_application` inverts
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import AbstractSet, Dict, Iterable, List, Sequence, Tuple
 
 from repro.bytecode.classfile import (
     Application,
@@ -47,7 +47,12 @@ from repro.bytecode.instructions import (
     Store,
 )
 
-__all__ = ["serialize_application", "deserialize_application", "FormatError"]
+__all__ = [
+    "serialize_application",
+    "deserialize_application",
+    "ApplicationSerializer",
+    "FormatError",
+]
 
 MAGIC = b"RJBC"
 VERSION = 1
@@ -231,6 +236,343 @@ def _write_instruction(
         out += struct.pack(">H", instruction.target)
     else:
         raise FormatError(f"cannot serialize {instruction!r}")
+
+
+# ---------------------------------------------------------------------------
+# Memoized serialization (probe fast path)
+# ---------------------------------------------------------------------------
+
+
+class _ClassTemplate:
+    """One class's serialized bytes with constant-pool refs left blank.
+
+    ``blob`` is the exact byte sequence :func:`_write_class` would emit,
+    except every pool index is a two-byte ``\\x00\\x00`` placeholder;
+    ``patches`` lists ``(offset, local string id)`` pairs to fill in and
+    ``strings`` holds the class's distinct strings in first-use order.
+    Because every pool reference in the format is a fixed-width ``>H``,
+    ``len(blob)`` does not depend on the final pool — which is what lets
+    :meth:`ApplicationSerializer.size_of_items` skip patching entirely.
+    """
+
+    __slots__ = ("blob", "patches", "strings")
+
+    def __init__(
+        self,
+        blob: bytes,
+        patches: Tuple[Tuple[int, int], ...],
+        strings: Tuple[str, ...],
+    ) -> None:
+        self.blob = blob
+        self.patches = patches
+        self.strings = strings
+
+
+class _TemplateWriter:
+    def __init__(self) -> None:
+        self.out = bytearray()
+        self.patches: List[Tuple[int, int]] = []
+        self.strings: List[str] = []
+        self._ids: Dict[str, int] = {}
+
+    def pack(self, fmt: str, *values) -> None:
+        self.out += struct.pack(fmt, *values)
+
+    def ref(self, text: str) -> None:
+        """A two-byte placeholder to be patched with ``pool.add(text)``."""
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self.strings)
+            self._ids[text] = sid
+            self.strings.append(text)
+        self.patches.append((len(self.out), sid))
+        self.out += b"\x00\x00"
+
+
+def _encode_class_template(decl: ClassFile) -> _ClassTemplate:
+    writer = _TemplateWriter()
+    _template_class(writer, decl)
+    return _ClassTemplate(
+        bytes(writer.out), tuple(writer.patches), tuple(writer.strings)
+    )
+
+
+def _template_class(w: _TemplateWriter, decl: ClassFile) -> None:
+    # Mirrors _write_class byte for byte (struct ">HHB" == ">H">H">B";
+    # big-endian struct never pads).
+    flags = (_FLAG_INTERFACE if decl.is_interface else 0) | (
+        _FLAG_ABSTRACT if decl.is_abstract else 0
+    )
+    w.ref(decl.name)
+    w.ref(decl.superclass)
+    w.pack(">B", flags)
+    w.pack(">H", len(decl.interfaces))
+    for iface in decl.interfaces:
+        w.ref(iface)
+
+    w.pack(">H", len(decl.fields))
+    for fdecl in decl.fields:
+        w.ref(fdecl.name)
+        w.ref(fdecl.descriptor)
+        w.pack(">B", _FLAG_STATIC if fdecl.is_static else 0)
+
+    w.pack(">H", len(decl.methods))
+    for method in decl.methods:
+        mflags = (_FLAG_STATIC if method.is_static else 0) | (
+            _FLAG_METHOD_ABSTRACT if method.is_abstract else 0
+        )
+        w.ref(method.name)
+        w.ref(method.descriptor)
+        w.pack(">B", mflags)
+        if method.code is None:
+            w.pack(">B", 0)
+        else:
+            w.pack(">B", 1)
+            _template_code(w, method.code)
+
+    w.pack(">H", len(decl.attributes))
+    for attribute in decl.attributes:
+        w.ref(attribute.name)
+        w.ref(attribute.payload)
+
+
+def _template_code(w: _TemplateWriter, code: Code) -> None:
+    w.pack(">HHH", code.max_stack, code.max_locals, len(code))
+    for instruction in code:
+        _template_instruction(w, instruction)
+
+
+def _template_instruction(
+    w: _TemplateWriter, instruction: Instruction
+) -> None:
+    w.pack(">B", instruction.opcode)
+    if isinstance(instruction, (Load, Store)):
+        w.pack(">H", instruction.slot)
+    elif isinstance(instruction, ConstInt):
+        w.pack(">i", instruction.value)
+    elif isinstance(instruction, (ConstNull, Dup, Pop)):
+        pass
+    elif isinstance(instruction, (New, InstanceOf, LoadClassConstant)):
+        w.ref(instruction.class_name)
+    elif isinstance(instruction, CheckCast):
+        w.ref(instruction.class_name)
+        if instruction.known_from is None:
+            w.pack(">H", 0)
+        else:
+            w.ref(instruction.known_from)
+    elif isinstance(
+        instruction,
+        (InvokeVirtual, InvokeStatic, InvokeInterface, InvokeSpecial),
+    ):
+        w.ref(instruction.owner)
+        w.ref(instruction.name)
+        w.ref(instruction.descriptor)
+        if isinstance(instruction, InvokeSpecial):
+            w.pack(">B", 1 if instruction.is_super_call else 0)
+    elif isinstance(
+        instruction, (GetField, PutField, GetStatic, PutStatic)
+    ):
+        w.ref(instruction.owner)
+        w.ref(instruction.name)
+        w.ref(instruction.descriptor)
+    elif isinstance(instruction, Return):
+        w.pack(">B", _RETURN_KINDS.index(instruction.kind))
+    elif isinstance(instruction, (Goto, IfEq)):
+        w.pack(">H", instruction.target)
+    else:
+        raise FormatError(f"cannot serialize {instruction!r}")
+
+
+class ApplicationSerializer:
+    """Memoized serialization of one base application's reductions.
+
+    Probe pipelines serialize near-identical reductions thousands of
+    times — measuring candidate sizes re-renders every kept class even
+    though a single binary-search step changes at most a handful.  This
+    serializer caches a :class:`_ClassTemplate` per class, keyed by the
+    frozenset of *that class's* surviving items (the per-class partition
+    of :func:`repro.bytecode.items.items_by_class`), so a probe only
+    pays rendering cost for classes whose survivors actually changed.
+
+    Two probe granularities are served:
+
+    - **item granularity** (GBR / our reducer):
+      :meth:`serialize_items` is byte-identical to
+      ``serialize_application(reduce_application(app, true_items))``
+      (property-tested); :meth:`size_of_items` returns just the length
+      — with **no patching at all**, since every pool ref is a
+      fixed-width ``>H`` and pool content is recoverable from the
+      templates' string lists.
+    - **class granularity** (the jreduce baseline):
+      :meth:`serialize_classes` / :meth:`size_of_classes` keep whole
+      classes untouched, keyed by class name.
+
+    Thread-safety: like
+    :class:`~repro.bytecode.reducer.MaterializationMemo`, entries are
+    pure functions of their key, so concurrent duplicate computation by
+    speculative probe workers is benign; no lock on the hot path.
+
+    Telemetry: ``serializer.memo_hits`` / ``serializer.memo_misses``.
+    """
+
+    def __init__(self, app: Application) -> None:
+        from repro.bytecode.items import items_by_class
+
+        self.app = app
+        self._class_items = items_by_class(app)
+        self._entry = (
+            app.entry_class,
+            app.entry_method,
+            app.entry_descriptor,
+        )
+        self._reduced: Dict[tuple, _ClassTemplate] = {}
+        self._full: Dict[str, _ClassTemplate] = {}
+        self._utf8_len: Dict[str, int] = {}
+
+    # -- item granularity ---------------------------------------------
+
+    def serialize_items(self, true_items: AbstractSet) -> bytes:
+        """== ``serialize_application(reduce_application(app, true_items))``."""
+        return self._assemble(self._templates_for_items(true_items))
+
+    def size_of_items(self, true_items: AbstractSet) -> int:
+        """``len(serialize_items(true_items))`` without building the bytes."""
+        return self._measure(self._templates_for_items(true_items))
+
+    def _templates_for_items(
+        self, true_items: AbstractSet
+    ) -> List[_ClassTemplate]:
+        from repro.bytecode.items import ClassItem, InterfaceItem
+        from repro.bytecode.reducer import _reduce_class
+
+        hits = misses = 0
+        templates: List[_ClassTemplate] = []
+        for decl in self.app.classes:
+            relevant = self._class_items[decl.name] & true_items
+            root = (
+                InterfaceItem(decl.name)
+                if decl.is_interface
+                else ClassItem(decl.name)
+            )
+            if root not in relevant:
+                continue
+            key = (decl.name, relevant)
+            template = self._reduced.get(key)
+            if template is None:
+                misses += 1
+                template = _encode_class_template(
+                    _reduce_class(decl, relevant)
+                )
+                self._reduced[key] = template
+            else:
+                hits += 1
+            templates.append(template)
+        self._count(hits, misses)
+        return templates
+
+    # -- class granularity (jreduce) ----------------------------------
+
+    def serialize_classes(self, kept_names: Iterable[str]) -> bytes:
+        """== ``serialize_application(app.replace_classes(kept))``."""
+        return self._assemble(self._templates_for_classes(kept_names))
+
+    def size_of_classes(self, kept_names: Iterable[str]) -> int:
+        return self._measure(self._templates_for_classes(kept_names))
+
+    def _templates_for_classes(
+        self, kept_names: Iterable[str]
+    ) -> List[_ClassTemplate]:
+        kept = (
+            kept_names
+            if isinstance(kept_names, (set, frozenset))
+            else set(kept_names)
+        )
+        hits = misses = 0
+        templates: List[_ClassTemplate] = []
+        for decl in self.app.classes:
+            if decl.name not in kept:
+                continue
+            template = self._full.get(decl.name)
+            if template is None:
+                misses += 1
+                template = _encode_class_template(decl)
+                self._full[decl.name] = template
+            else:
+                hits += 1
+            templates.append(template)
+        self._count(hits, misses)
+        return templates
+
+    # -- assembly ------------------------------------------------------
+
+    def _assemble(self, templates: Sequence[_ClassTemplate]) -> bytes:
+        pool = ConstantPool()
+        for template in templates:
+            for text in template.strings:
+                pool.add(text)
+        for text in self._entry:
+            pool.add(text)
+
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack(">H", VERSION)
+        out += struct.pack(">H", len(pool))
+        for entry in pool:
+            data = entry.encode("utf-8")
+            out += struct.pack(">H", len(data))
+            out += data
+
+        out += struct.pack(">H", len(templates))
+        for template in templates:
+            blob = bytearray(template.blob)
+            for offset, sid in template.patches:
+                struct.pack_into(
+                    ">H", blob, offset, pool.add(template.strings[sid])
+                )
+            out += blob
+
+        out += struct.pack(
+            ">HHH",
+            pool.add(self._entry[0]),
+            pool.add(self._entry[1]),
+            pool.add(self._entry[2]),
+        )
+        return bytes(out)
+
+    def _measure(self, templates: Sequence[_ClassTemplate]) -> int:
+        seen = set()
+        pool_bytes = 0
+        body = 0
+        for template in templates:
+            body += len(template.blob)
+            for text in template.strings:
+                if text not in seen:
+                    seen.add(text)
+                    pool_bytes += 2 + self._utf8(text)
+        for text in self._entry:
+            if text not in seen:
+                seen.add(text)
+                pool_bytes += 2 + self._utf8(text)
+        # magic + version + pool count + pool + class count + classes
+        # + entry triple.
+        return 4 + 2 + 2 + pool_bytes + 2 + body + 6
+
+    def _utf8(self, text: str) -> int:
+        length = self._utf8_len.get(text)
+        if length is None:
+            length = len(text.encode("utf-8"))
+            self._utf8_len[text] = length
+        return length
+
+    @staticmethod
+    def _count(hits: int, misses: int) -> None:
+        from repro.observability import get_metrics
+
+        metrics = get_metrics()
+        if hits:
+            metrics.counter("serializer.memo_hits").inc(hits)
+        if misses:
+            metrics.counter("serializer.memo_misses").inc(misses)
 
 
 # ---------------------------------------------------------------------------

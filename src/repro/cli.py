@@ -18,7 +18,9 @@ Subcommands:
   transient oracle failures, ``--deadline-seconds`` bounds each call,
   ``--keep-going`` records crashed instances instead of aborting, and
   ``--chaos KIND --chaos-rate P --chaos-seed N`` injects seeded faults
-  (the chaos bench mode).
+  (the chaos bench mode).  ``--speculate K`` (also on ``reduce``)
+  evaluates up to K GBR prefix-search probes concurrently per round
+  with byte-identical results.
 - ``jlreduce trace summarize FILE.jsonl`` — aggregate a JSONL trace
   written by ``--trace`` (per-span totals/mean/p95, counter totals).
 
@@ -91,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="stop once the simulated clock passes S seconds and return "
         "the best-so-far result (status: partial)",
+    )
+    reduce_cmd.add_argument(
+        "--speculate",
+        type=int,
+        default=1,
+        metavar="K",
+        help="evaluate up to K prefix-search probes concurrently per "
+        "round; results are byte-identical to sequential (default 1)",
     )
 
     bench = sub.add_parser(
@@ -180,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="master seed for the fault schedule (default 2021)",
     )
+    bench.add_argument(
+        "--speculate",
+        type=int,
+        default=1,
+        metavar="K",
+        help="evaluate up to K GBR prefix-search probes concurrently per "
+        "round on a shared probe pool; outcomes are byte-identical to "
+        "sequential runs (default 1)",
+    )
 
     trace = sub.add_parser("trace", help="inspect JSONL trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -209,6 +228,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.json,
             budget_calls=args.budget_calls,
             budget_seconds=args.budget_seconds,
+            speculate=args.speculate,
         )
     if args.command == "bench":
         return _bench(
@@ -225,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos=args.chaos,
             chaos_rate=args.chaos_rate,
             chaos_seed=args.chaos_seed,
+            speculate=args.speculate,
         )
     if args.command == "trace":
         if args.trace_command == "summarize":
@@ -313,6 +334,7 @@ def _reduce(
     json_output: bool = False,
     budget_calls: Optional[int] = None,
     budget_seconds: Optional[float] = None,
+    speculate: int = 1,
 ) -> int:
     from repro.fji.pretty import pretty_program
     from repro.fji.reducer import reduce_program
@@ -335,6 +357,10 @@ def _reduce(
             return 1
         required.add(by_name[name])
 
+    if speculate < 1:
+        print(f"jlreduce: --speculate must be >= 1, got {speculate}",
+              file=sys.stderr)
+        return 1
     target = frozenset(required)
     predicate = lambda kept: target <= kept  # noqa: E731 — tiny oracle
     if budget_calls is not None or budget_seconds is not None:
@@ -356,20 +382,39 @@ def _reduce(
         constraint=constraints,
         description=path,
     )
-    if trace_path:
-        trace_handle = _open_trace(trace_path)
-        if trace_handle is None:
-            return 1
-        with trace_handle:
-            with tracing_session() as (tracer, metrics):
-                result = generalized_binary_reduction(
-                    problem, require_true=target
+    probes = None
+    if speculate > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        probes = ThreadPoolExecutor(
+            max_workers=speculate, thread_name_prefix="jlreduce-probe"
+        )
+    try:
+        if trace_path:
+            trace_handle = _open_trace(trace_path)
+            if trace_handle is None:
+                return 1
+            with trace_handle:
+                with tracing_session() as (tracer, metrics):
+                    result = generalized_binary_reduction(
+                        problem,
+                        require_true=target,
+                        speculate=speculate,
+                        probe_executor=probes,
+                    )
+                write_trace(
+                    trace_handle, tracer, metrics, label=f"reduce {path}"
                 )
-            write_trace(
-                trace_handle, tracer, metrics, label=f"reduce {path}"
+        else:
+            result = generalized_binary_reduction(
+                problem,
+                require_true=target,
+                speculate=speculate,
+                probe_executor=probes,
             )
-    else:
-        result = generalized_binary_reduction(problem, require_true=target)
+    finally:
+        if probes is not None:
+            probes.shutdown(wait=True)
 
     if json_output:
         payload = {
@@ -407,6 +452,7 @@ def _bench(
     chaos: Optional[str] = None,
     chaos_rate: float = 0.2,
     chaos_seed: int = 2021,
+    speculate: int = 1,
 ) -> int:
     from repro.harness.experiments import ExperimentConfig
     from repro.observability import tracing_session, write_trace
@@ -430,6 +476,10 @@ def _bench(
         print(f"jlreduce: --retries must be >= 0, got {retries}",
               file=sys.stderr)
         return 1
+    if speculate < 1:
+        print(f"jlreduce: --speculate must be >= 1, got {speculate}",
+              file=sys.stderr)
+        return 1
     try:
         # Validate the budget/deadline values once, up front, instead of
         # per-instance deep inside the run.
@@ -448,6 +498,7 @@ def _bench(
         deadline_seconds=deadline_seconds,
         keep_going=keep_going,
         chaos=plan,
+        speculate=speculate,
     )
     config = (
         CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()

@@ -33,7 +33,7 @@ from repro.bytecode.items import (
     MethodItem,
     items_of,
 )
-from repro.bytecode.reducer import reduce_application
+from repro.bytecode.reducer import MaterializationMemo
 from repro.decompiler.decompile import Decompiler, get_decompiler
 from repro.decompiler.javac import check_sources
 from repro.logic.cnf import Clause
@@ -59,6 +59,12 @@ class DecompilerOracle:
             decompiler = get_decompiler(decompiler)
         self.app = app
         self.decompiler: Decompiler = decompiler
+        # Probe fast path: per-class materialization memo shared by
+        # every probe of this oracle (reducer.memo_* telemetry).  Kept
+        # per-oracle, not module-global, so each reduction run (which
+        # builds a fresh oracle) starts cold and its memo telemetry is
+        # deterministic regardless of what ran before.
+        self._materializer = MaterializationMemo(app)
         self.original_errors = self.errors_of(app)
 
     def errors_of(self, app: Application) -> FrozenSet[str]:
@@ -77,7 +83,7 @@ class DecompilerOracle:
 
     def item_predicate(self, kept_items: FrozenSet[Item]) -> bool:
         """P over item sets: reduce, decompile, compare messages."""
-        reduced = reduce_application(self.app, kept_items)
+        reduced = self._materializer.reduce(kept_items)
         return self.errors_of(reduced) == self.original_errors
 
     def class_predicate(self, kept_classes: FrozenSet[str]) -> bool:

@@ -17,10 +17,12 @@ per node.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List
+import weakref
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Tuple
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import condensation
+from repro.observability import get_metrics
 
 __all__ = ["Closure", "closure_of", "all_item_closures"]
 
@@ -59,9 +61,38 @@ class Closure:
         return f"Closure(root={self.root!r}, size={len(self.members)})"
 
 
+# Per-graph closure cache: graph -> (version at fill time, {rootset:
+# closure}).  Weakly keyed, so a dropped graph takes its cache with it;
+# a mutation (version bump) discards the stale entries wholesale.
+# Probe pipelines ask for the closure of near-identical rootsets
+# thousands of times per run, which is why this is worth a dict lookup.
+_CLOSURE_CACHE: "weakref.WeakKeyDictionary[DiGraph, Tuple[int, Dict[FrozenSet[Node], FrozenSet[Node]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def closure_of(graph: DiGraph, roots: Iterable[Node]) -> FrozenSet[Node]:
-    """The union of the closures of ``roots`` (one reachability sweep)."""
-    return graph.reachable_from(roots)
+    """The union of the closures of ``roots`` (one reachability sweep).
+
+    Memoized per ``(graph, frozenset(roots))``; the entry is invalidated
+    when the graph mutates (its ``version`` counter moves).  Telemetry:
+    ``closure.memo_hits`` / ``closure.memo_misses``.
+    """
+    key = roots if isinstance(roots, frozenset) else frozenset(roots)
+    entry = _CLOSURE_CACHE.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, {})
+        _CLOSURE_CACHE[graph] = entry
+    cache = entry[1]
+    result = cache.get(key)
+    metrics = get_metrics()
+    if result is None:
+        metrics.counter("closure.memo_misses").inc()
+        result = graph.reachable_from(key)
+        cache[key] = result
+    else:
+        metrics.counter("closure.memo_hits").inc()
+    return result
 
 
 def all_item_closures(graph: DiGraph) -> List[Closure]:

@@ -32,6 +32,9 @@ class DiGraph:
     ):
         self._succ: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, Set[Node]] = {}
+        # Bumped on every actual mutation; lets caches keyed on this
+        # graph (see repro.graphs.closure) invalidate cheaply.
+        self.version = 0
         for node in nodes:
             self.add_node(node)
         for src, dst in edges:
@@ -40,14 +43,18 @@ class DiGraph:
     # -- construction -------------------------------------------------------
 
     def add_node(self, node: Node) -> None:
-        self._succ.setdefault(node, set())
-        self._pred.setdefault(node, set())
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+            self.version += 1
 
     def add_edge(self, src: Node, dst: Node) -> None:
         self.add_node(src)
         self.add_node(dst)
-        self._succ[src].add(dst)
-        self._pred[dst].add(src)
+        if dst not in self._succ[src]:
+            self._succ[src].add(dst)
+            self._pred[dst].add(src)
+            self.version += 1
 
     # -- queries ---------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.harness.experiments import (
     ExperimentConfig,
     InstanceOutcome,
     oracle_fingerprint,
+    probe_pool,
     run_corpus_experiment,
     run_instance,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "ExperimentConfig",
     "InstanceOutcome",
     "oracle_fingerprint",
+    "probe_pool",
     "run_instance",
     "run_corpus_experiment",
     "mean_reduction_over_time",

@@ -29,7 +29,10 @@ from repro.bytecode.classfile import Application
 from repro.bytecode.constraints import class_dependency_graph
 from repro.bytecode.metrics import application_size_bytes
 from repro.bytecode.reducer import reduce_application
-from repro.bytecode.serializer import serialize_application
+from repro.bytecode.serializer import (
+    ApplicationSerializer,
+    serialize_application,
+)
 from repro.observability import get_metrics, get_tracer
 from repro.reduction.binary import binary_reduction
 from repro.reduction.gbr import generalized_binary_reduction
@@ -46,6 +49,7 @@ __all__ = [
     "InstanceOutcome",
     "error_outcome",
     "oracle_fingerprint",
+    "probe_pool",
     "progress_line",
     "run_instance",
     "run_corpus_experiment",
@@ -81,6 +85,12 @@ class ExperimentConfig:
     keep_going: bool = False
     #: Seeded fault injection (the chaos bench mode); None runs clean.
     chaos: Optional[FaultPlan] = None
+    #: Probes evaluated concurrently per GBR prefix-search round (see
+    #: :mod:`repro.parallel.speculate`); 1 is the sequential binary
+    #: search.  Results are byte-identical either way — runs with a
+    #: limiting budget silently serialize to keep their anytime partial
+    #: results deterministic.
+    speculate: int = 1
 
     @property
     def wants_resilience(self) -> bool:
@@ -151,12 +161,17 @@ def run_instance(
     strategy: str,
     config: Optional[ExperimentConfig] = None,
     store=None,
+    probe_executor=None,
 ) -> InstanceOutcome:
     """Run one strategy on one instance.
 
     ``store`` (a :class:`~repro.parallel.store.PredicateStore`) makes
     predicate outcomes persist: a repeat run of the same instance
     against a warm store reports ``predicate_calls == 0``.
+
+    ``probe_executor`` is the worker pool for speculative probes when
+    ``config.speculate > 1`` (corpus runs share one across instances);
+    left ``None``, a private pool is created and torn down per run.
 
     Resilience: ``config.chaos`` wraps the raw oracle in a seeded fault
     injector; budgets/retries/deadlines wrap it in a
@@ -168,15 +183,38 @@ def run_instance(
     """
     config = config or ExperimentConfig()
     watch = Stopwatch()
+    local_pool = None
+    if config.speculate > 1 and probe_executor is None:
+        local_pool = probe_pool(config)
+        probe_executor = local_pool
     try:
         return _run_instance_inner(benchmark, instance, strategy, config,
-                                   store, watch)
+                                   store, watch, probe_executor)
     except Exception as exc:  # noqa: BLE001 — degraded, not swallowed
         if not config.keep_going:
             raise
         return error_outcome(
             benchmark, instance, strategy, exc, real_seconds=watch.elapsed()
         )
+    finally:
+        if local_pool is not None:
+            local_pool.shutdown(wait=True)
+
+
+def probe_pool(config: ExperimentConfig):
+    """The worker pool for speculative probes, or None when sequential.
+
+    Kept separate from the instance-level pool of
+    :mod:`repro.parallel.runner` — an instance worker blocking on probe
+    futures scheduled into its *own* pool could deadlock.
+    """
+    if config.speculate <= 1:
+        return None
+    from concurrent.futures import ThreadPoolExecutor
+
+    return ThreadPoolExecutor(
+        max_workers=config.speculate, thread_name_prefix="jlreduce-probe"
+    )
 
 
 def _run_instance_inner(
@@ -186,12 +224,16 @@ def _run_instance_inner(
     config: ExperimentConfig,
     store,
     watch: Stopwatch,
+    probe_executor=None,
 ) -> InstanceOutcome:
     tracer = get_tracer()
     app = benchmark.app
     oracle = instance.oracle
     total_bytes = application_size_bytes(app)
     total_classes = len(app.classes)
+    # Fresh per run (not shared via the oracle), so the memo telemetry
+    # in outcome.metrics is deterministic regardless of run history.
+    serializer = ApplicationSerializer(app)
 
     def _fingerprint(granularity: str) -> Optional[str]:
         if store is None:
@@ -233,9 +275,7 @@ def _run_instance_inner(
                 instrumented = InstrumentedPredicate(
                     _resilient(oracle.class_predicate, "class"),
                     cost_per_call=config.simulated_seconds_per_run,
-                    size_of=lambda kept: application_size_bytes(
-                        _class_subset(app, kept)
-                    ),
+                    size_of=serializer.size_of_classes,
                     store=store,
                     fingerprint=_fingerprint("class"),
                 )
@@ -254,9 +294,7 @@ def _run_instance_inner(
                 instrumented = InstrumentedPredicate(
                     _resilient(problem.predicate, "item"),
                     cost_per_call=config.simulated_seconds_per_run,
-                    size_of=lambda kept: application_size_bytes(
-                        reduce_application(app, kept)
-                    ),
+                    size_of=serializer.size_of_items,
                     store=store,
                     fingerprint=_fingerprint("item"),
                 )
@@ -268,7 +306,11 @@ def _run_instance_inner(
                 )
             with tracer.span("instance.reduce", strategy=strategy):
                 if strategy == "our-reducer":
-                    result = generalized_binary_reduction(problem)
+                    result = generalized_binary_reduction(
+                        problem,
+                        speculate=config.speculate,
+                        probe_executor=probe_executor,
+                    )
                 elif strategy == "lossy-first":
                     result = lossy_reduce(problem, LossyVariant.FIRST)
                 elif strategy == "lossy-last":
@@ -370,15 +412,25 @@ def run_corpus_experiment(
             benchmarks, config, progress=progress, jobs=jobs, store=store
         )
     outcomes: List[InstanceOutcome] = []
-    for benchmark in benchmarks:
-        for instance in benchmark.instances:
-            for strategy in config.strategies:
-                outcome = run_instance(
-                    benchmark, instance, strategy, config, store
-                )
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(progress_line(outcome))
+    probes = probe_pool(config)
+    try:
+        for benchmark in benchmarks:
+            for instance in benchmark.instances:
+                for strategy in config.strategies:
+                    outcome = run_instance(
+                        benchmark,
+                        instance,
+                        strategy,
+                        config,
+                        store,
+                        probe_executor=probes,
+                    )
+                    outcomes.append(outcome)
+                    if progress is not None:
+                        progress(progress_line(outcome))
+    finally:
+        if probes is not None:
+            probes.shutdown(wait=True)
     return outcomes
 
 

@@ -229,6 +229,51 @@ def propagate_watched(
     return True, qhead
 
 
+def _repair_watches(
+    index: WatchedIndex,
+    values: List[Optional[bool]],
+    base: Dict[int, bool],
+) -> None:
+    """Move watches off literals falsified by an unpropagated base.
+
+    ``propagate_watched`` relies on the invariant that a clause's first
+    watch is only falsified while its falsifying assignment is still
+    pending in the queue.  A base installed directly into ``values``
+    breaks that (nothing is pending), so a clause can end up watched on
+    two literals where one is already false — a later watch move would
+    then skip a unit implication.  This pass re-points such watches at
+    non-false literals where any exist.  Clauses with at most one
+    non-false literal are left alone (unit under the base): asserting
+    them would derive more than the occurrence-list reference does.
+    """
+    clause_lits = index.clause_lits
+    watches = index.watches
+    for var, value in base.items():
+        false_lit = -(var + 1) if value else (var + 1)
+        watchers = watches.get(false_lit)
+        if not watchers:
+            continue
+        kept: List[int] = []
+        for ci in watchers:
+            lits = clause_lits[ci]
+            if lits[0] == false_lit:
+                lits[0], lits[1] = lits[1], lits[0]
+            moved = False
+            for k in range(2, len(lits)):
+                other = lits[k]
+                ovar = other - 1 if other > 0 else -other - 1
+                oval = values[ovar]
+                if oval is None or oval == (other > 0):
+                    lits[1] = other
+                    lits[k] = false_lit
+                    watches.setdefault(other, []).append(ci)
+                    moved = True
+                    break
+            if not moved:
+                kept.append(ci)
+        watches[false_lit] = kept
+
+
 def watched_propagate_from_seed(
     index: WatchedIndex,
     seed: Iterable[Tuple[int, bool]],
@@ -252,6 +297,12 @@ def watched_propagate_from_seed(
         for var, value in base.items():
             values[var] = value
             trail.append(var + 1 if value else -(var + 1))
+        # Base literals are installed without propagation, which can
+        # leave clauses watched on base-falsified literals.  Repair the
+        # watch invariant (move watches off falsified literals) without
+        # asserting anything: implications that follow from the base
+        # alone stay underived, matching ``unit_propagate``.
+        _repair_watches(index, values, base)
     start = len(trail)
     conflict = False
     for var, value in seed:

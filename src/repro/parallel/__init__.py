@@ -14,7 +14,11 @@ kept items).  This package amortizes both axes:
   canonical sub-input hash, which
   :class:`~repro.reduction.predicate.InstrumentedPredicate` reads
   through and writes back, so repeat runs of the same instance cost
-  zero fresh predicate calls.
+  zero fresh predicate calls,
+- :mod:`repro.parallel.speculate` — speculative k-ary prefix search for
+  GBR's inner binary search (``--speculate K``): k probes per round run
+  concurrently on a dedicated pool, committed in deterministic serial
+  order so results stay byte-identical to sequential runs.
 
 Both lean on the concurrency-safe telemetry in
 :mod:`repro.observability`: lock-protected metrics and thread-scoped
@@ -27,11 +31,19 @@ from repro.parallel.runner import (
     resolve_jobs,
     run_parallel_corpus_experiment,
 )
+from repro.parallel.speculate import (
+    candidate_midpoints,
+    speculation_allowed,
+    speculative_interval_search,
+)
 from repro.parallel.store import PredicateStore, fingerprint_of
 
 __all__ = [
     "PredicateStore",
+    "candidate_midpoints",
     "fingerprint_of",
     "resolve_jobs",
     "run_parallel_corpus_experiment",
+    "speculation_allowed",
+    "speculative_interval_search",
 ]

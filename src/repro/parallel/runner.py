@@ -33,6 +33,7 @@ from repro.harness.experiments import (
     ExperimentConfig,
     InstanceOutcome,
     error_outcome,
+    probe_pool,
     progress_line,
     run_instance,
 )
@@ -92,27 +93,46 @@ def run_parallel_corpus_experiment(
         for strategy in config.strategies
     ]
     outcomes: List[InstanceOutcome] = []
-    with ThreadPoolExecutor(
-        max_workers=max(1, jobs), thread_name_prefix="jlreduce-worker"
-    ) as pool:
-        futures = [
-            pool.submit(
-                run_instance, benchmark, instance, strategy, config, store
-            )
-            for benchmark, instance, strategy in tasks
-        ]
-        for future, (benchmark, instance, strategy) in zip(futures, tasks):
-            try:
-                outcome = future.result()
-            except Exception as exc:  # noqa: BLE001 — degraded below
-                # run_instance already converts failures when
-                # keep_going is set; this second net catches anything
-                # that escaped (e.g. setup code outside its guard), so
-                # one bad worker cannot abort the whole bench.
-                if not config.keep_going:
-                    raise
-                outcome = error_outcome(benchmark, instance, strategy, exc)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(progress_line(outcome))
+    # The probe pool is shared across instances but deliberately
+    # separate from the instance pool: an instance worker blocks on its
+    # probe futures, and blocking on futures scheduled into one's own
+    # pool deadlocks once every worker does it.
+    probes = probe_pool(config)
+    try:
+        with ThreadPoolExecutor(
+            max_workers=max(1, jobs), thread_name_prefix="jlreduce-worker"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    run_instance,
+                    benchmark,
+                    instance,
+                    strategy,
+                    config,
+                    store,
+                    probe_executor=probes,
+                )
+                for benchmark, instance, strategy in tasks
+            ]
+            for future, (benchmark, instance, strategy) in zip(
+                futures, tasks
+            ):
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 — degraded below
+                    # run_instance already converts failures when
+                    # keep_going is set; this second net catches anything
+                    # that escaped (e.g. setup code outside its guard), so
+                    # one bad worker cannot abort the whole bench.
+                    if not config.keep_going:
+                        raise
+                    outcome = error_outcome(
+                        benchmark, instance, strategy, exc
+                    )
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(progress_line(outcome))
+    finally:
+        if probes is not None:
+            probes.shutdown(wait=True)
     return outcomes

@@ -59,6 +59,8 @@ def generalized_binary_reduction(
     require_true: FrozenSet[VarName] = frozenset(),
     trace: Optional[GbrTrace] = None,
     max_iterations: Optional[int] = None,
+    speculate: int = 1,
+    probe_executor=None,
 ) -> ReductionResult:
     """Run GBR on a reduction problem.
 
@@ -72,6 +74,15 @@ def generalized_binary_reduction(
             are expressed as unit clauses in ``R``.
         trace: optional :class:`GbrTrace` observer.
         max_iterations: safety valve; defaults to ``|I| + 1``.
+        speculate: probes evaluated concurrently per prefix-search round
+            (see :mod:`repro.parallel.speculate`).  1 is the sequential
+            binary search; higher widths need ``probe_executor`` and
+            leave the result byte-identical — except that a run with a
+            *limiting* budget is silently searched sequentially, so its
+            anytime partial result stays deterministic
+            (``speculate.budget_serialized`` counts this).
+        probe_executor: a live ``concurrent.futures`` pool for the
+            speculative probes; ignored when ``speculate <= 1``.
 
     Returns:
         A :class:`ReductionResult` whose ``solution`` satisfies both
@@ -95,6 +106,14 @@ def generalized_binary_reduction(
     with scoped_metrics() as run_metrics, tracer.span(
         "gbr.run", variables=len(universe), description=problem.description
     ) as run_span:
+        width = 1
+        if speculate > 1 and probe_executor is not None:
+            # Lazy import: repro.parallel pulls in the corpus runner,
+            # which imports the harness, which imports this module.
+            from repro.parallel.speculate import speculation_allowed
+
+            if speculation_allowed(predicate):
+                width = speculate
         # One engine per run: learned clauses accumulate and the scope
         # only shrinks, so every rebuild reuses the same compiled
         # constraint and solver session.
@@ -108,7 +127,27 @@ def generalized_binary_reduction(
         iterations = 0
         status = "complete"
         try:
-            while not predicate(progression.first):
+            while True:
+                if width > 1:
+                    # Fused round: the loop-head check P(D_0) rides the
+                    # first speculative batch together with the full-
+                    # union check and the first candidates, saving two
+                    # serial predicate rounds per iteration.  Commit
+                    # order keeps the result byte-identical (see
+                    # repro.parallel.speculate).
+                    from repro.parallel.speculate import (
+                        speculative_shortest_prefix,
+                    )
+
+                    r = speculative_shortest_prefix(
+                        predicate, progression, width, probe_executor
+                    )
+                    if r is None:
+                        break
+                elif predicate(progression.first):
+                    break
+                else:
+                    r = -1  # search inside the iteration span below
                 iterations += 1
                 if iterations > limit:
                     raise ReductionError(
@@ -121,7 +160,10 @@ def generalized_binary_reduction(
                     iteration=iterations,
                     progression_entries=len(progression),
                 ):
-                    r = _shortest_satisfying_prefix(predicate, progression)
+                    if r < 0:
+                        r = _shortest_satisfying_prefix(
+                            predicate, progression
+                        )
                     learned_set = progression[r]
                     learned.append(learned_set)
                     engine.learn(learned_set)
@@ -196,33 +238,57 @@ def _run_metrics(
 def _shortest_satisfying_prefix(
     predicate: Callable[[FrozenSet[VarName]], bool],
     progression: Progression,
+    width: int = 1,
+    executor=None,
 ) -> int:
     """Binary search for min r >= 1 with ``P(D_{<=r})``.
 
     Precondition: ``P(D_0)`` is false.  The full union satisfies ``P``
     by the loop invariant; if even it fails, the predicate was not
     monotone (or the progression lost part of the bug), which we report.
+
+    With ``width > 1`` and a live ``executor``, the interval is shrunk
+    by the speculative k-ary search instead
+    (:func:`repro.parallel.speculate.speculative_interval_search`),
+    which returns the identical index.  ``gbr.probes`` counts logical
+    probes issued by the search; ``gbr.probes_cached`` counts the subset
+    the predicate's memo already held (answered without a fresh call).
     """
     metrics = get_metrics()
     probes = metrics.counter("gbr.probes")
+    probes_cached = metrics.counter("gbr.probes_cached")
+    peek = getattr(predicate, "peek", None)
     with get_tracer().span(
-        "gbr.prefix_search", entries=len(progression)
+        "gbr.prefix_search", entries=len(progression), width=width
     ) as sp:
         low = 0  # known failing
         high = len(progression) - 1  # expected satisfying
         if high > 0:
             probes.inc()
-        if high == 0 or not predicate(progression.prefix_union(high)):
+            full_union = progression.prefix_union(high)
+            if peek is not None and peek(full_union) is not None:
+                probes_cached.inc()
+        if high == 0 or not predicate(full_union):
             raise ReductionError(
                 "the whole search space no longer satisfies P; "
                 "the predicate is not monotone on valid sub-inputs"
             )
-        while high - low > 1:
-            mid = (low + high) // 2
-            probes.inc()
-            if predicate(progression.prefix_union(mid)):
-                high = mid
-            else:
-                low = mid
+        if width > 1 and executor is not None:
+            from repro.parallel.speculate import speculative_interval_search
+
+            high = speculative_interval_search(
+                predicate, progression, low, high, width, executor
+            )
+        else:
+            while high - low > 1:
+                mid = (low + high) // 2
+                probes.inc()
+                union = progression.prefix_union(mid)
+                if peek is not None and peek(union) is not None:
+                    probes_cached.inc()
+                if predicate(union):
+                    high = mid
+                else:
+                    low = mid
         sp.set_attr("prefix_index", high)
     return high

@@ -42,10 +42,11 @@ from typing import (
     Hashable,
     List,
     Optional,
+    Sequence,
     Tuple,
 )
 
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_tracer, scoped_metrics
 
 __all__ = ["InstrumentedPredicate", "best_so_far"]
 
@@ -139,6 +140,127 @@ class InstrumentedPredicate:
         if outcome:
             self._note_success(sub_input)
         return outcome
+
+    def peek(self, sub_input: FrozenSet[VarName]) -> Optional[bool]:
+        """The in-memory cached outcome for a sub-input, or None.
+
+        No counters move and the store is not consulted — this exists so
+        search loops can report how many of their logical probes the
+        memo already held (``gbr.probes_cached``) without perturbing the
+        query statistics.
+        """
+        return self._cache.get(frozenset(sub_input))
+
+    def evaluate_batch(
+        self,
+        sub_inputs: Sequence[FrozenSet[VarName]],
+        executor,
+    ) -> List[bool]:
+        """Evaluate one speculative round of sub-inputs concurrently.
+
+        Cache and store hits are counted exactly as in :meth:`__call__`.
+        Fresh outcomes run on ``executor`` and are *committed in serial
+        order* (index 0 first), so the cache, call counters, store
+        writes, and best-so-far evolve as if the round had been issued
+        sequentially — with two deliberate exceptions:
+
+        - the virtual clock advances by ``cost_per_call`` **once per
+          round** with at least one completed fresh call, because the
+          round's calls overlap on the pool (``simulated_seconds`` is
+          max-of-batch, the time a parallel tool invocation would take);
+        - if a fresh call raised, its exception is re-raised *after*
+          committing every earlier-in-order outcome, and every
+          later-in-order outcome is discarded uncommitted (a sequential
+          run would never have issued them).
+
+        Worker threads run under the caller's active metrics registry,
+        so per-run scoped attribution (``scoped_metrics``) survives the
+        thread hop.
+        """
+        inputs = [frozenset(s) for s in sub_inputs]
+        results: List[Optional[bool]] = [None] * len(inputs)
+        fresh: List[Tuple[int, FrozenSet[VarName]]] = []
+        pending: Dict[FrozenSet[VarName], int] = {}
+        aliases: List[Tuple[int, int]] = []
+        metrics = get_metrics()
+        for position, sub_input in enumerate(inputs):
+            self.queries += 1
+            metrics.counter("predicate.queries").inc()
+            cached = self._cache.get(sub_input)
+            if cached is not None:
+                metrics.counter("predicate.cache_hits").inc()
+                results[position] = cached
+                continue
+            if sub_input in pending:
+                # A duplicate within the round: a sequential run would
+                # answer the repeat from the cache.
+                metrics.counter("predicate.cache_hits").inc()
+                aliases.append((position, pending[sub_input]))
+                continue
+            if self._store is not None:
+                stored = self._store.lookup(self._fingerprint, sub_input)
+                if stored is not None:
+                    self.store_hits += 1
+                    metrics.counter("predicate.cache_hits").inc()
+                    metrics.counter("predicate.store_hits").inc()
+                    self._cache[sub_input] = stored
+                    if stored:
+                        self._note_success(sub_input)
+                    results[position] = stored
+                    continue
+            pending[sub_input] = position
+            fresh.append((position, sub_input))
+
+        if fresh:
+            registry = metrics
+            tracer = get_tracer()
+
+            def run_one(sub_input: FrozenSet[VarName]):
+                # The worker thread sees the global registry by default;
+                # install the caller's so the run's scoped counters (and
+                # any per-run attribution above them) stay exact.
+                with scoped_metrics(registry):
+                    with tracer.span(
+                        "predicate.call", size=len(sub_input)
+                    ) as sp:
+                        before = time.perf_counter()
+                        outcome = self._predicate(sub_input)
+                        sp.set_attr("outcome", outcome)
+                    return outcome, time.perf_counter() - before
+
+            futures = [
+                (position, sub_input, executor.submit(run_one, sub_input))
+                for position, sub_input in fresh
+            ]
+            settled = []
+            for position, sub_input, future in futures:
+                try:
+                    outcome, latency = future.result()
+                    settled.append((position, sub_input, outcome, latency, None))
+                except BaseException as exc:  # noqa: BLE001 — re-raised below
+                    settled.append((position, sub_input, None, 0.0, exc))
+            if any(error is None for (_, _, _, _, error) in settled):
+                # The round ran concurrently: charge one call's worth of
+                # simulated time for the whole batch.
+                self.virtual_clock += self._cost_per_call
+            for position, sub_input, outcome, latency, error in settled:
+                if error is not None:
+                    raise error
+                self.calls += 1
+                metrics.counter("predicate.calls").inc()
+                metrics.histogram("predicate.latency_seconds").observe(
+                    latency
+                )
+                self._cache[sub_input] = outcome
+                if self._store is not None:
+                    self._store.record(self._fingerprint, sub_input, outcome)
+                if outcome:
+                    self._note_success(sub_input)
+                results[position] = outcome
+
+        for position, source in aliases:
+            results[position] = results[source]
+        return [bool(r) for r in results]
 
     def _note_success(self, sub_input: FrozenSet[VarName]) -> None:
         size = self._size_of(sub_input)

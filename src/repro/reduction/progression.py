@@ -31,7 +31,10 @@ materializing implementation for differential tests and benchmarks.
 
 from __future__ import annotations
 
+import threading
+from bisect import bisect_right, insort
 from typing import (
+    Dict,
     FrozenSet,
     Hashable,
     Iterable,
@@ -57,7 +60,18 @@ VarName = Hashable
 
 
 class Progression:
-    """A list of disjoint sets whose prefix unions are all valid."""
+    """A list of disjoint sets whose prefix unions are all valid.
+
+    Prefix unions are materialized lazily: a binary search touches only
+    O(log n) distinct prefixes, so eagerly building all n of them (O(n²)
+    element copies for n entries) wasted almost all of the work.  Each
+    requested union is built by extending the largest already-cached
+    prefix below it — the entries are disjoint, so the chain extension
+    is exact — then cached for later probes.  The
+    ``progression.union_elements`` counter tallies elements copied into
+    materialized unions (the regression test compares it against the
+    eager baseline's quadratic count).
+    """
 
     def __init__(self, entries: Sequence[FrozenSet[VarName]]):
         if not entries:
@@ -65,11 +79,11 @@ class Progression:
         self.entries: List[FrozenSet[VarName]] = [
             frozenset(e) for e in entries
         ]
-        self._prefix_unions: List[FrozenSet[VarName]] = []
-        running: FrozenSet[VarName] = frozenset()
-        for entry in self.entries:
-            running = running | entry
-            self._prefix_unions.append(running)
+        self._union_cache: Dict[int, FrozenSet[VarName]] = {
+            0: self.entries[0]
+        }
+        self._cached_indices: List[int] = [0]  # kept sorted
+        self._union_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -87,11 +101,31 @@ class Progression:
 
     def prefix_union(self, r: int) -> FrozenSet[VarName]:
         """``D^∪_{<=r}`` — the union of entries 0..r inclusive."""
-        return self._prefix_unions[r]
+        n = len(self.entries)
+        if r < 0:
+            r += n
+        if not 0 <= r < n:
+            raise IndexError(f"prefix index {r} out of range for {self!r}")
+        with self._union_lock:
+            cached = self._union_cache.get(r)
+            if cached is not None:
+                return cached
+            # Extend the nearest cached prefix below r (index 0 is
+            # always present).
+            pos = bisect_right(self._cached_indices, r) - 1
+            base_index = self._cached_indices[pos]
+            running = set(self._union_cache[base_index])
+            for index in range(base_index + 1, r + 1):
+                running.update(self.entries[index])
+            result = frozenset(running)
+            self._union_cache[r] = result
+            insort(self._cached_indices, r)
+        get_metrics().counter("progression.union_elements").inc(len(result))
+        return result
 
     @property
     def union(self) -> FrozenSet[VarName]:
-        return self._prefix_unions[-1]
+        return self.prefix_union(len(self.entries) - 1)
 
     def __repr__(self) -> str:
         sizes = [len(e) for e in self.entries]

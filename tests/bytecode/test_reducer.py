@@ -188,3 +188,56 @@ class TestTrivialCode:
                 for instruction in body.instructions:
                     refs = instruction.type_refs()
                     assert refs <= {decl.name}
+
+
+class TestMaterializationMemo:
+    def test_identical_to_reduce_application(self):
+        import random
+
+        from repro.bytecode.items import items_of
+        from repro.bytecode.reducer import MaterializationMemo
+
+        app = generate_application(9)
+        universe = items_of(app)
+        memo = MaterializationMemo(app)
+        rng = random.Random(1)
+        for _ in range(30):
+            subset = frozenset(
+                rng.sample(universe, rng.randint(0, len(universe)))
+            )
+            assert memo.reduce(subset) == reduce_application(app, subset)
+
+    def test_repeated_probes_share_class_objects(self):
+        from repro.bytecode.items import items_of
+        from repro.bytecode.reducer import MaterializationMemo
+
+        app = generate_application(9)
+        everything = frozenset(items_of(app))
+        memo = MaterializationMemo(app)
+        first = memo.reduce(everything)
+        second = memo.reduce(everything)
+        assert all(
+            a is b for a, b in zip(first.classes, second.classes)
+        ), "memo hits must return identical ClassFile objects"
+
+    def test_unrelated_items_do_not_split_the_key(self):
+        """A probe differing only in *other* classes' items hits the
+        memo for untouched classes (the per-class partition property)."""
+        from repro.bytecode.items import items_of_class, items_of
+        from repro.bytecode.reducer import MaterializationMemo
+        from repro.observability import scoped_metrics
+
+        app = generate_application(9)
+        everything = frozenset(items_of(app))
+        victim = app.classes[0]
+        probe = everything - frozenset(items_of_class(victim)) | {
+            type(items_of_class(victim)[0])(victim.name)
+        }
+        memo = MaterializationMemo(app)
+        memo.reduce(everything)
+        with scoped_metrics() as metrics:
+            memo.reduce(probe)
+        counters = metrics.counter_values()
+        # Only the victim class was re-rendered.
+        assert counters.get("reducer.memo_misses") == 1
+        assert counters.get("reducer.memo_hits") == len(app.classes) - 1

@@ -77,3 +77,80 @@ class TestMetrics:
         app = generate_application(2)
         smaller = app.replace_classes(app.classes[:-1])
         assert application_size_bytes(smaller) < application_size_bytes(app)
+
+
+class TestApplicationSerializer:
+    """The memoized probe fast path must be byte-identical to the
+    reduce-then-serialize reference on every input."""
+
+    @staticmethod
+    def _app():
+        return generate_application(
+            11, WorkloadConfig(num_classes=16, num_interfaces=4)
+        )
+
+    def test_item_granularity_bytes_identical(self):
+        import random
+
+        from repro.bytecode.items import items_of
+        from repro.bytecode.reducer import reduce_application
+        from repro.bytecode.serializer import ApplicationSerializer
+
+        app = self._app()
+        universe = items_of(app)
+        serializer = ApplicationSerializer(app)
+        rng = random.Random(3)
+        for _ in range(25):
+            subset = frozenset(
+                rng.sample(universe, rng.randint(0, len(universe)))
+            )
+            expected = serialize_application(
+                reduce_application(app, subset)
+            )
+            assert serializer.serialize_items(subset) == expected
+            assert serializer.size_of_items(subset) == len(expected)
+
+    def test_class_granularity_bytes_identical(self):
+        import random
+
+        from repro.bytecode.serializer import ApplicationSerializer
+
+        app = self._app()
+        names = [decl.name for decl in app.classes]
+        serializer = ApplicationSerializer(app)
+        rng = random.Random(4)
+        for _ in range(15):
+            kept = frozenset(rng.sample(names, rng.randint(0, len(names))))
+            subset = app.replace_classes(
+                tuple(d for d in app.classes if d.name in kept)
+            )
+            expected = serialize_application(subset)
+            assert serializer.serialize_classes(kept) == expected
+            assert serializer.size_of_classes(kept) == len(expected)
+
+    def test_full_set_round_trips(self):
+        from repro.bytecode.items import items_of
+        from repro.bytecode.serializer import ApplicationSerializer
+
+        app = self._app()
+        everything = frozenset(items_of(app))
+        data = ApplicationSerializer(app).serialize_items(everything)
+        assert deserialize_application(data) == app
+
+    def test_memo_hits_are_counted(self):
+        from repro.bytecode.items import items_of
+        from repro.bytecode.serializer import ApplicationSerializer
+        from repro.observability import scoped_metrics
+
+        app = self._app()
+        everything = frozenset(items_of(app))
+        serializer = ApplicationSerializer(app)
+        with scoped_metrics() as metrics:
+            serializer.size_of_items(everything)
+            cold = dict(metrics.counter_values())
+            serializer.size_of_items(everything)
+            warm = dict(metrics.counter_values())
+        classes = len(app.classes)
+        assert cold.get("serializer.memo_misses") == classes
+        assert warm.get("serializer.memo_hits") == classes
+        assert warm.get("serializer.memo_misses") == classes

@@ -87,3 +87,42 @@ class TestClosureProperties:
             union |= closure.members
         for node in union:
             assert graph.successors(node) <= union
+
+
+class TestClosureMemo:
+    def test_repeated_query_hits_the_memo(self):
+        from repro.observability import scoped_metrics
+
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        with scoped_metrics() as metrics:
+            first = closure_of(graph, frozenset({"a"}))
+            second = closure_of(graph, frozenset({"a"}))
+        counters = metrics.counter_values()
+        assert first == second == {"a", "b", "c", "d"}
+        assert counters.get("closure.memo_misses") == 1
+        assert counters.get("closure.memo_hits") == 1
+
+    def test_mutation_invalidates_the_memo(self):
+        graph = DiGraph(edges=[("a", "b")], nodes=["z"])
+        assert closure_of(graph, frozenset({"a"})) == {"a", "b"}
+        graph.add_edge("b", "z")
+        assert closure_of(graph, frozenset({"a"})) == {"a", "b", "z"}
+
+    def test_version_bumps_only_on_actual_mutation(self):
+        graph = DiGraph(edges=[("a", "b")])
+        before = graph.version
+        graph.add_node("a")  # already present
+        graph.add_edge("a", "b")  # already present
+        assert graph.version == before
+        graph.add_edge("b", "a")  # genuinely new
+        assert graph.version == before + 1
+
+    def test_no_op_mutation_keeps_the_memo_warm(self):
+        from repro.observability import scoped_metrics
+
+        graph = DiGraph(edges=[("a", "b")])
+        with scoped_metrics() as metrics:
+            closure_of(graph, frozenset({"a"}))
+            graph.add_edge("a", "b")  # no-op: must not invalidate
+            closure_of(graph, frozenset({"a"}))
+        assert metrics.counter_values().get("closure.memo_hits") == 1

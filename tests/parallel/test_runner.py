@@ -140,14 +140,16 @@ class TestGracefulDegradation:
 
         real_run_instance = runner_module.run_instance
 
-        def flaky_run_instance(benchmark, instance, strategy, config, store):
+        def flaky_run_instance(
+            benchmark, instance, strategy, config, store, **kwargs
+        ):
             if (
                 benchmark.benchmark_id == target_benchmark
                 and strategy == target_strategy
             ):
                 raise RuntimeError("worker exploded")
             return real_run_instance(
-                benchmark, instance, strategy, config, store
+                benchmark, instance, strategy, config, store, **kwargs
             )
 
         return flaky_run_instance

@@ -283,3 +283,49 @@ class TestGbrProperties:
         )
         result = generalized_binary_reduction(problem)
         assert result.iterations <= len(universe)
+
+
+class TestProbeAccounting:
+    """gbr.probes counts logical probes; gbr.probes_cached the subset
+    answered from the predicate memo without a fresh call."""
+
+    def test_second_run_reports_every_probe_cached(self):
+        variables = list("abcdefgh")
+        predicate = InstrumentedPredicate(
+            containment_predicate({"c", "f"})
+        )
+
+        def problem():
+            return ReductionProblem(
+                variables=variables,
+                predicate=predicate,
+                constraint=CNF(variables=variables),
+            )
+
+        first = generalized_binary_reduction(problem())
+        second = generalized_binary_reduction(problem())
+        assert second.solution == first.solution
+        metrics = second.extras["metrics"]
+        assert metrics.get("gbr.probes", 0) >= 1
+        # Probe-level dedupe: a cache-hit probe still counts as a probe
+        # and is additionally counted as cached.
+        assert metrics.get("gbr.probes_cached") == metrics["gbr.probes"]
+        assert metrics["predicate.cache_hit_rate"] == 1.0
+        assert second.predicate_calls == 0
+
+    def test_first_run_probes_are_mostly_fresh(self):
+        variables = list("abcdefgh")
+        predicate = InstrumentedPredicate(
+            containment_predicate({"c", "f"})
+        )
+        result = generalized_binary_reduction(
+            ReductionProblem(
+                variables=variables,
+                predicate=predicate,
+                constraint=CNF(variables=variables),
+            )
+        )
+        metrics = result.extras["metrics"]
+        assert metrics.get("gbr.probes", 0) >= 1
+        assert metrics.get("gbr.probes_cached", 0) < metrics["gbr.probes"]
+        assert result.predicate_calls > 0

@@ -217,3 +217,73 @@ class TestProgressionProperties:
             union |= entry
             assert cnf.satisfied_by(prog.prefix_union(r)), "INV-PRO"
         assert union == scope, "the union must be the scope"
+
+
+class TestPrefixUnionMaterializationCost:
+    """Regression guard for the lazy prefix-union fast path.
+
+    The eager implementation materialized every prefix union up front —
+    O(n²) element copies for n entries — and the old per-call one
+    rebuilt from entry 0 every time.  ``progression.union_elements``
+    counts elements copied into materialized unions, so the probe
+    patterns GBR actually issues must stay far below the quadratic
+    baseline.
+    """
+
+    @staticmethod
+    def _counter(metrics):
+        return metrics.counter_values().get("progression.union_elements", 0)
+
+    def test_repeated_full_union_is_materialized_once(self):
+        from repro.observability import scoped_metrics
+
+        n = 2000
+        prog = Progression([frozenset({i}) for i in range(n)])
+        with scoped_metrics() as metrics:
+            results = [prog.prefix_union(n - 1) for _ in range(50)]
+        # Eager/per-call baseline: 50 probes x 2000 elements = 100k.
+        assert self._counter(metrics) == n
+        first = results[0]
+        assert all(r is first for r in results), "cache must share objects"
+
+    def test_binary_search_probe_pattern_is_subquadratic(self):
+        from repro.observability import scoped_metrics
+
+        n = 2048
+        prog = Progression([frozenset({i}) for i in range(n)])
+        probes = []
+        low, high = 0, n - 1
+        while high - low > 1:
+            mid = (low + high) // 2
+            probes.append(mid)
+            high = mid  # always descend: the worst case for reuse
+        with scoped_metrics() as metrics:
+            for _ in range(10):  # GBR re-probes across iterations
+                for r in probes:
+                    prog.prefix_union(r)
+        copied = self._counter(metrics)
+        distinct_cost = sum(r + 1 for r in set(probes))
+        assert copied == distinct_cost
+        # The old per-call rebuild would pay this every repetition.
+        assert copied < 10 * distinct_cost
+
+    def test_incremental_extension_reuses_nearest_prefix(self):
+        from repro.observability import scoped_metrics
+
+        n = 1000
+        prog = Progression([frozenset({i}) for i in range(n)])
+        prog.prefix_union(n // 2)
+        with scoped_metrics() as metrics:
+            prog.prefix_union(n // 2 + 1)
+        # Extending by one entry still copies the base prefix (building
+        # a fresh frozenset), but never rescans from entry zero twice.
+        assert self._counter(metrics) == n // 2 + 2
+
+    def test_negative_and_out_of_range_indices(self):
+        prog = Progression([frozenset({"a"}), frozenset({"b"})])
+        assert prog.prefix_union(-1) == {"a", "b"}
+        assert prog.prefix_union(-2) == {"a"}
+        with pytest.raises(IndexError):
+            prog.prefix_union(2)
+        with pytest.raises(IndexError):
+            prog.prefix_union(-3)
