@@ -21,11 +21,31 @@ Subcommands:
   (the chaos bench mode).  ``--speculate K`` (also on ``reduce``)
   evaluates up to K GBR prefix-search probes concurrently per round
   with byte-identical results.
-- ``jlreduce trace summarize FILE.jsonl`` — aggregate a JSONL trace
-  written by ``--trace`` (per-span totals/mean/p95, counter totals).
+- ``jlreduce trace summarize FILE...`` — aggregate JSONL traces written
+  by ``--trace`` (per-span totals/mean/p95, counter totals, probe
+  ledger).  All ``trace`` subcommands accept multiple files and globs
+  and transparently merge per-worker shard files
+  (``FILE.shard-w0.jsonl`` ...) in serial commit order.
+- ``jlreduce trace timeline FILE...`` — the merged causal timeline
+  (spans indented under parents, both clocks, probes inlined).
+- ``jlreduce trace flame FILE...`` — folded-stacks output for
+  flamegraph renderers (``--clock wall|virtual``).
+- ``jlreduce trace diff A B`` — compare two runs on both clocks (wall
+  and simulated) with per-span deltas; either side may be a trace or a
+  BENCH_*.json baseline payload.
+- ``jlreduce trace explain HANDLE FILE...`` — resolve one probe's full
+  provenance chain (why it ran, what it cost on both clocks) by
+  ``event_id`` or key prefix.
+- ``jlreduce trace merge FILE... --out MERGED`` — write the merged
+  event stream as one JSONL file.
+- ``jlreduce metrics export FILE...`` — metric events as
+  Prometheus-style text exposition.
 
 ``reduce`` and ``bench`` accept ``--trace FILE.jsonl`` (record spans and
-metrics for the run) and ``--json`` (machine-readable result on stdout).
+metrics for the run; a parallel ``bench --jobs N`` streams per-worker
+shard files next to it), ``--profile-phases`` (opt-in cProfile hotspot
+capture per reduce phase, recorded into the trace), and ``--json``
+(machine-readable result on stdout).
 
 Exit status is 0 on success, 1 on user errors (bad file, unknown item),
 2 on argument errors (argparse's convention).
@@ -101,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="evaluate up to K prefix-search probes concurrently per "
         "round; results are byte-identical to sequential (default 1)",
+    )
+    reduce_cmd.add_argument(
+        "--profile-phases",
+        action="store_true",
+        help="capture a cProfile hotspot table of the reduction into "
+        "the trace (requires --trace; adds noticeable overhead)",
     )
 
     bench = sub.add_parser(
@@ -199,17 +225,111 @@ def build_parser() -> argparse.ArgumentParser:
         "round on a shared probe pool; outcomes are byte-identical to "
         "sequential runs (default 1)",
     )
+    bench.add_argument(
+        "--profile-phases",
+        action="store_true",
+        help="capture per-instance cProfile hotspot tables into the "
+        "trace (requires --trace; adds noticeable overhead)",
+    )
 
     trace = sub.add_parser("trace", help="inspect JSONL trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_files(cmd):
+        cmd.add_argument(
+            "files",
+            nargs="+",
+            metavar="FILE",
+            help=".jsonl trace files or globs; per-worker shard files "
+            "are discovered and merged automatically",
+        )
+
     summarize_cmd = trace_sub.add_parser(
-        "summarize", help="aggregate a trace into per-span/counter tables"
+        "summarize", help="aggregate traces into per-span/counter tables"
     )
-    summarize_cmd.add_argument("file", help="path to a .jsonl trace file")
+    _trace_files(summarize_cmd)
     summarize_cmd.add_argument(
         "--json",
         action="store_true",
         help="print the aggregate summary as JSON",
+    )
+
+    timeline_cmd = trace_sub.add_parser(
+        "timeline", help="print the merged causal timeline"
+    )
+    _trace_files(timeline_cmd)
+    timeline_cmd.add_argument(
+        "--no-probes",
+        action="store_true",
+        help="omit probe ledger entries from the timeline",
+    )
+    timeline_cmd.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="truncate the timeline after N lines",
+    )
+
+    flame_cmd = trace_sub.add_parser(
+        "flame", help="folded-stacks output for flamegraph renderers"
+    )
+    _trace_files(flame_cmd)
+    flame_cmd.add_argument(
+        "--clock",
+        choices=("wall", "virtual"),
+        default="wall",
+        help="which clock weights the stacks (default wall)",
+    )
+
+    diff_cmd = trace_sub.add_parser(
+        "diff", help="compare two runs on both clocks"
+    )
+    diff_cmd.add_argument(
+        "a", metavar="A", help="baseline: a trace file/glob or BENCH json"
+    )
+    diff_cmd.add_argument(
+        "b", metavar="B", help="candidate: a trace file/glob or BENCH json"
+    )
+    diff_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the diff as JSON",
+    )
+
+    explain_cmd = trace_sub.add_parser(
+        "explain", help="resolve one probe's full provenance chain"
+    )
+    explain_cmd.add_argument(
+        "handle",
+        metavar="HANDLE",
+        help="probe event_id (e.g. 'w0:e12') or probe key prefix",
+    )
+    _trace_files(explain_cmd)
+
+    merge_cmd = trace_sub.add_parser(
+        "merge", help="merge shards into one serial-ordered JSONL file"
+    )
+    _trace_files(merge_cmd)
+    merge_cmd.add_argument(
+        "--out",
+        metavar="MERGED.jsonl",
+        help="write the merged stream here (default stdout)",
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="export metrics from JSONL trace files"
+    )
+    metrics_sub = metrics_cmd.add_subparsers(
+        dest="metrics_command", required=True
+    )
+    export_cmd = metrics_sub.add_parser(
+        "export", help="Prometheus text exposition of the trace's metrics"
+    )
+    _trace_files(export_cmd)
+    export_cmd.add_argument(
+        "--prefix",
+        default="jlreduce",
+        help="metric name prefix (default jlreduce)",
     )
     return parser
 
@@ -229,6 +349,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             budget_calls=args.budget_calls,
             budget_seconds=args.budget_seconds,
             speculate=args.speculate,
+            profile_phases=args.profile_phases,
         )
     if args.command == "bench":
         return _bench(
@@ -246,11 +367,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos_rate=args.chaos_rate,
             chaos_seed=args.chaos_seed,
             speculate=args.speculate,
+            profile_phases=args.profile_phases,
         )
     if args.command == "trace":
         if args.trace_command == "summarize":
-            return _trace_summarize(args.file, args.json)
+            return _trace_summarize(args.files, args.json)
+        if args.trace_command == "timeline":
+            return _trace_timeline(args.files, args.no_probes, args.limit)
+        if args.trace_command == "flame":
+            return _trace_flame(args.files, args.clock)
+        if args.trace_command == "diff":
+            return _trace_diff(args.a, args.b, args.json)
+        if args.trace_command == "explain":
+            return _trace_explain(args.handle, args.files)
+        if args.trace_command == "merge":
+            return _trace_merge(args.files, args.out)
         raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+    if args.command == "metrics":
+        if args.metrics_command == "export":
+            return _metrics_export(args.files, args.prefix)
+        raise AssertionError(
+            f"unhandled metrics command {args.metrics_command!r}"
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -335,11 +473,16 @@ def _reduce(
     budget_calls: Optional[int] = None,
     budget_seconds: Optional[float] = None,
     speculate: int = 1,
+    profile_phases: bool = False,
 ) -> int:
     from repro.fji.pretty import pretty_program
     from repro.fji.reducer import reduce_program
     from repro.fji.variables import variables_of
-    from repro.observability import tracing_session, write_trace
+    from repro.observability import (
+        profiled_phase,
+        tracing_session,
+        write_trace,
+    )
     from repro.reduction import ReductionProblem, generalized_binary_reduction
 
     loaded = _load_program(path)
@@ -360,6 +503,10 @@ def _reduce(
     if speculate < 1:
         print(f"jlreduce: --speculate must be >= 1, got {speculate}",
               file=sys.stderr)
+        return 1
+    if profile_phases and not trace_path:
+        print("jlreduce: --profile-phases needs --trace (the profile is "
+              "recorded into the trace)", file=sys.stderr)
         return 1
     target = frozenset(required)
     predicate = lambda kept: target <= kept  # noqa: E731 — tiny oracle
@@ -396,12 +543,20 @@ def _reduce(
                 return 1
             with trace_handle:
                 with tracing_session() as (tracer, metrics):
-                    result = generalized_binary_reduction(
-                        problem,
-                        require_true=target,
-                        speculate=speculate,
-                        probe_executor=probes,
+                    from contextlib import nullcontext
+
+                    capture = (
+                        profiled_phase("reduce", tracer=tracer)
+                        if profile_phases
+                        else nullcontext()
                     )
+                    with capture:
+                        result = generalized_binary_reduction(
+                            problem,
+                            require_true=target,
+                            speculate=speculate,
+                            probe_executor=probes,
+                        )
                 write_trace(
                     trace_handle, tracer, metrics, label=f"reduce {path}"
                 )
@@ -453,9 +608,16 @@ def _bench(
     chaos_rate: float = 0.2,
     chaos_seed: int = 2021,
     speculate: int = 1,
+    profile_phases: bool = False,
 ) -> int:
     from repro.harness.experiments import ExperimentConfig
-    from repro.observability import tracing_session, write_trace
+    from repro.observability import (
+        ShardSet,
+        metric_events,
+        new_run_id,
+        tracing_session,
+        write_trace,
+    )
     from repro.reduction import ReductionError
     from repro.resilience import Budget, OracleCrash, TransientOracleError
     from repro.workloads.corpus import CorpusConfig, build_corpus
@@ -480,6 +642,10 @@ def _bench(
         print(f"jlreduce: --speculate must be >= 1, got {speculate}",
               file=sys.stderr)
         return 1
+    if profile_phases and not trace_path:
+        print("jlreduce: --profile-phases needs --trace (profiles are "
+              "recorded into the trace)", file=sys.stderr)
+        return 1
     try:
         # Validate the budget/deadline values once, up front, instead of
         # per-instance deep inside the run.
@@ -499,6 +665,7 @@ def _bench(
         keep_going=keep_going,
         chaos=plan,
         speculate=speculate,
+        profile_phases=profile_phases,
     )
     config = (
         CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
@@ -522,7 +689,29 @@ def _bench(
             )
             return 1
     try:
-        if trace_path:
+        if trace_path and jobs != 1:
+            # Parallel run: stream per-worker shard files next to the
+            # base trace (worker "main" writes the base file itself) so
+            # a killed worker loses at most one torn line.  The `trace`
+            # subcommands discover and merge the shard family.
+            trace_handle = _open_trace(trace_path)
+            if trace_handle is None:
+                return 1
+            trace_handle.close()
+            run_id = new_run_id()
+            with ShardSet(
+                trace_path, run_id=run_id, label=f"bench {profile}"
+            ) as shards:
+                with tracing_session(
+                    run_id=run_id, shards=shards
+                ) as (tracer, metrics):
+                    outcomes = _run_bench(
+                        corpus, profile, json_output, progress, jobs, store,
+                        experiment,
+                    )
+                    for event in metric_events(metrics, run_id=run_id):
+                        shards.emit_main(event)
+        elif trace_path:
             trace_handle = _open_trace(trace_path)
             if trace_handle is None:
                 return 1
@@ -604,22 +793,177 @@ def _run_bench(
     return outcomes
 
 
-def _trace_summarize(path: str, json_output: bool = False) -> int:
-    from repro.observability import load_trace, render_summary, summarize
+def _load_merged(patterns: List[str]):
+    """Load and merge trace files/globs, or print an error and None."""
+    from repro.observability import load_traces
 
     try:
-        events = load_trace(path)
+        return load_traces(patterns)
     except OSError as exc:
-        print(f"jlreduce: cannot read {path}: {exc}", file=sys.stderr)
-        return 1
+        print(f"jlreduce: cannot read trace: {exc}", file=sys.stderr)
+        return None
     except ValueError as exc:
-        print(f"jlreduce: {path}: {exc}", file=sys.stderr)
+        print(f"jlreduce: {exc}", file=sys.stderr)
+        return None
+
+
+def _trace_summarize(patterns: List[str], json_output: bool = False) -> int:
+    from repro.observability import render_summary, summarize
+
+    events = _load_merged(patterns)
+    if events is None:
         return 1
     summary = summarize(events)
     if json_output:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(render_summary(summary))
+    return 0
+
+
+def _trace_timeline(
+    patterns: List[str], no_probes: bool = False, limit: Optional[int] = None
+) -> int:
+    from repro.observability import render_timeline
+
+    events = _load_merged(patterns)
+    if events is None:
+        return 1
+    print(render_timeline(events, with_probes=not no_probes, limit=limit))
+    return 0
+
+
+def _trace_flame(patterns: List[str], clock: str = "wall") -> int:
+    from repro.observability import folded_stacks
+
+    events = _load_merged(patterns)
+    if events is None:
+        return 1
+    print(folded_stacks(events, clock=clock))
+    return 0
+
+
+def _load_diff_side(arg: str):
+    """A diff operand: a trace (event list) or a bench baseline payload.
+
+    A file holding one JSON object (a BENCH_*.json) yields
+    ``("baseline", clocks)``; anything else is treated as trace
+    files/globs and yields ``("trace", events)``.  Returns None (after
+    printing) when neither works.
+    """
+    import os
+
+    from repro.observability import load_traces
+    from repro.observability.tooling import baseline_totals
+
+    if os.path.isfile(arg):
+        try:
+            with open(arg, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if isinstance(payload, dict) and payload.get("type") != "meta":
+            clocks = baseline_totals(payload)
+            if clocks is None:
+                print(
+                    f"jlreduce: {arg}: no wall_seconds/simulated_seconds "
+                    "in baseline payload",
+                    file=sys.stderr,
+                )
+                return None
+            return "baseline", clocks
+    try:
+        return "trace", load_traces([arg])
+    except (OSError, ValueError) as exc:
+        print(f"jlreduce: {arg}: {exc}", file=sys.stderr)
+        return None
+
+
+def _trace_diff(a: str, b: str, json_output: bool = False) -> int:
+    from repro.observability import clock_totals, diff_traces, render_diff
+
+    side_a = _load_diff_side(a)
+    if side_a is None:
+        return 1
+    side_b = _load_diff_side(b)
+    if side_b is None:
+        return 1
+
+    if side_a[0] == "trace" and side_b[0] == "trace":
+        diff = diff_traces(side_a[1], side_b[1], a_label=a, b_label=b)
+    else:
+        # At least one side is a bench baseline: clocks only, no spans.
+        clocks = {}
+        resolved = {
+            "a": (
+                side_a[1]
+                if side_a[0] == "baseline"
+                else clock_totals(side_a[1])
+            ),
+            "b": (
+                side_b[1]
+                if side_b[0] == "baseline"
+                else clock_totals(side_b[1])
+            ),
+        }
+        for key in ("wall", "simulated"):
+            a_val = resolved["a"][key]
+            b_val = resolved["b"][key]
+            clocks[key] = {
+                "a": a_val,
+                "b": b_val,
+                "speedup": (a_val / b_val) if b_val else 0.0,
+            }
+        diff = {"labels": [a, b], "clocks": clocks, "spans": []}
+    if json_output:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff))
+    return 0
+
+
+def _trace_explain(handle: str, patterns: List[str]) -> int:
+    from repro.observability import explain, render_explain
+
+    events = _load_merged(patterns)
+    if events is None:
+        return 1
+    try:
+        resolution = explain(events, handle)
+    except ValueError as exc:
+        print(f"jlreduce: {exc}", file=sys.stderr)
+        return 1
+    print(render_explain(resolution))
+    return 0
+
+
+def _trace_merge(patterns: List[str], out: Optional[str] = None) -> int:
+    from repro.observability import JsonlSink
+
+    events = _load_merged(patterns)
+    if events is None:
+        return 1
+    if out is None:
+        for event in events:
+            print(json.dumps(event, sort_keys=True, default=str))
+        return 0
+    try:
+        with JsonlSink(out) as sink:
+            sink.emit_all(events)
+    except OSError as exc:
+        print(f"jlreduce: cannot write {out}: {exc}", file=sys.stderr)
+        return 1
+    print(f"merged {len(events)} events into {out}")
+    return 0
+
+
+def _metrics_export(patterns: List[str], prefix: str = "jlreduce") -> int:
+    from repro.observability import prometheus_exposition
+
+    events = _load_merged(patterns)
+    if events is None:
+        return 1
+    sys.stdout.write(prometheus_exposition(events, prefix=prefix))
     return 0
 
 

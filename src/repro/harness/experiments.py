@@ -22,6 +22,7 @@ predicate calls).
 from __future__ import annotations
 
 import hashlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -33,7 +34,7 @@ from repro.bytecode.serializer import (
     ApplicationSerializer,
     serialize_application,
 )
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_tracer, profiled_phase
 from repro.reduction.binary import binary_reduction
 from repro.reduction.gbr import generalized_binary_reduction
 from repro.reduction.lossy import LossyVariant, lossy_reduce
@@ -91,6 +92,11 @@ class ExperimentConfig:
     #: limiting budget silently serialize to keep their anytime partial
     #: results deterministic.
     speculate: int = 1
+    #: Opt-in per-phase cProfile capture: each instance's reduce phase
+    #: emits a ``profile`` event (top hotspots) into the trace.  Far
+    #: more expensive than tracing — never on by default, and excluded
+    #: from the telemetry-overhead gate (BENCH_6).
+    profile_phases: bool = False
 
     @property
     def wants_resilience(self) -> bool:
@@ -217,6 +223,13 @@ def probe_pool(config: ExperimentConfig):
     )
 
 
+def _maybe_profile(config: ExperimentConfig, tracer):
+    """A cProfile capture of the reduce phase, when opted in."""
+    if config.profile_phases:
+        return profiled_phase("reduce", tracer=tracer)
+    return nullcontext()
+
+
 def _run_instance_inner(
     benchmark: Benchmark,
     instance: BuggyInstance,
@@ -264,7 +277,19 @@ def _run_instance_inner(
             )
         return wrapped
 
-    with tracer.span(
+    # The run's virtual clock, installed on the tracer before the
+    # instrumented predicate exists (it is built inside instance.setup):
+    # the cell indirection lets every span of this instance — including
+    # instance.run itself — carry ``vstart``/``vduration`` in simulated
+    # seconds next to its wall clock.
+    instrumented_cell: List[InstrumentedPredicate] = []
+
+    def _virtual_now() -> float:
+        return (
+            instrumented_cell[0].virtual_now() if instrumented_cell else 0.0
+        )
+
+    with tracer.clock(_virtual_now), tracer.span(
         "instance.run",
         benchmark=benchmark.benchmark_id,
         decompiler=instance.decompiler,
@@ -279,8 +304,11 @@ def _run_instance_inner(
                     store=store,
                     fingerprint=_fingerprint("class"),
                 )
+                instrumented_cell.append(instrumented)
                 graph = class_dependency_graph(app)
-            with tracer.span("instance.reduce", strategy=strategy):
+            with tracer.span("instance.reduce", strategy=strategy), (
+                _maybe_profile(config, tracer)
+            ):
                 result = binary_reduction(
                     graph,
                     instrumented,
@@ -298,13 +326,16 @@ def _run_instance_inner(
                     store=store,
                     fingerprint=_fingerprint("item"),
                 )
+                instrumented_cell.append(instrumented)
                 problem = ReductionProblem(
                     variables=problem.variables,
                     predicate=instrumented,
                     constraint=problem.constraint,
                     description=problem.description,
                 )
-            with tracer.span("instance.reduce", strategy=strategy):
+            with tracer.span("instance.reduce", strategy=strategy), (
+                _maybe_profile(config, tracer)
+            ):
                 if strategy == "our-reducer":
                     result = generalized_binary_reduction(
                         problem,

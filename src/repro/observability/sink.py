@@ -1,38 +1,60 @@
-"""JSONL trace files: writing, reading back, and aggregating.
+"""JSONL trace files: writing, reading back, merging, aggregating.
 
 A trace file is one JSON object per line, each tagged with a ``type``:
 
-- ``{"type": "meta", ...}`` — one header line (schema version, label),
-- ``{"type": "span", "name", "start", "duration", "span_id",
-  "parent_id", "attrs"}`` — one per finished span,
+- ``{"type": "meta", ...}`` — one header line (schema version, label,
+  run id, shard label),
+- ``{"type": "span", "name", "start", "duration", "vstart",
+  "vduration", "span_id", "parent_span_id", "run_id", "trace_id",
+  "serial", "worker", "seq", "attrs"}`` — one per finished span, with
+  both clocks (wall and virtual) and full causal addressing,
+- ``{"type": "probe", "event_id", "cache", "outcome", "round",
+  "batch_pos", "wall_seconds", "virtual_charge", ...}`` — the probe
+  provenance ledger (see :mod:`repro.observability.provenance`),
+- ``{"type": "profile", "phase", "top": [...]}`` — opt-in cProfile
+  hotspot captures (see :mod:`repro.observability.profiling`),
 - ``{"type": "counter" | "gauge", "name", "value"}`` — one per metric,
 - ``{"type": "histogram", "name", "buckets", "counts", "sum",
   "count"}`` — one per histogram.
 
+Schema 2 (Observability v2) adds the causal/provenance fields; schema-1
+traces still load and summarize (the new fields just read as absent).
+
+Loading is torn-line tolerant the way :mod:`repro.parallel.store` is:
+a truncated final line (killed writer, full disk) is skipped, not
+fatal, because streamed shards are expected to end mid-line when a
+worker dies.  Malformed lines *inside* the file still raise — that is
+corruption, not tearing.
+
 The format is append-friendly and diff-friendly: two runs can be
-compared with ``summarize(load_trace(a))`` vs ``summarize(load_trace(b))``
-(or just the ``jlreduce trace summarize`` tables side by side).
+compared with ``jlreduce trace diff a.jsonl b.jsonl`` (or the
+``summarize`` tables side by side); sharded runs merge with
+:func:`load_traces`, which expands globs, pulls in shard siblings, and
+orders events by serial commit order.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, Iterable, List, Optional, TextIO, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.shard import expand_trace_args, merge_events
 from repro.observability.spans import SpanEvent, Tracer
 
 __all__ = [
     "JsonlSink",
     "write_trace",
     "load_trace",
+    "load_traces",
+    "metric_events",
     "summarize",
     "render_summary",
     "TRACE_SCHEMA_VERSION",
 ]
 
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
 
 
 class JsonlSink:
@@ -69,47 +91,65 @@ class JsonlSink:
         self.close()
 
 
+def metric_events(
+    metrics: MetricsRegistry, run_id: str = ""
+) -> List[Dict[str, Any]]:
+    """A registry snapshot as a list of JSONL-able metric events."""
+    events: List[Dict[str, Any]] = []
+    snapshot = metrics.snapshot()
+    for name in sorted(snapshot["counters"]):
+        events.append({
+            "type": "counter",
+            "name": name,
+            "value": snapshot["counters"][name],
+            "run_id": run_id,
+        })
+    for name in sorted(snapshot["gauges"]):
+        events.append({
+            "type": "gauge",
+            "name": name,
+            "value": snapshot["gauges"][name],
+            "run_id": run_id,
+        })
+    for name in sorted(snapshot["histograms"]):
+        hist = snapshot["histograms"][name]
+        events.append(
+            {"type": "histogram", "name": name, "run_id": run_id, **hist}
+        )
+    return events
+
+
 def write_trace(
     target: Union[str, TextIO],
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     label: str = "",
 ) -> int:
-    """Dump a tracer's spans and a registry's metrics as JSONL.
+    """Dump a tracer's spans/ledger and a registry's metrics as JSONL.
 
     Either source may be None.  Returns the number of lines written
     (including the meta header).
     """
+    run_id = tracer.run_id if tracer is not None else ""
     lines = 1
     with JsonlSink(target) as sink:
         sink.emit({
             "type": "meta",
             "schema": TRACE_SCHEMA_VERSION,
             "label": label,
+            "run_id": run_id,
+            "shard": "main",
         })
         if tracer is not None:
             for event in tracer.events():
                 sink.emit(event.to_dict())
                 lines += 1
+            for raw in tracer.raw_events():
+                sink.emit(raw)
+                lines += 1
         if metrics is not None:
-            snapshot = metrics.snapshot()
-            for name in sorted(snapshot["counters"]):
-                sink.emit({
-                    "type": "counter",
-                    "name": name,
-                    "value": snapshot["counters"][name],
-                })
-                lines += 1
-            for name in sorted(snapshot["gauges"]):
-                sink.emit({
-                    "type": "gauge",
-                    "name": name,
-                    "value": snapshot["gauges"][name],
-                })
-                lines += 1
-            for name in sorted(snapshot["histograms"]):
-                hist = snapshot["histograms"][name]
-                sink.emit({"type": "histogram", "name": name, **hist})
+            for event in metric_events(metrics, run_id=run_id):
+                sink.emit(event)
                 lines += 1
     return lines
 
@@ -117,8 +157,11 @@ def write_trace(
 def load_trace(target: Union[str, TextIO]) -> List[Dict[str, Any]]:
     """Read a JSONL trace back into a list of event dicts.
 
-    Blank lines are skipped; malformed lines raise ``ValueError`` with
-    the offending line number.
+    Blank lines are skipped.  A *truncated final line* — one that does
+    not end in a newline and does not parse — is skipped silently: that
+    is the torn write a killed shard writer leaves behind (same policy
+    as :class:`repro.parallel.store.PredicateStore`).  Any other
+    malformed line raises ``ValueError`` with the offending line number.
     """
     if isinstance(target, str):
         with open(target, "r", encoding="utf-8") as handle:
@@ -126,15 +169,36 @@ def load_trace(target: Union[str, TextIO]) -> List[Dict[str, Any]]:
     return _parse_lines(target)
 
 
+def load_traces(patterns: Sequence[str]) -> List[Dict[str, Any]]:
+    """Load several trace files/globs and merge them deterministically.
+
+    Each argument may be a literal path or a glob; base trace files
+    automatically pull in their ``.shard-*`` siblings.  Events are
+    merged in serial commit order (see
+    :func:`repro.observability.shard.merge_events`).
+    """
+    paths = expand_trace_args(patterns)
+    if not paths:
+        raise ValueError(f"no trace files match {list(patterns)!r}")
+    return merge_events(load_trace(path) for path in paths)
+
+
 def _parse_lines(handle: TextIO) -> List[Dict[str, Any]]:
     events: List[Dict[str, Any]] = []
-    for lineno, line in enumerate(handle, start=1):
+    lines = handle.readlines()
+    last = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        torn_candidate = lineno == last and not line.endswith("\n")
         line = line.strip()
         if not line:
             continue
         try:
             event = json.loads(line)
         except json.JSONDecodeError as exc:
+            if torn_candidate:
+                # A truncated trailing write from a killed shard
+                # writer; everything before it is intact.
+                continue
             raise ValueError(f"bad JSONL at line {lineno}: {exc}") from None
         if not isinstance(event, dict):
             raise ValueError(f"bad JSONL at line {lineno}: not an object")
@@ -149,27 +213,43 @@ def summarize(
 
     Returns::
 
-        {"spans": {name: {"count", "total", "mean", "p95", "max"}},
+        {"spans": {name: {"count", "total", "mean", "p95", "max",
+                          "vtotal"}},
          "counters": {name: total},
          "gauges": {name: value},
-         "histograms": {name: {"count", "sum", "mean"}}}
+         "histograms": {name: {"count", "sum", "mean"}},
+         "probes": {"count", "fresh", "store", "wall_seconds",
+                    "virtual_seconds", "retries"}}
 
     Accepts either raw :class:`SpanEvent` objects (straight from a
     tracer) or dicts (from :func:`load_trace`); counter lines for the
     same name are summed, so concatenated traces aggregate sensibly.
+    The ``probes`` section appears only when the trace carries a
+    provenance ledger.
     """
     durations: Dict[str, List[float]] = {}
+    vtotals: Dict[str, float] = {}
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
     histograms: Dict[str, Dict[str, float]] = {}
+    probes = {
+        "count": 0,
+        "fresh": 0,
+        "store": 0,
+        "wall_seconds": 0.0,
+        "virtual_seconds": 0.0,
+        "retries": 0,
+    }
 
     for event in events:
         if isinstance(event, SpanEvent):
             event = event.to_dict()
         kind = event.get("type")
         if kind == "span":
-            durations.setdefault(event["name"], []).append(
-                float(event["duration"])
+            name = event["name"]
+            durations.setdefault(name, []).append(float(event["duration"]))
+            vtotals[name] = vtotals.get(name, 0.0) + float(
+                event.get("vduration", 0.0)
             )
         elif kind == "counter":
             name = event["name"]
@@ -184,6 +264,16 @@ def summarize(
                 "sum": total,
                 "mean": total / count if count else 0.0,
             }
+        elif kind == "probe":
+            probes["count"] += 1
+            cache = event.get("cache")
+            if cache in ("fresh", "store"):
+                probes[cache] += 1
+            probes["wall_seconds"] += float(event.get("wall_seconds", 0.0))
+            probes["virtual_seconds"] += float(
+                event.get("virtual_charge", 0.0)
+            )
+            probes["retries"] += int(event.get("retries") or 0)
 
     spans = {
         name: {
@@ -192,15 +282,19 @@ def summarize(
             "mean": sum(values) / len(values),
             "p95": _percentile(values, 0.95),
             "max": max(values),
+            "vtotal": vtotals.get(name, 0.0),
         }
         for name, values in durations.items()
     }
-    return {
+    summary: Dict[str, Any] = {
         "spans": spans,
         "counters": counters,
         "gauges": gauges,
         "histograms": histograms,
     }
+    if probes["count"]:
+        summary["probes"] = probes
+    return summary
 
 
 def _percentile(values: List[float], q: float) -> float:
@@ -227,6 +321,19 @@ def render_summary(summary: Dict[str, Any]) -> str:
                 f"  {name:<28} {stats['count']:>7} {stats['total']:>10.4f} "
                 f"{stats['mean']:>10.6f} {stats['p95']:>10.6f}"
             )
+    probes = summary.get("probes")
+    if probes:
+        if lines:
+            lines.append("")
+        lines.append("probes (provenance ledger)")
+        lines.append(
+            f"  physical={probes['count']:,} fresh={probes['fresh']:,} "
+            f"store_hits={probes['store']:,} retries={probes['retries']:,}"
+        )
+        lines.append(
+            f"  wall={probes['wall_seconds']:.4f}s "
+            f"virtual={probes['virtual_seconds']:.1f}s"
+        )
     counters = summary.get("counters", {})
     if counters:
         if lines:

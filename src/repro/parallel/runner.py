@@ -26,9 +26,11 @@ and timeline are virtual, the metrics are per-run scoped).
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
+from repro.observability import get_tracer
 from repro.harness.experiments import (
     ExperimentConfig,
     InstanceOutcome,
@@ -49,6 +51,20 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+def _worker_label() -> str:
+    """The shard label of the current pool thread (``w3``), or ``main``.
+
+    Derived from the executor's ``jlreduce-worker_<n>`` thread names so
+    the label is stable for the thread's lifetime and doubles as the
+    span-id namespace and shard filename suffix.
+    """
+    name = threading.current_thread().name
+    _, sep, index = name.rpartition("_")
+    if sep and name.startswith("jlreduce-worker") and index.isdigit():
+        return f"w{index}"
+    return "main"
 
 
 def run_parallel_corpus_experiment(
@@ -93,6 +109,25 @@ def run_parallel_corpus_experiment(
         for strategy in config.strategies
     ]
     outcomes: List[InstanceOutcome] = []
+    # Captured once, before fan-out: each task re-attaches a serial-slot
+    # derivative of this context on its pool thread, so worker spans
+    # parent onto the spawning span and land in per-worker shards.
+    tracer = get_tracer()
+    parent_ctx = tracer.current_context() if tracer.enabled else None
+
+    def run_traced(serial, benchmark, instance, strategy):
+        if parent_ctx is None:
+            return run_instance(
+                benchmark, instance, strategy, config, store,
+                probe_executor=probes,
+            )
+        task_ctx = parent_ctx.task(serial=serial, worker=_worker_label())
+        with tracer.attach(task_ctx):
+            return run_instance(
+                benchmark, instance, strategy, config, store,
+                probe_executor=probes,
+            )
+
     # The probe pool is shared across instances but deliberately
     # separate from the instance pool: an instance worker blocks on its
     # probe futures, and blocking on futures scheduled into one's own
@@ -104,15 +139,11 @@ def run_parallel_corpus_experiment(
         ) as pool:
             futures = [
                 pool.submit(
-                    run_instance,
-                    benchmark,
-                    instance,
-                    strategy,
-                    config,
-                    store,
-                    probe_executor=probes,
+                    run_traced, serial, benchmark, instance, strategy
                 )
-                for benchmark, instance, strategy in tasks
+                for serial, (benchmark, instance, strategy) in enumerate(
+                    tasks
+                )
             ]
             for future, (benchmark, instance, strategy) in zip(
                 futures, tasks

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 from typing import Callable, FrozenSet, Hashable, List
 
-from repro.observability import get_metrics, get_tracer
+from repro.observability import get_metrics, get_tracer, probe_scope
 
 __all__ = [
     "candidate_midpoints",
@@ -87,8 +87,12 @@ def speculative_interval_search(
     high: int,
     width: int,
     executor,
+    round_start: int = 0,
 ) -> int:
     """Shrink ``(low, high)`` to ``high - low <= 1`` via k-ary rounds.
+
+    ``round_start`` numbers the first round in the probe provenance
+    ledger (the fused head search passes 1, its own batch being 0).
 
     Preconditions (the caller's binary-search invariant):
     ``P(prefix_union(low))`` is false (or ``low == 0``, known failing)
@@ -106,6 +110,7 @@ def speculative_interval_search(
     useful = metrics.counter("speculate.probes_useful")
     wasted = metrics.counter("speculate.probes_wasted")
     tracer = get_tracer()
+    round_no = round_start
     while high - low > 1:
         mids = candidate_midpoints(low, high, width)
         rounds.inc()
@@ -119,7 +124,11 @@ def speculative_interval_search(
         with tracer.span(
             "speculate.round", low=low, high=high, candidates=len(mids)
         ):
-            outcomes = predicate.evaluate_batch(unions, executor=executor)
+            with probe_scope(round=round_no):
+                outcomes = predicate.evaluate_batch(
+                    unions, executor=executor
+                )
+        round_no += 1
         for mid, outcome in zip(mids, outcomes):
             # Ascending commit order: a candidate that fell outside the
             # already-tightened interval is wasted speculation (its
@@ -193,7 +202,10 @@ def speculative_shortest_prefix(
         with tracer.span(
             "speculate.round", low=low, high=high, candidates=len(batch)
         ):
-            outcomes = predicate.evaluate_batch(batch, executor=executor)
+            with probe_scope(round=0):
+                outcomes = predicate.evaluate_batch(
+                    batch, executor=executor
+                )
         if outcomes[0]:
             # P(D_0) holds: the sequential loop would have stopped
             # before probing anything else this iteration.
@@ -215,7 +227,8 @@ def speculative_shortest_prefix(
             else:
                 wasted.inc()
         high = speculative_interval_search(
-            predicate, progression, low, high, width, executor
+            predicate, progression, low, high, width, executor,
+            round_start=1,
         )
         sp.set_attr("prefix_index", high)
     return high

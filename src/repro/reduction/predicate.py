@@ -26,16 +26,25 @@ invocations.
 
 Telemetry: every query also feeds the active metrics registry
 (``predicate.calls`` / ``predicate.queries`` / ``predicate.cache_hits``
-/ ``predicate.store_hits`` counters, ``predicate.latency_seconds``
-histogram of fresh-call latency), and fresh invocations open a
-``predicate.call`` span when tracing is enabled.  See
-:mod:`repro.observability`.
+/ ``predicate.store_hits`` counters, ``predicate.virtual_seconds``
+simulated-cost total, ``predicate.latency_seconds`` histogram of
+fresh-call latency), and fresh invocations open a ``predicate.call``
+span when tracing is enabled.  Every *physical* probe — a fresh call or
+a store hit, never a memo hit — additionally lands one entry in the
+probe provenance ledger (:mod:`repro.observability.provenance`): cache
+status, outcome, both clocks' costs, speculation round/batch position
+(from the active :func:`~repro.observability.provenance.probe_scope`),
+and per-probe resilience/budget deltas read off the wrapped predicate
+chain.  Memo hits stay counter-only; they dominate the hot path and
+per-event records would blow the tracing-overhead budget.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -46,12 +55,101 @@ from typing import (
     Tuple,
 )
 
-from repro.observability import get_metrics, get_tracer, scoped_metrics
+from repro.observability import (
+    current_probe_fields,
+    get_metrics,
+    get_tracer,
+    scoped_metrics,
+)
 
 __all__ = ["InstrumentedPredicate", "best_so_far"]
 
 VarName = Hashable
 Predicate = Callable[[FrozenSet[VarName]], bool]
+
+
+_KEY_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _item_digest(item: VarName) -> int:
+    """A stable 64-bit digest of one item (sha256 of its repr)."""
+    return int.from_bytes(
+        hashlib.sha256(repr(item).encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def _probe_key(
+    sub_input: FrozenSet[VarName],
+    cache: Optional[Dict[VarName, int]] = None,
+) -> str:
+    """A short stable hash of a probed subset for the provenance ledger.
+
+    Per-item sha256 digests summed mod 2^64 — order-independent,
+    deterministic across processes (no ``hash()`` randomization), and
+    identical for identical subsets, so ``trace explain`` can prefix-
+    match a handle and equal probes in two traces carry equal keys.
+    ``cache`` memoizes the per-item digests: probes re-query the same
+    items all run long, and the ledger must not blow the ≤5% tracing
+    overhead budget on hashing (see ``benchmarks/bench_telemetry.py``).
+    """
+    total = 0
+    if cache is None:
+        for item in sub_input:
+            total = (total + _item_digest(item)) & _KEY_MASK
+    else:
+        get = cache.get
+        for item in sub_input:
+            digest = get(item)
+            if digest is None:
+                digest = _item_digest(item)
+                cache[item] = digest
+            total = (total + digest) & _KEY_MASK
+    return f"{total:016x}"
+
+
+def _chain_stats(predicate: Any) -> Dict[str, float]:
+    """Resilience/budget counter snapshot along the wrapped chain.
+
+    Walks ``_predicate`` links duck-typing for a resilient layer
+    (``attempts``/``retries``/``timeouts``) and a budget
+    (``calls``/``seconds``).  Two snapshots bracketing a fresh call give
+    the per-probe deltas the ledger records.
+    """
+    stats: Dict[str, float] = {}
+    current = predicate
+    for _ in range(8):
+        if current is None:
+            break
+        if "attempts" not in stats and hasattr(current, "attempts"):
+            stats["attempts"] = current.attempts
+            stats["retries"] = getattr(current, "retries", 0)
+            stats["timeouts"] = getattr(current, "timeouts", 0)
+        budget = getattr(current, "budget", None)
+        if budget is not None and "budget_calls" not in stats:
+            stats["budget_calls"] = budget.calls
+            stats["budget_seconds"] = budget.seconds
+        current = getattr(current, "_predicate", None)
+    return stats
+
+
+def _stat_deltas(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-probe deltas of the chain counters (only keys seen after)."""
+    return {key: after[key] - before.get(key, 0) for key in after}
+
+
+class _NoAttach:
+    """Null context manager for untraced batch workers."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NO_ATTACH = _NoAttach()
 
 
 class InstrumentedPredicate:
@@ -92,6 +190,7 @@ class InstrumentedPredicate:
         self._store = store
         self._fingerprint = fingerprint
         self._cache: Dict[FrozenSet[VarName], bool] = {}
+        self._key_cache: Dict[VarName, int] = {}  # per-item ledger digests
         self.calls = 0  # fresh (uncached) invocations
         self.queries = 0  # all queries, cached included
         self.store_hits = 0  # queries answered by the persistent store
@@ -110,6 +209,7 @@ class InstrumentedPredicate:
         if cached is not None:
             metrics.counter("predicate.cache_hits").inc()
             return cached
+        tracer = get_tracer()
         if self._store is not None:
             stored = self._store.lookup(self._fingerprint, sub_input)
             if stored is not None:
@@ -119,11 +219,23 @@ class InstrumentedPredicate:
                 self._cache[sub_input] = stored
                 if stored:
                     self._note_success(sub_input)
+                if tracer.enabled:
+                    tracer.event(
+                        "probe",
+                        key=_probe_key(sub_input, self._key_cache),
+                        cache="store",
+                        outcome=stored,
+                        wall_seconds=0.0,
+                        virtual_charge=0.0,
+                        **current_probe_fields(),
+                    )
                 return stored
-        with get_tracer().span("predicate.call", size=len(sub_input)) as sp:
+        before_stats = _chain_stats(self._predicate) if tracer.enabled else {}
+        with tracer.span("predicate.call", size=len(sub_input)) as sp:
             before = time.perf_counter()
             outcome = self._predicate(sub_input)
             sp.set_attr("outcome", outcome)
+        latency = time.perf_counter() - before
         # Counted only after the call returns: an invocation that raises
         # (budget exhausted, unrecoverable oracle crash) never ran to
         # completion, so it must not inflate the fresh-call counter or
@@ -131,9 +243,20 @@ class InstrumentedPredicate:
         self.calls += 1
         metrics.counter("predicate.calls").inc()
         self.virtual_clock += self._cost_per_call
-        metrics.histogram("predicate.latency_seconds").observe(
-            time.perf_counter() - before
-        )
+        metrics.counter("predicate.virtual_seconds").inc(self._cost_per_call)
+        metrics.histogram("predicate.latency_seconds").observe(latency)
+        if tracer.enabled:
+            tracer.event(
+                "probe",
+                span_id=sp.span_id,
+                key=_probe_key(sub_input, self._key_cache),
+                cache="fresh",
+                outcome=outcome,
+                wall_seconds=latency,
+                virtual_charge=self._cost_per_call,
+                **current_probe_fields(),
+                **_stat_deltas(before_stats, _chain_stats(self._predicate)),
+            )
         self._cache[sub_input] = outcome
         if self._store is not None:
             self._store.record(self._fingerprint, sub_input, outcome)
@@ -183,6 +306,11 @@ class InstrumentedPredicate:
         pending: Dict[FrozenSet[VarName], int] = {}
         aliases: List[Tuple[int, int]] = []
         metrics = get_metrics()
+        tracer = get_tracer()
+        # Captured once on the issuing thread: the speculation engine's
+        # probe_scope (round number) annotates every ledger entry this
+        # round commits, even though the calls run on pool threads.
+        scope = current_probe_fields() if tracer.enabled else {}
         for position, sub_input in enumerate(inputs):
             self.queries += 1
             metrics.counter("predicate.queries").inc()
@@ -207,25 +335,46 @@ class InstrumentedPredicate:
                     if stored:
                         self._note_success(sub_input)
                     results[position] = stored
+                    if tracer.enabled:
+                        tracer.event(
+                            "probe",
+                            key=_probe_key(sub_input, self._key_cache),
+                            cache="store",
+                            outcome=stored,
+                            wall_seconds=0.0,
+                            virtual_charge=0.0,
+                            batch_pos=position,
+                            **scope,
+                        )
                     continue
             pending[sub_input] = position
             fresh.append((position, sub_input))
 
         if fresh:
             registry = metrics
-            tracer = get_tracer()
+            # The issuing task's causal position and virtual clock,
+            # carried onto the probe-pool threads so their
+            # ``predicate.call`` spans parent onto the open
+            # ``speculate.round`` span instead of floating free.
+            ctx = tracer.current_context() if tracer.enabled else None
+            vclock = tracer.current_clock()
 
             def run_one(sub_input: FrozenSet[VarName]):
                 # The worker thread sees the global registry by default;
                 # install the caller's so the run's scoped counters (and
                 # any per-run attribution above them) stay exact.
                 with scoped_metrics(registry):
-                    with tracer.span(
-                        "predicate.call", size=len(sub_input)
-                    ) as sp:
-                        before = time.perf_counter()
-                        outcome = self._predicate(sub_input)
-                        sp.set_attr("outcome", outcome)
+                    if ctx is not None:
+                        attach = tracer.attach(ctx, clock=vclock)
+                    else:
+                        attach = _NO_ATTACH
+                    with attach:
+                        with tracer.span(
+                            "predicate.call", size=len(sub_input)
+                        ) as sp:
+                            before = time.perf_counter()
+                            outcome = self._predicate(sub_input)
+                            sp.set_attr("outcome", outcome)
                     return outcome, time.perf_counter() - before
 
             futures = [
@@ -239,10 +388,15 @@ class InstrumentedPredicate:
                     settled.append((position, sub_input, outcome, latency, None))
                 except BaseException as exc:  # noqa: BLE001 — re-raised below
                     settled.append((position, sub_input, None, 0.0, exc))
+            round_charge = 0.0
             if any(error is None for (_, _, _, _, error) in settled):
                 # The round ran concurrently: charge one call's worth of
                 # simulated time for the whole batch.
                 self.virtual_clock += self._cost_per_call
+                metrics.counter("predicate.virtual_seconds").inc(
+                    self._cost_per_call
+                )
+                round_charge = self._cost_per_call
             for position, sub_input, outcome, latency, error in settled:
                 if error is not None:
                     raise error
@@ -257,6 +411,24 @@ class InstrumentedPredicate:
                 if outcome:
                     self._note_success(sub_input)
                 results[position] = outcome
+                if tracer.enabled:
+                    # Committed (hence emitted) in serial order, so the
+                    # merged ledger reads like a sequential run.  The
+                    # round's virtual charge is booked on its first
+                    # committed fresh probe; the overlapped rest cost 0.
+                    # Per-probe resilience deltas are skipped here —
+                    # concurrent attempts make bracketing snapshots racy.
+                    tracer.event(
+                        "probe",
+                        key=_probe_key(sub_input, self._key_cache),
+                        cache="fresh",
+                        outcome=outcome,
+                        wall_seconds=latency,
+                        virtual_charge=round_charge,
+                        batch_pos=position,
+                        **scope,
+                    )
+                    round_charge = 0.0
 
         for position, source in aliases:
             results[position] = results[source]

@@ -48,7 +48,7 @@ import threading
 import time
 from typing import Callable, FrozenSet, Hashable, Optional, Tuple
 
-from repro.observability import get_metrics
+from repro.observability import get_metrics, get_tracer
 from repro.resilience.budget import Budget
 from repro.resilience.faults import TransientOracleError
 
@@ -165,10 +165,20 @@ class ResilientPredicate:
         """Run one attempt on a daemon thread; abandon it on overrun."""
         box: list = []
         done = threading.Event()
+        # Carry the caller's causal position (and virtual clock) onto
+        # the deadline thread, so any spans the wrapped predicate opens
+        # there stay linked into the task's trace.
+        tracer = get_tracer()
+        ctx = tracer.current_context() if tracer.enabled else None
+        vclock = tracer.current_clock()
 
         def work() -> None:
             try:
-                box.append(("ok", self._predicate(sub_input)))
+                if ctx is not None:
+                    with tracer.attach(ctx, clock=vclock):
+                        box.append(("ok", self._predicate(sub_input)))
+                else:
+                    box.append(("ok", self._predicate(sub_input)))
             except BaseException as exc:  # noqa: BLE001 — relayed below
                 box.append(("err", exc))
             finally:

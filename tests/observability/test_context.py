@@ -1,0 +1,57 @@
+"""Tests for TraceContext capsules and run ids."""
+
+import pickle
+
+from repro.observability import TraceContext, new_run_id
+
+
+class TestRunId:
+    def test_unique_and_prefixed(self):
+        a, b = new_run_id(), new_run_id()
+        assert a != b
+        assert a.startswith("run-")
+        assert len(a) == len("run-") + 12
+
+    def test_custom_prefix(self):
+        assert new_run_id("bench").startswith("bench-")
+
+
+class TestTraceContext:
+    def test_task_derives_serial_worker_and_trace_id(self):
+        ctx = TraceContext(run_id="r", trace_id="t", span_id="main:0")
+        task = ctx.task(serial=7, worker="w2")
+        assert task.serial == 7
+        assert task.worker == "w2"
+        assert task.trace_id == "t/0007"
+        # The spawning span stays the causal parent.
+        assert task.span_id == "main:0"
+        assert task.run_id == "r"
+
+    def test_task_explicit_trace_id(self):
+        ctx = TraceContext(run_id="r", trace_id="t")
+        assert ctx.task(serial=0, worker="w0", trace_id="x").trace_id == "x"
+
+    def test_dict_roundtrip(self):
+        ctx = TraceContext(
+            run_id="r", trace_id="t", span_id="w1:9", serial=3, worker="w1"
+        )
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_from_dict_defaults(self):
+        ctx = TraceContext.from_dict({"run_id": "r", "trace_id": "t"})
+        assert ctx.span_id is None
+        assert ctx.serial == -1
+        assert ctx.worker == "main"
+
+    def test_picklable_for_process_pools(self):
+        ctx = TraceContext(run_id="r", trace_id="t", span_id="main:4")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_frozen(self):
+        ctx = TraceContext(run_id="r", trace_id="t")
+        try:
+            ctx.run_id = "other"
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("TraceContext must be immutable")

@@ -1,0 +1,110 @@
+"""Tests for probe_scope annotations and `trace explain` resolution."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    current_probe_fields,
+    explain,
+    probe_scope,
+    render_explain,
+)
+
+
+class TestProbeScope:
+    def test_empty_without_scope(self):
+        assert current_probe_fields() == {}
+
+    def test_fields_visible_inside_scope_only(self):
+        with probe_scope(round=3):
+            assert current_probe_fields() == {"round": 3}
+        assert current_probe_fields() == {}
+
+    def test_inner_scope_shadows_outer(self):
+        with probe_scope(round=1, origin="head"):
+            with probe_scope(round=2):
+                assert current_probe_fields() == {
+                    "round": 2, "origin": "head",
+                }
+            assert current_probe_fields()["round"] == 1
+
+    def test_scopes_are_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["fields"] = current_probe_fields()
+
+        with probe_scope(round=9):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["fields"] == {}
+
+
+def _trace_with_probe():
+    return [
+        {"type": "meta", "schema": 2},
+        {
+            "type": "span", "name": "instance.run", "span_id": "w0:0",
+            "parent_span_id": None, "duration": 2.0, "vduration": 99.0,
+            "attrs": {"strategy": "our-reducer"},
+        },
+        {
+            "type": "span", "name": "speculate.round", "span_id": "w0:1",
+            "parent_span_id": "w0:0", "duration": 0.5, "vduration": 33.0,
+            "attrs": {},
+        },
+        {
+            "type": "probe", "event_id": "w0:e2", "span_id": "w0:1",
+            "key": "abcd1234", "cache": "fresh", "outcome": True,
+            "wall_seconds": 0.01, "virtual_charge": 33.0,
+            "round": 0, "batch_pos": 2, "retries": 1,
+            "worker": "w0", "serial": 0, "trace_id": "t/0000",
+        },
+    ]
+
+
+class TestExplain:
+    def test_resolves_by_event_id(self):
+        res = explain(_trace_with_probe(), "w0:e2")
+        assert res["probe"]["key"] == "abcd1234"
+        assert [s["name"] for s in res["chain"]] == [
+            "speculate.round", "instance.run",
+        ]
+
+    def test_resolves_by_key_prefix(self):
+        res = explain(_trace_with_probe(), "abcd")
+        assert res["probe"]["event_id"] == "w0:e2"
+
+    def test_unknown_handle_raises(self):
+        with pytest.raises(ValueError, match="no probe matches"):
+            explain(_trace_with_probe(), "nope")
+
+    def test_trace_without_ledger_raises(self):
+        with pytest.raises(ValueError, match="no probe ledger"):
+            explain([{"type": "span", "name": "s", "span_id": "a"}], "x")
+
+    def test_dangling_parent_raises(self):
+        events = _trace_with_probe()
+        events[1]["parent_span_id"] = "w9:99"  # never emitted
+        with pytest.raises(ValueError, match="dangling"):
+            explain(events, "w0:e2")
+
+    def test_render_includes_costs_and_chain(self):
+        text = render_explain(explain(_trace_with_probe(), "w0:e2"))
+        assert "probe w0:e2" in text
+        assert "cache=fresh" in text
+        assert "round=0 batch_pos=2" in text
+        assert "virtual=33.0s" in text
+        assert "speculate.round" in text
+        assert "instance.run" in text
+
+    def test_probe_outside_any_span(self):
+        events = [
+            {"type": "probe", "event_id": "main:e0", "span_id": None,
+             "cache": "store", "outcome": False},
+        ]
+        res = explain(events, "main:e0")
+        assert res["chain"] == []
+        assert "outside any span" in render_explain(res)

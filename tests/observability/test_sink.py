@@ -7,8 +7,10 @@ import pytest
 
 from repro.observability import (
     MetricsRegistry,
+    ShardSet,
     Tracer,
     load_trace,
+    load_traces,
     render_summary,
     summarize,
     write_trace,
@@ -83,6 +85,104 @@ class TestRoundTrip:
         buffer.seek(0)
         assert lines == 2
         assert len(load_trace(buffer)) == 2
+
+
+class TestTornLines:
+    """A killed worker leaves a truncated final line; loads tolerate it."""
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"type": "meta"}\n'
+            '{"type": "counter", "name": "x", "value": 1}\n'
+            '{"type": "span", "name": "cut-off", "dura'  # no newline
+        )
+        events = load_trace(str(path))
+        assert [e["type"] for e in events] == ["meta", "counter"]
+
+    def test_complete_final_line_without_newline_still_loads(self, tmp_path):
+        path = tmp_path / "noeol.jsonl"
+        path.write_text(
+            '{"type": "meta"}\n{"type": "counter", "name": "x", "value": 1}'
+        )
+        assert len(load_trace(str(path))) == 2
+
+    def test_torn_line_in_the_middle_still_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type": "meta"}\n'
+            '{"type": "span", "name": "cut\n'
+            '{"type": "counter", "name": "x", "value": 1}\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(str(path))
+
+
+class TestLoadTraces:
+    def test_merges_a_shard_family(self, tmp_path):
+        base = str(tmp_path / "run.jsonl")
+        with ShardSet(base, run_id="r") as shards:
+            shards.emit(
+                "w1", {"type": "span", "name": "b", "serial": 1, "seq": 3}
+            )
+            shards.emit(
+                "w0", {"type": "span", "name": "a", "serial": 0, "seq": 1}
+            )
+        events = load_traces([base])
+        spans = [e["name"] for e in events if e["type"] == "span"]
+        assert spans == ["a", "b"]
+
+    def test_glob_patterns(self, tmp_path):
+        for name in ("one.jsonl", "two.jsonl"):
+            (tmp_path / name).write_text(
+                '{"type": "counter", "name": "x", "value": 1}\n'
+            )
+        events = load_traces([str(tmp_path / "*.jsonl")])
+        assert summarize(events)["counters"]["x"] == 2
+
+    def test_no_matches_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no trace files match"):
+            load_traces([str(tmp_path / "missing-*.jsonl")])
+
+
+class TestSchemaV2:
+    def test_meta_carries_run_id_and_shard(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(run_id="run-abc")
+        with tracer.span("s"):
+            pass
+        write_trace(str(path), tracer)
+        meta = load_trace(str(path))[0]
+        assert meta["schema"] == 2
+        assert meta["run_id"] == "run-abc"
+        assert meta["shard"] == "main"
+
+    def test_probe_ledger_summary_section(self):
+        events = [
+            {"type": "probe", "cache": "fresh", "wall_seconds": 0.2,
+             "virtual_charge": 33.0, "retries": 1},
+            {"type": "probe", "cache": "store", "wall_seconds": 0.0,
+             "virtual_charge": 0.0},
+        ]
+        probes = summarize(events)["probes"]
+        assert probes["count"] == 2
+        assert probes["fresh"] == 1
+        assert probes["store"] == 1
+        assert probes["wall_seconds"] == pytest.approx(0.2)
+        assert probes["virtual_seconds"] == pytest.approx(33.0)
+        assert probes["retries"] == 1
+
+    def test_no_probes_no_section(self):
+        assert "probes" not in summarize(
+            [{"type": "span", "name": "s", "duration": 1.0}]
+        )
+
+    def test_render_summary_shows_the_ledger(self):
+        events = [
+            {"type": "probe", "cache": "fresh", "wall_seconds": 0.2,
+             "virtual_charge": 33.0},
+        ]
+        assert "provenance ledger" in render_summary(summarize(events))
 
 
 class TestErrors:

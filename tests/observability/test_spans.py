@@ -4,7 +4,13 @@ import threading
 
 import pytest
 
-from repro.observability import NULL_SPAN, Tracer, get_tracer, set_tracer
+from repro.observability import (
+    NULL_SPAN,
+    TraceContext,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
 from repro.observability.spans import _NULL_SPAN
 
 
@@ -151,6 +157,167 @@ class TestFastPathAndSampling:
             Tracer(sample_every=0)
 
 
+class TestSamplingParentage:
+    def test_child_of_sampled_out_parent_attaches_to_emitted_ancestor(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("skip"):  # tick 1: sampled out
+            pass
+        with tracer.span("root") as root:  # tick 2: recorded
+            with tracer.span("mid"):  # tick 3: sampled out
+                with tracer.span("leaf") as leaf:  # tick 4: recorded
+                    pass
+        by_name = {e.name: e for e in tracer.events()}
+        assert set(by_name) == {"root", "leaf"}
+        # No dangling id: the leaf re-parents past the unrecorded mid.
+        assert by_name["leaf"].parent_id == root.span_id
+        assert leaf.parent_id == root.span_id
+
+    def test_every_parent_id_resolves_under_sampling(self):
+        tracer = Tracer(sample_every=3)
+        def recurse(depth):
+            if depth == 0:
+                return
+            with tracer.span("d", depth=depth):
+                recurse(depth - 1)
+        for _ in range(4):
+            recurse(5)
+        events = tracer.events()
+        ids = {e.span_id for e in events}
+        for event in events:
+            assert event.parent_id is None or event.parent_id in ids
+
+    def test_current_context_skips_sampled_out_spans(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("skip"):  # sampled out
+            pass
+        with tracer.span("root") as root:  # recorded
+            with tracer.span("mid"):  # sampled out
+                ctx = tracer.current_context()
+        assert ctx.span_id == root.span_id
+
+
+class TestLeakedSpans:
+    def test_leaked_child_is_emitted_and_marked(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("leaked-child")  # never exited
+        outer.__exit__(None, None, None)
+        by_name = {e.name: e for e in tracer.events()}
+        assert by_name["leaked-child"].attrs.get("leaked") is True
+        assert "leaked" not in by_name["outer"].attrs
+        assert by_name["leaked-child"].parent_id == outer.span_id
+
+
+class TestAttach:
+    def test_worker_roots_parent_onto_the_attached_context(self):
+        tracer = Tracer(run_id="r")
+        captured = {}
+
+        def worker(ctx):
+            with tracer.attach(ctx):
+                with tracer.span("task.run") as sp:
+                    captured["span_id"] = sp.span_id
+
+        with tracer.span("spawn") as spawn:
+            ctx = tracer.current_context().task(serial=3, worker="w1")
+            thread = threading.Thread(target=worker, args=(ctx,))
+            thread.start()
+            thread.join()
+        by_name = {e.name: e for e in tracer.events()}
+        task = by_name["task.run"]
+        assert task.parent_id == spawn.span_id
+        assert task.worker == "w1"
+        assert task.serial == 3
+        assert task.trace_id == "r/0003"
+        assert task.span_id.startswith("w1:")
+
+    def test_attach_does_not_leak_lexical_parents(self):
+        # A pool thread reused across tasks: spans open on the thread
+        # before attach() must not become parents of the new task.
+        tracer = Tracer()
+        stale = tracer.span("stale")
+        ctx = TraceContext(run_id="r", trace_id="t", span_id=None)
+        with tracer.attach(ctx):
+            with tracer.span("fresh") as fresh:
+                pass
+        stale.__exit__(None, None, None)
+        assert fresh.parent_id is None
+        by_name = {e.name: e for e in tracer.events()}
+        # The stale span's nesting survives the attach block.
+        assert by_name["stale"].parent_id is None
+
+    def test_attach_carries_the_virtual_clock(self):
+        tracer = Tracer()
+        readings = iter([10.0, 25.0])
+        ctx = TraceContext(run_id="r", trace_id="t")
+        with tracer.attach(ctx, clock=lambda: next(readings)):
+            with tracer.span("work"):
+                pass
+        (event,) = tracer.events()
+        assert event.vstart == 10.0
+        assert event.vduration == 15.0
+
+
+class TestDualClocks:
+    def test_spans_record_virtual_start_and_duration(self):
+        tracer = Tracer()
+        vnow = [100.0]
+        with tracer.clock(lambda: vnow[0]):
+            with tracer.span("outer"):
+                vnow[0] = 133.0
+                with tracer.span("inner"):
+                    vnow[0] = 166.0
+        by_name = {e.name: e for e in tracer.events()}
+        assert by_name["outer"].vstart == 100.0
+        assert by_name["outer"].vduration == 66.0
+        assert by_name["inner"].vstart == 133.0
+        assert by_name["inner"].vduration == 33.0
+
+    def test_no_clock_means_zero_virtual_time(self):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        (event,) = tracer.events()
+        assert event.vstart == 0.0
+        assert event.vduration == 0.0
+
+    def test_virtual_now_without_provider(self):
+        assert Tracer().virtual_now() == 0.0
+
+
+class TestLedgerEvents:
+    def test_event_is_stamped_with_context(self):
+        tracer = Tracer(run_id="r")
+        with tracer.span("owner") as sp:
+            event = tracer.event("probe", cache="fresh")
+        assert event["type"] == "probe"
+        assert event["span_id"] == sp.span_id
+        assert event["run_id"] == "r"
+        assert event["worker"] == "main"
+        assert event["event_id"] == f"main:e{event['seq']}"
+        assert event["cache"] == "fresh"
+        assert tracer.raw_events() == [event]
+
+    def test_explicit_span_id_wins(self):
+        tracer = Tracer()
+        with tracer.span("open"):
+            event = tracer.event("probe", span_id="w9:42")
+        assert event["span_id"] == "w9:42"
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.event("probe") is None
+        assert tracer.raw_events() == []
+
+    def test_span_to_dict_uses_parent_span_id_key(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        payloads = [e.to_dict() for e in tracer.events()]
+        assert all("parent_span_id" in p for p in payloads)
+
+
 class TestClear:
     def test_clear_drops_events(self):
         tracer = Tracer()
@@ -159,3 +326,9 @@ class TestClear:
         assert len(tracer.events()) == 1
         tracer.clear()
         assert tracer.events() == []
+
+    def test_clear_drops_ledger_events(self):
+        tracer = Tracer()
+        tracer.event("probe")
+        tracer.clear()
+        assert tracer.raw_events() == []

@@ -217,3 +217,40 @@ class TestConcurrentTelemetryIsolation:
                 actual.metrics.get("predicate.calls", 0)
                 == actual.predicate_calls
             )
+
+    def test_scoped_attribution_under_jobs_and_speculation(self, tiny_corpus):
+        """``scoped_metrics()`` attribution with --jobs 4 --speculate 4.
+
+        Two layers of concurrency at once: four corpus workers, each
+        fanning probe batches onto a shared speculation pool.  Batch
+        results commit on the issuing worker's thread, so each
+        instance's scoped registry must see exactly its own probes —
+        comparing against a fully serial run catches any
+        cross-contamination.
+        """
+        serial_config = ExperimentConfig(
+            strategies=("our-reducer",), speculate=1
+        )
+        spec_config = ExperimentConfig(
+            strategies=("our-reducer",), speculate=4
+        )
+        serial = run_corpus_experiment(tiny_corpus, serial_config)
+        concurrent = run_corpus_experiment(tiny_corpus, spec_config, jobs=4)
+        assert len(serial) == len(concurrent)
+        for expected, actual in zip(serial, concurrent):
+            assert actual.benchmark_id == expected.benchmark_id
+            # Speculation may probe *more* (wasted speculative calls)
+            # but attribution must stay per-instance and self-consistent.
+            assert (
+                actual.metrics.get("predicate.calls", 0)
+                == actual.predicate_calls
+            )
+            assert actual.predicate_calls >= expected.predicate_calls
+            # The reduction result itself is unchanged by concurrency.
+            assert actual.final_bytes == expected.final_bytes
+            assert actual.final_classes == expected.final_classes
+        total_calls = sum(o.predicate_calls for o in concurrent)
+        per_instance = [
+            o.metrics.get("predicate.calls", 0) for o in concurrent
+        ]
+        assert sum(per_instance) == total_calls

@@ -341,6 +341,232 @@ class TestTraceSummarize:
         assert "bad JSONL" in capsys.readouterr().err
 
 
+@pytest.fixture()
+def traced_run(fji_file, tmp_path):
+    """A reduce run with tracing on; returns the trace path."""
+    trace_file = str(tmp_path / "run.jsonl")
+    assert main(["reduce", fji_file, "--trace", trace_file]) == 0
+    return trace_file
+
+
+class TestTraceTimeline:
+    def test_timeline_prints_both_clocks(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["trace", "timeline", traced_run]) == 0
+        out = capsys.readouterr().out
+        assert "gbr.run" in out
+        assert "wall=" in out
+        assert "virtual=" in out
+
+    def test_timeline_inlines_probes(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["trace", "timeline", traced_run]) == 0
+        assert "· probe" in capsys.readouterr().out
+
+    def test_no_probes_flag(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["trace", "timeline", traced_run, "--no-probes"]) == 0
+        assert "· probe" not in capsys.readouterr().out
+
+    def test_limit_truncates(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["trace", "timeline", traced_run, "--limit", "2"]) == 0
+        assert "truncated" in capsys.readouterr().out
+
+
+class TestTraceFlame:
+    def test_folded_stacks_output(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["trace", "flame", traced_run]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) >= 1
+        assert any("gbr.run" in line for line in lines)
+
+    def test_virtual_clock(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(
+            ["trace", "flame", traced_run, "--clock", "virtual"]
+        ) == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestTraceExplain:
+    def _probe_id(self, trace_file):
+        events = load_trace(trace_file)
+        return next(
+            e["event_id"] for e in events if e["type"] == "probe"
+        )
+
+    def test_explain_resolves_a_probe_chain(self, traced_run, capsys):
+        handle = self._probe_id(traced_run)
+        capsys.readouterr()
+        assert main(["trace", "explain", handle, traced_run]) == 0
+        out = capsys.readouterr().out
+        assert f"probe {handle}" in out
+        assert "cache=" in out
+        assert "gbr.run" in out  # the causal chain reaches the reducer
+
+    def test_unknown_handle_fails(self, traced_run, capsys):
+        assert main(["trace", "explain", "zzz", traced_run]) == 1
+        assert "no probe matches" in capsys.readouterr().err
+
+
+class TestTraceMergeAndDiff:
+    def test_merge_to_stdout_is_jsonl(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["trace", "merge", traced_run]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["type"] == "meta"
+
+    def test_merge_to_file(self, traced_run, tmp_path, capsys):
+        out = str(tmp_path / "merged.jsonl")
+        assert main(["trace", "merge", traced_run, "--out", out]) == 0
+        assert len(load_trace(out)) == len(load_trace(traced_run))
+
+    def test_diff_two_traces(self, fji_file, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        assert main(["reduce", fji_file, "--trace", a]) == 0
+        assert main(["reduce", fji_file, "--trace", b]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "clocks" in out
+        assert "wall" in out and "simulated" in out
+
+    def test_diff_against_bench_baseline(self, traced_run, tmp_path,
+                                         capsys):
+        baseline = tmp_path / "BENCH_X.json"
+        baseline.write_text(json.dumps({
+            "results": {"wall_seconds": 1.0, "simulated_seconds": 30.0},
+        }))
+        capsys.readouterr()
+        assert main(["trace", "diff", str(baseline), traced_run]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_diff_json_output(self, fji_file, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        assert main(["reduce", fji_file, "--trace", a]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", a, a, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clocks"]["wall"]["speedup"] == pytest.approx(1.0)
+
+
+class TestMetricsExport:
+    def test_prometheus_exposition(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(["metrics", "export", traced_run]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE jlreduce_predicate_calls_total counter" in out
+
+    def test_custom_prefix(self, traced_run, capsys):
+        capsys.readouterr()
+        assert main(
+            ["metrics", "export", traced_run, "--prefix", "repro"]
+        ) == 0
+        assert "repro_predicate_calls_total" in capsys.readouterr().out
+
+
+class TestProfilePhases:
+    def test_requires_trace(self, fji_file, capsys):
+        assert main(["reduce", fji_file, "--profile-phases"]) == 1
+        assert "--trace" in capsys.readouterr().err
+
+    def test_profile_events_land_in_the_trace(self, fji_file, tmp_path,
+                                              capsys):
+        trace_file = str(tmp_path / "prof.jsonl")
+        assert main(
+            ["reduce", fji_file, "--trace", trace_file,
+             "--profile-phases"]
+        ) == 0
+        profiles = [
+            e for e in load_trace(trace_file) if e["type"] == "profile"
+        ]
+        assert profiles
+        assert profiles[0]["phase"] == "reduce"
+        assert profiles[0]["top"]
+
+
+class TestBenchShardedTrace:
+    @pytest.fixture()
+    def tiny_corpus(self, monkeypatch):
+        from repro.workloads.corpus import CorpusConfig
+
+        monkeypatch.setattr(
+            CorpusConfig,
+            "small",
+            classmethod(
+                lambda cls: cls(
+                    num_benchmarks=2, min_classes=8, max_classes=12
+                )
+            ),
+        )
+
+    def test_parallel_bench_writes_shards_that_merge(
+        self, tiny_corpus, tmp_path, capsys
+    ):
+        import glob as globlib
+
+        from repro.observability import load_traces
+
+        trace_file = str(tmp_path / "bench.jsonl")
+        assert main(
+            ["bench", "--profile", "small", "--json",
+             "--jobs", "2", "--speculate", "2", "--trace", trace_file]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        shards = globlib.glob(str(tmp_path / "bench.shard-*.jsonl"))
+        assert shards, "per-worker shard files must exist"
+        events = load_traces([trace_file])
+        spans = [e for e in events if e["type"] == "span"]
+        assert (
+            len([s for s in spans if s["name"] == "instance.run"])
+            == len(payload["outcomes"])
+        )
+        # One causally-linked timeline: every parent id resolves, and
+        # task spans carry their serial commit slot.
+        ids = {s["span_id"] for s in spans}
+        for span in spans:
+            parent = span.get("parent_span_id")
+            assert parent is None or parent in ids
+        serials = sorted(
+            s["serial"] for s in spans if s["name"] == "instance.run"
+        )
+        assert serials == list(range(len(payload["outcomes"])))
+        # Probes carry provenance into the merged stream too.
+        assert any(e["type"] == "probe" for e in events)
+        # And the merged stream summarizes like a single run.
+        summary = summarize(events)
+        assert summary["spans"]["instance.run"]["count"] == len(
+            payload["outcomes"]
+        )
+
+    def test_explain_works_on_a_sharded_run(self, tiny_corpus, tmp_path,
+                                            capsys):
+        trace_file = str(tmp_path / "bench.jsonl")
+        assert main(
+            ["bench", "--profile", "small",
+             "--jobs", "2", "--speculate", "2", "--trace", trace_file]
+        ) == 0
+        from repro.observability import load_traces
+
+        events = load_traces([trace_file])
+        handle = next(
+            e["event_id"] for e in events if e["type"] == "probe"
+        )
+        capsys.readouterr()
+        assert main(["trace", "explain", handle, trace_file]) == 0
+        out = capsys.readouterr().out
+        assert f"probe {handle}" in out
+        assert "instance.run" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
