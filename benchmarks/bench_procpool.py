@@ -1,0 +1,233 @@
+"""Process-backend benchmark: wall-clock speedup on physical probes.
+
+Emits ``BENCH_7.json``.  BENCH_5 showed speculation winning 2.38x in
+*simulated* seconds while losing wall-clock (0.85x): with microsecond
+decompilers the probe cost is pure-Python CPU work the GIL refuses to
+overlap.  The paper's regime is the opposite — the predicate is an
+external ~33-second tool and k of them genuinely run at once.  This
+bench recreates that regime honestly: every fresh predicate attempt
+pays a real ``--tool-latency-ms`` sleep (the external tool, scaled
+down), identically in all lanes, and measures how much of it each
+probe backend hides:
+
+- **sequential** — ``--speculate 1``: every probe pays the full
+  latency back to back (the paper's sequential reducer).
+- **thread4** — ``--speculate 4`` on the thread pool: sleeps release
+  the GIL, so the latency overlaps, but the probes' Python work still
+  serializes.
+- **process4** — ``--speculate 4 --probe-backend process``: worker
+  processes overlap both the latency and the probe work.
+
+The headline number is ``wall_speedup`` — sequential wall over
+process-backend wall.  Lane equality is asserted, not assumed:
+all lanes must agree on final bytes/classes/status, and the two
+speculative backends must additionally agree on ``predicate_calls``,
+``simulated_seconds``, and the full reduction timeline (the
+byte-identity contract of DESIGN.md §10).
+
+Run it directly (pytest does not collect it — ``testpaths`` excludes
+``benchmarks/`` and everything here is ``__main__``-guarded)::
+
+    PYTHONPATH=src python benchmarks/bench_procpool.py --out BENCH_7.json
+
+CI regression gate: ``--check BENCH_7.json`` re-runs and exits
+non-zero when ``wall_speedup`` falls below ``--min-wall-speedup``
+(default 1.5x) or any lane diverges from another on results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.harness import ExperimentConfig, probe_pool, run_instance
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+SEED = 2021
+
+SPECULATE_COUNTERS = (
+    "speculate.rounds",
+    "speculate.probes_useful",
+    "speculate.probes_wasted",
+    "gbr.probes",
+)
+
+
+def run_lane(pairs, config: ExperimentConfig):
+    """All instances through one backend configuration, timed."""
+    probes = probe_pool(config)
+    try:
+        start = time.perf_counter()
+        outcomes = [
+            run_instance(b, i, "our-reducer", config, probe_executor=probes)
+            for b, i in pairs
+        ]
+        return outcomes, time.perf_counter() - start
+    finally:
+        if probes is not None:
+            probes.shutdown(wait=True)
+
+
+def summarize(outcomes, wall: float) -> Dict:
+    summary = {
+        "wall_seconds": round(wall, 3),
+        "simulated_seconds": round(
+            sum(o.simulated_seconds for o in outcomes), 1
+        ),
+        "predicate_calls": sum(o.predicate_calls for o in outcomes),
+    }
+    for outcome in outcomes:
+        for name in SPECULATE_COUNTERS:
+            if name in outcome.metrics:
+                summary[name] = (
+                    summary.get(name, 0) + outcome.metrics[name]
+                )
+    return summary
+
+
+def assert_lane_equality(sequential, thread, process) -> None:
+    """The byte-identity contract, checked on every instance."""
+    for seq, thr, prc in zip(sequential, thread, process):
+        key = (seq.benchmark_id, seq.decompiler)
+        for other in (thr, prc):
+            assert other.final_bytes == seq.final_bytes, key
+            assert other.final_classes == seq.final_classes, key
+            assert other.status == seq.status, key
+        # The two speculative backends must be indistinguishable on
+        # every deterministic axis, not just the final answer.
+        assert prc.predicate_calls == thr.predicate_calls, key
+        assert prc.simulated_seconds == thr.simulated_seconds, key
+        assert prc.timeline == thr.timeline, key
+
+
+def bench_backends(
+    apps: int,
+    min_classes: int,
+    max_classes: int,
+    latency_ms: float,
+    width: int,
+) -> Dict:
+    corpus = build_corpus(
+        CorpusConfig(
+            num_benchmarks=apps,
+            min_classes=min_classes,
+            max_classes=max_classes,
+        )
+    )
+    pairs = [(b, i) for b in corpus for i in b.instances]
+    latency = latency_ms / 1000.0
+
+    def config(**kwargs):
+        return ExperimentConfig(
+            strategies=("our-reducer",),
+            tool_latency_seconds=latency,
+            **kwargs,
+        )
+
+    sequential, sequential_wall = run_lane(pairs, config())
+    thread, thread_wall = run_lane(pairs, config(speculate=width))
+    process, process_wall = run_lane(
+        pairs, config(speculate=width, probe_backend="process")
+    )
+    assert_lane_equality(sequential, thread, process)
+
+    return {
+        "apps": [b.benchmark_id for b in corpus],
+        "instances": len(pairs),
+        "tool_latency_ms": latency_ms,
+        "speculate": width,
+        "identical_results": True,
+        "sequential": summarize(sequential, sequential_wall),
+        "thread4": summarize(thread, thread_wall),
+        "process4": summarize(process, process_wall),
+        "wall_speedup": round(sequential_wall / process_wall, 2),
+        "thread_wall_speedup": round(sequential_wall / thread_wall, 2),
+        "simulated_speedup": round(
+            sum(o.simulated_seconds for o in sequential)
+            / sum(o.simulated_seconds for o in process),
+            2,
+        ),
+    }
+
+
+def check_payload(payload: Dict, min_wall_speedup: float) -> List[str]:
+    failures = []
+    backends = payload["backends"]
+    if not backends.get("identical_results"):
+        failures.append("backends diverged on reduction results")
+    speedup = backends["wall_speedup"]
+    if speedup < min_wall_speedup:
+        failures.append(
+            f"process-backend wall speedup {speedup}x fell below "
+            f"{min_wall_speedup}x"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_7.json")
+    parser.add_argument("--check", metavar="BASELINE", default=None)
+    parser.add_argument("--min-wall-speedup", type=float, default=1.5)
+    parser.add_argument("--apps", type=int, default=2)
+    parser.add_argument("--min-classes", type=int, default=30)
+    parser.add_argument("--max-classes", type=int, default=50)
+    parser.add_argument("--tool-latency-ms", type=float, default=300.0)
+    parser.add_argument("--speculate", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    payload = {
+        "bench": "procpool",
+        "seed": SEED,
+        "backends": bench_backends(
+            args.apps,
+            args.min_classes,
+            args.max_classes,
+            args.tool_latency_ms,
+            args.speculate,
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    backends = payload["backends"]
+    print(
+        f"wall speedup      : {backends['wall_speedup']}x process "
+        f"({backends['sequential']['wall_seconds']}s -> "
+        f"{backends['process4']['wall_seconds']}s over "
+        f"{backends['instances']} instances at "
+        f"{backends['tool_latency_ms']:.0f}ms tool latency, "
+        "identical results)"
+    )
+    print(
+        f"thread comparison : {backends['thread_wall_speedup']}x thread "
+        f"({backends['thread4']['wall_seconds']}s), "
+        f"simulated {backends['simulated_speedup']}x"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        # The gate re-validates the fresh payload (the baseline file
+        # pins the committed expectations for humans; wall numbers are
+        # machine-dependent, so only the fresh run's ratios are gated).
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        if not baseline["backends"].get("identical_results"):
+            print("REGRESSION: committed baseline lacks identical_results",
+                  file=sys.stderr)
+            return 1
+        failures = check_payload(payload, args.min_wall_speedup)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"regression gate passed against {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

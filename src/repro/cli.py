@@ -20,7 +20,11 @@ Subcommands:
   ``--chaos KIND --chaos-rate P --chaos-seed N`` injects seeded faults
   (the chaos bench mode).  ``--speculate K`` (also on ``reduce``)
   evaluates up to K GBR prefix-search probes concurrently per round
-  with byte-identical results.
+  with byte-identical results; ``--probe-backend process`` (also on
+  ``reduce``) runs them on spawn-safe worker processes instead of the
+  GIL-bound thread pool, and ``--tool-latency-ms MS`` models the
+  paper's external tool as a real per-attempt sleep the concurrent
+  probes overlap.
 - ``jlreduce trace summarize FILE...`` — aggregate JSONL traces written
   by ``--trace`` (per-span totals/mean/p95, counter totals, probe
   ledger).  All ``trace`` subcommands accept multiple files and globs
@@ -121,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="evaluate up to K prefix-search probes concurrently per "
         "round; results are byte-identical to sequential (default 1)",
+    )
+    reduce_cmd.add_argument(
+        "--probe-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="where speculative probes physically run: 'thread' (GIL-"
+        "bound pool) or 'process' (spawn-safe worker processes); "
+        "results are byte-identical (default thread)",
     )
     reduce_cmd.add_argument(
         "--profile-phases",
@@ -224,6 +236,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate up to K GBR prefix-search probes concurrently per "
         "round on a shared probe pool; outcomes are byte-identical to "
         "sequential runs (default 1)",
+    )
+    bench.add_argument(
+        "--probe-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="where speculative probes physically run: 'thread' (GIL-"
+        "bound pool) or 'process' (spawn-safe worker processes); "
+        "outcomes are byte-identical (default thread)",
+    )
+    bench.add_argument(
+        "--tool-latency-ms",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="real milliseconds each fresh predicate attempt sleeps, "
+        "modelling the paper's external ~33 s tool; concurrent probes "
+        "overlap the sleep (default 0)",
     )
     bench.add_argument(
         "--profile-phases",
@@ -349,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             budget_calls=args.budget_calls,
             budget_seconds=args.budget_seconds,
             speculate=args.speculate,
+            probe_backend=args.probe_backend,
             profile_phases=args.profile_phases,
         )
     if args.command == "bench":
@@ -367,6 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos_rate=args.chaos_rate,
             chaos_seed=args.chaos_seed,
             speculate=args.speculate,
+            probe_backend=args.probe_backend,
+            tool_latency_ms=args.tool_latency_ms,
             profile_phases=args.profile_phases,
         )
     if args.command == "trace":
@@ -393,6 +425,31 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+
+
+class _ContainmentPredicate:
+    """``reduce``'s stand-in oracle: holds iff the kept set covers
+    the ``--keep`` targets.
+
+    A module-level class (not a lambda) so it pickles into
+    ``--probe-backend process`` worker processes; the FJI item
+    dataclasses it holds are frozen and picklable.
+    """
+
+    def __init__(self, target) -> None:
+        self.target = frozenset(target)
+
+    def __call__(self, kept) -> bool:
+        return self.target <= kept
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _ContainmentPredicate)
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.target)
 
 
 def _demo() -> int:
@@ -473,6 +530,7 @@ def _reduce(
     budget_calls: Optional[int] = None,
     budget_seconds: Optional[float] = None,
     speculate: int = 1,
+    probe_backend: str = "thread",
     profile_phases: bool = False,
 ) -> int:
     from repro.fji.pretty import pretty_program
@@ -509,7 +567,8 @@ def _reduce(
               "recorded into the trace)", file=sys.stderr)
         return 1
     target = frozenset(required)
-    predicate = lambda kept: target <= kept  # noqa: E731 — tiny oracle
+    containment = _ContainmentPredicate(target)
+    predicate = containment
     if budget_calls is not None or budget_seconds is not None:
         from repro.resilience import Budget, ResilientPredicate
 
@@ -523,6 +582,18 @@ def _reduce(
             print(f"jlreduce: {exc}", file=sys.stderr)
             return 1
         predicate = ResilientPredicate(predicate, budget=budget)
+    if probe_backend == "process" and speculate > 1:
+        # GBR's _instrument passes a pre-built InstrumentedPredicate
+        # through, so this is where the picklable task spec (the raw
+        # containment oracle — a limiting budget serializes speculation
+        # before the pool sees a task) attaches to the cache layer.
+        from repro.parallel.procpool import ProbeTaskSpec
+        from repro.reduction.predicate import InstrumentedPredicate
+
+        predicate = InstrumentedPredicate(
+            predicate,
+            task_spec=ProbeTaskSpec(kind="callable", predicate=containment),
+        )
     problem = ReductionProblem(
         variables=variables,
         predicate=predicate,
@@ -531,11 +602,16 @@ def _reduce(
     )
     probes = None
     if speculate > 1:
-        from concurrent.futures import ThreadPoolExecutor
+        if probe_backend == "process":
+            from repro.parallel.procpool import ProcessProbePool
 
-        probes = ThreadPoolExecutor(
-            max_workers=speculate, thread_name_prefix="jlreduce-probe"
-        )
+            probes = ProcessProbePool(max_workers=speculate)
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            probes = ThreadPoolExecutor(
+                max_workers=speculate, thread_name_prefix="jlreduce-probe"
+            )
     try:
         if trace_path:
             trace_handle = _open_trace(trace_path)
@@ -608,6 +684,8 @@ def _bench(
     chaos_rate: float = 0.2,
     chaos_seed: int = 2021,
     speculate: int = 1,
+    probe_backend: str = "thread",
+    tool_latency_ms: float = 0.0,
     profile_phases: bool = False,
 ) -> int:
     from repro.harness.experiments import ExperimentConfig
@@ -642,6 +720,10 @@ def _bench(
         print(f"jlreduce: --speculate must be >= 1, got {speculate}",
               file=sys.stderr)
         return 1
+    if tool_latency_ms < 0:
+        print(f"jlreduce: --tool-latency-ms must be >= 0, got "
+              f"{tool_latency_ms}", file=sys.stderr)
+        return 1
     if profile_phases and not trace_path:
         print("jlreduce: --profile-phases needs --trace (profiles are "
               "recorded into the trace)", file=sys.stderr)
@@ -665,6 +747,8 @@ def _bench(
         keep_going=keep_going,
         chaos=plan,
         speculate=speculate,
+        probe_backend=probe_backend,
+        tool_latency_seconds=tool_latency_ms / 1000.0,
         profile_phases=profile_phases,
     )
     config = (

@@ -92,6 +92,21 @@ class ExperimentConfig:
     #: limiting budget silently serialize to keep their anytime partial
     #: results deterministic.
     speculate: int = 1
+    #: Where speculative probes physically run: ``"thread"`` (the GIL-
+    #: bound pool — overlaps external tool latency only) or
+    #: ``"process"`` (a spawn-safe
+    #: :class:`~repro.parallel.procpool.ProcessProbePool` whose workers
+    #: rebuild the predicate chain from a picklable task spec — the
+    #: only backend that overlaps the pure-Python probe work itself).
+    #: Results are byte-identical across backends.
+    probe_backend: str = "thread"
+    #: Real seconds each fresh predicate attempt sleeps, modelling the
+    #: paper's external decompile+compile tool (whose ~33 s the
+    #: simulated clock only *charges*).  Unlike the virtual cost, the
+    #: sleep is observable wall time that concurrent probes genuinely
+    #: overlap — ``benchmarks/bench_procpool.py`` measures the probe
+    #: backends against it.  0 (the default) sleeps nothing.
+    tool_latency_seconds: float = 0.0
     #: Opt-in per-phase cProfile capture: each instance's reduce phase
     #: emits a ``profile`` event (top hotspots) into the trace.  Far
     #: more expensive than tracing — never on by default, and excluded
@@ -216,6 +231,15 @@ def probe_pool(config: ExperimentConfig):
     """
     if config.speculate <= 1:
         return None
+    if config.probe_backend == "process":
+        from repro.parallel.procpool import ProcessProbePool
+
+        return ProcessProbePool(max_workers=config.speculate)
+    if config.probe_backend != "thread":
+        raise ValueError(
+            f"unknown probe backend {config.probe_backend!r} "
+            "(expected 'thread' or 'process')"
+        )
     from concurrent.futures import ThreadPoolExecutor
 
     return ThreadPoolExecutor(
@@ -253,13 +277,22 @@ def _run_instance_inner(
             return None
         return oracle_fingerprint(app, instance.decompiler, granularity)
 
-    def _resilient(raw, granularity: str):
-        """Layer chaos injection and fault handling under the cache."""
-        key = (
+    def _chaos_key(granularity: str) -> str:
+        return (
             f"{benchmark.benchmark_id}:{instance.decompiler}:"
             f"{strategy}:{granularity}"
         )
+
+    def _resilient(raw, granularity: str):
+        """Layer tool latency, chaos, and fault handling under the cache."""
+        key = _chaos_key(granularity)
         wrapped = raw
+        if config.tool_latency_seconds > 0:
+            from repro.parallel.procpool import ToolLatencyPredicate
+
+            wrapped = ToolLatencyPredicate(
+                wrapped, config.tool_latency_seconds
+            )
         if config.chaos is not None:
             wrapped = config.chaos.apply(wrapped, key)
         if config.wants_resilience or config.chaos is not None:
@@ -276,6 +309,30 @@ def _run_instance_inner(
                 seed=derive_seed(0, key),
             )
         return wrapped
+
+    def _task_spec(granularity: str):
+        """The picklable probe recipe for the process backend, or None.
+
+        Workers rebuild the same chain :func:`_resilient` layers here —
+        oracle, tool latency, chaos, retries/deadline — from this spec
+        (see :func:`repro.parallel.procpool.build_worker_predicate`).
+        Budgets stay parent-side: a limiting budget serializes
+        speculation before any task reaches the pool.
+        """
+        if config.probe_backend != "process" or config.speculate <= 1:
+            return None
+        from repro.parallel.procpool import ProbeTaskSpec
+
+        return ProbeTaskSpec(
+            app_bytes=serialize_application(app),
+            decompiler=instance.decompiler,
+            granularity=granularity,
+            chaos=config.chaos,
+            chaos_key=_chaos_key(granularity),
+            retries=config.retries,
+            deadline_seconds=config.deadline_seconds,
+            tool_latency_seconds=config.tool_latency_seconds,
+        )
 
     # The run's virtual clock, installed on the tracer before the
     # instrumented predicate exists (it is built inside instance.setup):
@@ -303,6 +360,7 @@ def _run_instance_inner(
                     size_of=serializer.size_of_classes,
                     store=store,
                     fingerprint=_fingerprint("class"),
+                    task_spec=_task_spec("class"),
                 )
                 instrumented_cell.append(instrumented)
                 graph = class_dependency_graph(app)
@@ -325,6 +383,7 @@ def _run_instance_inner(
                     size_of=serializer.size_of_items,
                     store=store,
                     fingerprint=_fingerprint("item"),
+                    task_spec=_task_spec("item"),
                 )
                 instrumented_cell.append(instrumented)
                 problem = ReductionProblem(

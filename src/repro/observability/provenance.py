@@ -18,6 +18,11 @@ carries:
 - ``round`` / ``batch_pos`` — which speculation round issued it and
   where it sat in the batch (absent for sequential probes), annotated
   via :func:`probe_scope`;
+- ``discarded`` — true for a probe that physically completed but whose
+  outcome was thrown away because an earlier-in-order probe of the
+  same speculative round raised (the sequential run would never have
+  issued it); discarded probes charge 0 virtual seconds but still get
+  their one ledger event;
 - ``attempts`` / ``retries`` / ``timeouts`` — per-probe deltas from a
   wrapping :class:`~repro.resilience.predicate.ResilientPredicate`;
 - ``budget_calls`` / ``budget_seconds`` — per-probe charges against a
@@ -139,10 +144,13 @@ def render_explain(resolution: Dict[str, Any]) -> str:
     chain = resolution["chain"]
     lines: List[str] = []
     lines.append(f"probe {probe.get('event_id')}")
-    lines.append(
+    verdict = (
         f"  key={probe.get('key', '?')} cache={probe.get('cache', '?')} "
         f"outcome={probe.get('outcome')}"
     )
+    if probe.get("discarded"):
+        verdict += " DISCARDED (an earlier probe in the round raised)"
+    lines.append(verdict)
     lines.append(
         f"  worker={probe.get('worker', 'main')} "
         f"serial={probe.get('serial', -1)} "

@@ -416,6 +416,50 @@ class Tracer:
                 self._raw.append(event)
         return event
 
+    def adopt(self, payload: Dict[str, Any]) -> Optional[str]:
+        """Re-emit a worker-built span payload under this tracer.
+
+        Process-pool workers have no live tracer — they handcraft span
+        payload dicts (see
+        :func:`repro.parallel.procpool._evaluate_probe`) and ship them
+        back with their results.  The parent adopts each payload at the
+        probe's serial commit position: a fresh tracer-wide ``seq`` is
+        assigned (keeping the deterministic shard merge order) and the
+        span id is minted as ``"<worker>:<seq>"``, unique because the
+        worker label carries the pid.  ``parent_span_id`` is taken from
+        the payload — the spawning context's span — so the merged trace
+        stays one connected tree.  Returns the minted span id, or None
+        when disabled.
+        """
+        if not self._enabled:
+            return None
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        worker = payload.get("worker", "main")
+        span_id = f"{worker}:{seq}"
+        event = SpanEvent(
+            name=payload.get("name", "adopted"),
+            start=float(payload.get("start", 0.0)),
+            duration=float(payload.get("duration", 0.0)),
+            vstart=float(payload.get("vstart", 0.0)),
+            vduration=float(payload.get("vduration", 0.0)),
+            span_id=span_id,
+            parent_id=payload.get("parent_span_id"),
+            run_id=payload.get("run_id") or self.run_id,
+            trace_id=payload.get("trace_id") or self.run_id,
+            serial=int(payload.get("serial", -1)),
+            worker=worker,
+            seq=seq,
+            attrs=dict(payload.get("attrs") or {}),
+        )
+        if self._shards is not None:
+            self._shards.emit(event.worker, event.to_dict())
+        else:
+            with self._lock:
+                self._events.append(event)
+        return span_id
+
     def events(self) -> List[SpanEvent]:
         """Snapshot of the finished spans, in finish order.
 

@@ -18,7 +18,13 @@ kept items).  This package amortizes both axes:
 - :mod:`repro.parallel.speculate` — speculative k-ary prefix search for
   GBR's inner binary search (``--speculate K``): k probes per round run
   concurrently on a dedicated pool, committed in deterministic serial
-  order so results stay byte-identical to sequential runs.
+  order so results stay byte-identical to sequential runs,
+- :mod:`repro.parallel.procpool` — the ``--probe-backend process``
+  pool: fresh physical probes run in spawn-safe worker processes that
+  rebuild the predicate chain from a picklable :class:`ProbeTaskSpec`,
+  beating the GIL on the pure-Python probe work the thread pool cannot
+  overlap; the parent commits results serially, so outcomes stay
+  byte-identical across backends.
 
 Both lean on the concurrency-safe telemetry in
 :mod:`repro.observability`: lock-protected metrics and thread-scoped
@@ -27,6 +33,12 @@ concurrent reductions never pollute each other's
 ``extras['metrics']``.
 """
 
+from repro.parallel.procpool import (
+    ProbeTaskSpec,
+    ProcessProbePool,
+    ToolLatencyPredicate,
+    build_worker_predicate,
+)
 from repro.parallel.runner import (
     resolve_jobs,
     run_parallel_corpus_experiment,
@@ -40,6 +52,10 @@ from repro.parallel.store import PredicateStore, fingerprint_of
 
 __all__ = [
     "PredicateStore",
+    "ProbeTaskSpec",
+    "ProcessProbePool",
+    "ToolLatencyPredicate",
+    "build_worker_predicate",
     "candidate_midpoints",
     "fingerprint_of",
     "resolve_jobs",

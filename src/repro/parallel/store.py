@@ -29,7 +29,19 @@ File format: one JSON object per line, ``{"f": fingerprint, "k": key,
 corrupt earlier entries; a torn final line (killed process, full disk)
 is tolerated on load and overwritten by later appends.  Within one
 process the store is thread-safe (one lock around the memory index and
-the file handle).
+the file descriptor).
+
+Multi-process appends: each record is written as **one** ``os.write``
+on an ``O_APPEND`` file descriptor.  POSIX makes an ``O_APPEND`` write
+atomic with respect to the file offset, so concurrent appenders —
+several ``jlreduce`` processes sharing one store file, or the process
+probe backend's parents — interleave whole lines, never fragments.
+The old buffered text handle could flush one logical line as *two* OS
+writes (when the line straddled the buffer boundary), letting another
+process's record land mid-line and tear both; torn-line tolerance only
+forgives a torn *final* line, so interior tears silently dropped
+outcomes.  ``tests/parallel/test_store.py`` hammers this with real
+concurrent appender processes.
 """
 
 from __future__ import annotations
@@ -85,12 +97,17 @@ class PredicateStore:
         self.corrupt_lines = 0
         self._needs_newline = False
         self._load()
-        self._handle = open(self._path, "a", encoding="utf-8")
+        # An O_APPEND descriptor written with single os.write calls:
+        # every record lands as one atomic append, so concurrent
+        # multi-process appenders can never tear a line (a buffered
+        # text handle may split one line across two OS writes).
+        self._fd = os.open(
+            self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
         if self._needs_newline:
             # The file ends mid-line (torn write): start appends on a
             # fresh line so the next record isn't corrupted too.
-            self._handle.write("\n")
-            self._handle.flush()
+            os.write(self._fd, b"\n")
 
     @staticmethod
     def key_of(sub_input: Iterable[VarName]) -> str:
@@ -117,17 +134,23 @@ class PredicateStore:
     def record(
         self, fingerprint: str, sub_input: FrozenSet[VarName], outcome: bool
     ) -> None:
-        """Persist an outcome (idempotent; last write wins on conflict)."""
+        """Persist an outcome (idempotent; last write wins on conflict).
+
+        The record is appended as a single ``os.write`` on the
+        ``O_APPEND`` descriptor — atomic against concurrent appenders
+        in other processes, and unbuffered so a killed process loses at
+        most the record it was writing.
+        """
         key = (fingerprint, self.key_of(sub_input))
         line = json.dumps(
             {"f": fingerprint, "k": key[1], "v": bool(outcome)}
         )
+        payload = (line + "\n").encode("utf-8")
         with self._lock:
             if self._entries.get(key) == bool(outcome):
                 return
             self._entries[key] = bool(outcome)
-            self._handle.write(line + "\n")
-            self._handle.flush()
+            os.write(self._fd, payload)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -139,7 +162,10 @@ class PredicateStore:
         return self._path
 
     def close(self) -> None:
-        self._handle.close()
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
     def __enter__(self) -> "PredicateStore":
         return self

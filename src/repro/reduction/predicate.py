@@ -24,6 +24,15 @@ store; fresh outcomes are written back.  Store hits count as cache hits,
 not calls, so a warm store makes repeat runs cost zero fresh predicate
 invocations.
 
+Batch backends: :meth:`evaluate_batch` runs one speculative round's
+fresh probes on either a thread pool (the wrapped predicate itself, on
+pool threads) or — given a ``task_spec`` and a
+:class:`~repro.parallel.procpool.ProcessProbePool` — on worker
+*processes* that rebuild the chain from the picklable spec.  Either way
+the outcomes are committed parent-side in serial index order, so
+results, clocks, store writes, and the provenance ledger stay
+byte-identical across backends (see DESIGN.md §10).
+
 Telemetry: every query also feeds the active metrics registry
 (``predicate.calls`` / ``predicate.queries`` / ``predicate.cache_hits``
 / ``predicate.store_hits`` counters, ``predicate.virtual_seconds``
@@ -170,6 +179,11 @@ class InstrumentedPredicate:
         fingerprint: stable identifier of the underlying oracle; required
             when ``store`` is given (it namespaces the store entries so
             different oracles never share outcomes).
+        task_spec: optional picklable
+            :class:`~repro.parallel.procpool.ProbeTaskSpec` describing
+            how a worker *process* rebuilds this predicate's chain;
+            required for :meth:`evaluate_batch` to accept a
+            :class:`~repro.parallel.procpool.ProcessProbePool`.
     """
 
     def __init__(
@@ -179,6 +193,7 @@ class InstrumentedPredicate:
         size_of: Optional[Callable[[FrozenSet[VarName]], int]] = None,
         store=None,
         fingerprint: Optional[str] = None,
+        task_spec=None,
     ):
         if store is not None and not fingerprint:
             raise ValueError(
@@ -189,6 +204,7 @@ class InstrumentedPredicate:
         self._size_of = size_of or len
         self._store = store
         self._fingerprint = fingerprint
+        self._task_spec = task_spec
         self._cache: Dict[FrozenSet[VarName], bool] = {}
         self._key_cache: Dict[VarName, int] = {}  # per-item ledger digests
         self.calls = 0  # fresh (uncached) invocations
@@ -288,17 +304,32 @@ class InstrumentedPredicate:
         sequentially — with two deliberate exceptions:
 
         - the virtual clock advances by ``cost_per_call`` **once per
-          round** with at least one completed fresh call, because the
-          round's calls overlap on the pool (``simulated_seconds`` is
-          max-of-batch, the time a parallel tool invocation would take);
+          round**, booked on the round's first *committed* fresh
+          outcome, because the round's calls overlap on the pool
+          (``simulated_seconds`` is max-of-batch, the time a parallel
+          tool invocation would take).  A round whose every committed
+          position raised charges nothing — exactly like a sequential
+          raising call, which never completes and never charges;
         - if a fresh call raised, its exception is re-raised *after*
           committing every earlier-in-order outcome, and every
           later-in-order outcome is discarded uncommitted (a sequential
-          run would never have issued them).
+          run would never have issued them).  Discarded probes that
+          physically *completed* still land in the provenance ledger,
+          flagged ``discarded=true`` with a zero virtual charge — the
+          ledger's "one event per physical probe" invariant holds even
+          for work an earlier failure threw away.
 
-        Worker threads run under the caller's active metrics registry,
-        so per-run scoped attribution (``scoped_metrics``) survives the
-        thread hop.
+        Backends: a plain ``concurrent.futures`` pool runs the wrapped
+        predicate on worker threads under the caller's active metrics
+        registry (``scoped_metrics`` survives the thread hop).  An
+        executor exposing ``submit_probe`` (a
+        :class:`~repro.parallel.procpool.ProcessProbePool`) instead
+        ships this predicate's picklable ``task_spec`` to worker
+        processes; their returned metrics deltas are merged into the
+        active registry and their span payloads re-emitted via
+        ``Tracer.adopt``, in serial order, before the common commit
+        loop runs.  Either backend commits through the same loop, so
+        results are byte-identical across backends.
         """
         inputs = [frozenset(s) for s in sub_inputs]
         results: List[Optional[bool]] = [None] * len(inputs)
@@ -351,88 +382,189 @@ class InstrumentedPredicate:
             fresh.append((position, sub_input))
 
         if fresh:
-            registry = metrics
-            # The issuing task's causal position and virtual clock,
-            # carried onto the probe-pool threads so their
-            # ``predicate.call`` spans parent onto the open
-            # ``speculate.round`` span instead of floating free.
-            ctx = tracer.current_context() if tracer.enabled else None
-            vclock = tracer.current_clock()
+            if hasattr(executor, "submit_probe"):
+                settled = self._execute_fresh_process(fresh, executor, tracer)
+            else:
+                settled = self._execute_fresh_threads(
+                    fresh, executor, tracer, metrics
+                )
+            self._commit_settled(settled, results, tracer, metrics, scope)
 
-            def run_one(sub_input: FrozenSet[VarName]):
-                # The worker thread sees the global registry by default;
-                # install the caller's so the run's scoped counters (and
-                # any per-run attribution above them) stay exact.
-                with scoped_metrics(registry):
-                    if ctx is not None:
-                        attach = tracer.attach(ctx, clock=vclock)
-                    else:
-                        attach = _NO_ATTACH
-                    with attach:
-                        with tracer.span(
-                            "predicate.call", size=len(sub_input)
-                        ) as sp:
-                            before = time.perf_counter()
-                            outcome = self._predicate(sub_input)
-                            sp.set_attr("outcome", outcome)
-                    return outcome, time.perf_counter() - before
+        for position, source in aliases:
+            results[position] = results[source]
+        return [bool(r) for r in results]
 
-            futures = [
-                (position, sub_input, executor.submit(run_one, sub_input))
-                for position, sub_input in fresh
-            ]
-            settled = []
-            for position, sub_input, future in futures:
-                try:
-                    outcome, latency = future.result()
-                    settled.append((position, sub_input, outcome, latency, None))
-                except BaseException as exc:  # noqa: BLE001 — re-raised below
-                    settled.append((position, sub_input, None, 0.0, exc))
+    def _execute_fresh_threads(self, fresh, executor, tracer, metrics):
+        """Run fresh probes on a thread pool (the wrapped chain itself)."""
+        registry = metrics
+        # The issuing task's causal position and virtual clock,
+        # carried onto the probe-pool threads so their
+        # ``predicate.call`` spans parent onto the open
+        # ``speculate.round`` span instead of floating free.
+        ctx = tracer.current_context() if tracer.enabled else None
+        vclock = tracer.current_clock()
+
+        def run_one(sub_input: FrozenSet[VarName]):
+            # The worker thread sees the global registry by default;
+            # install the caller's so the run's scoped counters (and
+            # any per-run attribution above them) stay exact.
+            with scoped_metrics(registry):
+                if ctx is not None:
+                    attach = tracer.attach(ctx, clock=vclock)
+                else:
+                    attach = _NO_ATTACH
+                with attach:
+                    with tracer.span(
+                        "predicate.call", size=len(sub_input)
+                    ) as sp:
+                        before = time.perf_counter()
+                        outcome = self._predicate(sub_input)
+                        sp.set_attr("outcome", outcome)
+                return outcome, time.perf_counter() - before
+
+        futures = [
+            (position, sub_input, executor.submit(run_one, sub_input))
+            for position, sub_input in fresh
+        ]
+        settled = []
+        for position, sub_input, future in futures:
+            try:
+                outcome, latency = future.result()
+                settled.append((position, sub_input, outcome, latency, None))
+            except BaseException as exc:  # noqa: BLE001 — re-raised on commit
+                settled.append((position, sub_input, None, 0.0, exc))
+        return settled
+
+    def _execute_fresh_process(self, fresh, executor, tracer):
+        """Run fresh probes on worker processes via the task spec.
+
+        Each worker rebuilds the chain from ``task_spec`` (cached per
+        process) and sends back a
+        :class:`~repro.parallel.procpool.ProbeResult`; the worker-side
+        metrics deltas and span payloads are folded into the parent's
+        registry/tracer here, in serial order, so the merged telemetry
+        is deterministic — the outcomes themselves go through the same
+        commit loop as the thread backend.
+        """
+        if self._task_spec is None:
+            raise ValueError(
+                "a process probe pool needs an InstrumentedPredicate "
+                "built with task_spec= (the picklable chain recipe)"
+            )
+        ctx_payload = None
+        if tracer.enabled:
+            ctx_payload = {
+                "ctx": tracer.current_context().to_dict(),
+                "epoch_unix": tracer.epoch_unix,
+                "vt": tracer.virtual_now(),
+            }
+        futures = [
+            (
+                position,
+                sub_input,
+                executor.submit_probe(self._task_spec, sub_input, ctx_payload),
+            )
+            for position, sub_input in fresh
+        ]
+        settled = []
+        metrics = get_metrics()
+        for position, sub_input, future in futures:
+            try:
+                probe = future.result()
+            except BaseException as exc:  # noqa: BLE001 — pool infrastructure
+                settled.append((position, sub_input, None, 0.0, exc))
+                continue
+            settled.append(
+                (
+                    position,
+                    sub_input,
+                    probe.outcome,
+                    probe.wall_seconds,
+                    probe.error,
+                )
+            )
+            # Counters moved in the worker (retries, timeouts, oracle
+            # internals) merge here whether or not the probe commits —
+            # the thread backend's counters also move as probes *run*.
+            for name, value in probe.metrics.items():
+                if value:
+                    metrics.counter(name).inc(value)
+            if tracer.enabled:
+                for payload in probe.events:
+                    tracer.adopt(payload)
+        return settled
+
+    def _commit_settled(self, settled, results, tracer, metrics, scope):
+        """Commit one round's fresh outcomes in serial index order.
+
+        The round's single ``cost_per_call`` virtual charge is booked
+        on the first *committed* fresh outcome — a round whose lowest-
+        index fresh probe raised charges nothing, exactly like the
+        sequential run it must mirror.  On an error, completed later-
+        in-order probes are discarded uncommitted but still emit a
+        ``discarded=true`` ledger event (one event per physical probe).
+        """
+        charged = False
+        for index, (position, sub_input, outcome, latency, error) in (
+            enumerate(settled)
+        ):
+            if error is not None:
+                if tracer.enabled:
+                    for (
+                        later_position,
+                        later_input,
+                        later_outcome,
+                        later_latency,
+                        later_error,
+                    ) in settled[index + 1:]:
+                        if later_error is not None:
+                            continue
+                        tracer.event(
+                            "probe",
+                            key=_probe_key(later_input, self._key_cache),
+                            cache="fresh",
+                            outcome=later_outcome,
+                            wall_seconds=later_latency,
+                            virtual_charge=0.0,
+                            batch_pos=later_position,
+                            discarded=True,
+                            **scope,
+                        )
+                raise error
+            self.calls += 1
+            metrics.counter("predicate.calls").inc()
+            metrics.histogram("predicate.latency_seconds").observe(latency)
             round_charge = 0.0
-            if any(error is None for (_, _, _, _, error) in settled):
-                # The round ran concurrently: charge one call's worth of
-                # simulated time for the whole batch.
+            if not charged:
+                # The round ran concurrently: one call's worth of
+                # simulated time covers the whole batch (max-of-batch).
+                charged = True
                 self.virtual_clock += self._cost_per_call
                 metrics.counter("predicate.virtual_seconds").inc(
                     self._cost_per_call
                 )
                 round_charge = self._cost_per_call
-            for position, sub_input, outcome, latency, error in settled:
-                if error is not None:
-                    raise error
-                self.calls += 1
-                metrics.counter("predicate.calls").inc()
-                metrics.histogram("predicate.latency_seconds").observe(
-                    latency
+            self._cache[sub_input] = outcome
+            if self._store is not None:
+                self._store.record(self._fingerprint, sub_input, outcome)
+            if outcome:
+                self._note_success(sub_input)
+            results[position] = outcome
+            if tracer.enabled:
+                # Committed (hence emitted) in serial order, so the
+                # merged ledger reads like a sequential run.  Per-probe
+                # resilience deltas are skipped here — concurrent
+                # attempts make bracketing snapshots racy.
+                tracer.event(
+                    "probe",
+                    key=_probe_key(sub_input, self._key_cache),
+                    cache="fresh",
+                    outcome=outcome,
+                    wall_seconds=latency,
+                    virtual_charge=round_charge,
+                    batch_pos=position,
+                    **scope,
                 )
-                self._cache[sub_input] = outcome
-                if self._store is not None:
-                    self._store.record(self._fingerprint, sub_input, outcome)
-                if outcome:
-                    self._note_success(sub_input)
-                results[position] = outcome
-                if tracer.enabled:
-                    # Committed (hence emitted) in serial order, so the
-                    # merged ledger reads like a sequential run.  The
-                    # round's virtual charge is booked on its first
-                    # committed fresh probe; the overlapped rest cost 0.
-                    # Per-probe resilience deltas are skipped here —
-                    # concurrent attempts make bracketing snapshots racy.
-                    tracer.event(
-                        "probe",
-                        key=_probe_key(sub_input, self._key_cache),
-                        cache="fresh",
-                        outcome=outcome,
-                        wall_seconds=latency,
-                        virtual_charge=round_charge,
-                        batch_pos=position,
-                        **scope,
-                    )
-                    round_charge = 0.0
-
-        for position, source in aliases:
-            results[position] = results[source]
-        return [bool(r) for r in results]
 
     def _note_success(self, sub_input: FrozenSet[VarName]) -> None:
         size = self._size_of(sub_input)

@@ -108,3 +108,15 @@ class TestExplain:
         res = explain(events, "main:e0")
         assert res["chain"] == []
         assert "outside any span" in render_explain(res)
+
+    def test_discarded_probe_is_flagged_in_render(self):
+        events = _trace_with_probe()
+        events[3]["discarded"] = True
+        events[3]["virtual_charge"] = 0.0
+        text = render_explain(explain(events, "w0:e2"))
+        assert "DISCARDED" in text
+        assert "earlier probe in the round raised" in text
+
+    def test_committed_probe_is_not_flagged(self):
+        text = render_explain(explain(_trace_with_probe(), "w0:e2"))
+        assert "DISCARDED" not in text

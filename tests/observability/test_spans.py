@@ -318,6 +318,56 @@ class TestLedgerEvents:
         assert all("parent_span_id" in p for p in payloads)
 
 
+class TestAdopt:
+    def test_adopted_payload_becomes_a_span_event(self):
+        tracer = Tracer(run_id="r")
+        span_id = tracer.adopt(
+            {
+                "type": "span",
+                "name": "predicate.call",
+                "start": 1.5,
+                "duration": 0.25,
+                "vstart": 33.0,
+                "parent_span_id": "main:0",
+                "run_id": "r",
+                "trace_id": "t",
+                "serial": 4,
+                "worker": "p123",
+                "attrs": {"backend": "process", "outcome": True},
+            }
+        )
+        (event,) = tracer.events()
+        assert span_id == event.span_id
+        assert event.span_id.startswith("p123:")
+        assert event.name == "predicate.call"
+        assert event.parent_id == "main:0"
+        assert event.duration == 0.25
+        assert event.vstart == 33.0
+        assert event.serial == 4
+        assert event.attrs["backend"] == "process"
+
+    def test_adopt_assigns_fresh_sequence_numbers(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            pass
+        adopted = tracer.adopt({"name": "child", "worker": "p9"})
+        seqs = [e.seq for e in tracer.events()]
+        assert len(set(seqs)) == len(seqs)
+        assert adopted == f"p9:{max(seqs)}"
+
+    def test_adopt_fills_run_id_from_tracer(self):
+        tracer = Tracer(run_id="host-run")
+        tracer.adopt({"name": "x", "worker": "p1"})
+        (event,) = tracer.events()
+        assert event.run_id == "host-run"
+        assert event.trace_id == "host-run"
+
+    def test_disabled_tracer_adopts_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.adopt({"name": "x"}) is None
+        assert tracer.events() == []
+
+
 class TestClear:
     def test_clear_drops_events(self):
         tracer = Tracer()

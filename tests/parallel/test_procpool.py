@@ -1,0 +1,360 @@
+"""Differential tests for the process probe backend.
+
+The tentpole claim of :mod:`repro.parallel.procpool`: moving fresh
+physical probes onto spawn-safe worker processes changes *nothing*
+observable about a reduction — results, the virtual clock, the memo
+and persistent store, and the probe provenance ledger all evolve
+byte-identically to the sequential run and to the thread backend.
+These tests pin the claim down across speculation widths, chaos fault
+injection, and warm/cold persistent stores, plus the contract pieces:
+task-spec pickling, worker-side chain rebuilding, and the guard rails
+(missing task_spec, limiting budgets still serializing).
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_instance
+from repro.observability import tracing_session
+from repro.parallel.procpool import (
+    ProbeTaskSpec,
+    ProcessProbePool,
+    ToolLatencyPredicate,
+    build_worker_predicate,
+)
+from repro.reduction.predicate import InstrumentedPredicate
+from repro.resilience import Budget, FaultPlan, ResilientPredicate
+from repro.workloads.corpus import CorpusConfig, build_corpus
+from repro.bytecode.serializer import serialize_application
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(
+        CorpusConfig(num_benchmarks=1, min_classes=10, max_classes=16)
+    )
+
+
+@pytest.fixture(scope="module")
+def pair(corpus):
+    benchmark = corpus[0]
+    assert benchmark.instances, "corpus produced no buggy instances"
+    return benchmark, benchmark.instances[0]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    # One spawn pool for the whole module: worker start-up dominates
+    # these tests' runtime, so every test shares the same processes.
+    with ProcessProbePool(max_workers=4) as executor:
+        yield executor
+
+
+class _SizePredicate:
+    """A picklable toy oracle: holds iff the kept set is big enough."""
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+
+    def __call__(self, sub_input) -> bool:
+        return len(sub_input) >= self.threshold
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, _SizePredicate)
+            and self.threshold == other.threshold
+        )
+
+    def __hash__(self) -> int:
+        return hash(("_SizePredicate", self.threshold))
+
+
+class TestToolLatencyPredicate:
+    def test_delegates(self):
+        wrapped = ToolLatencyPredicate(_SizePredicate(2), 0.0)
+        assert wrapped(frozenset({"a", "b"})) is True
+        assert wrapped(frozenset({"a"})) is False
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ToolLatencyPredicate(_SizePredicate(1), -0.5)
+
+    def test_exposes_chain_link(self):
+        inner = _SizePredicate(1)
+        assert ToolLatencyPredicate(inner, 0.0)._predicate is inner
+
+
+class TestProbeTaskSpec:
+    def test_oracle_kind_requires_app_and_decompiler(self):
+        with pytest.raises(ValueError):
+            ProbeTaskSpec(kind="oracle", app_bytes=None, decompiler=None)
+
+    def test_callable_kind_requires_predicate(self):
+        with pytest.raises(ValueError):
+            ProbeTaskSpec(kind="callable")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeTaskSpec(kind="magic", predicate=_SizePredicate(1))
+
+    def test_bad_granularity_rejected(self, pair):
+        benchmark, instance = pair
+        with pytest.raises(ValueError):
+            ProbeTaskSpec(
+                app_bytes=serialize_application(benchmark.app),
+                decompiler=instance.decompiler,
+                granularity="method",
+            )
+
+    def test_round_trips_through_pickle(self, pair):
+        benchmark, instance = pair
+        spec = ProbeTaskSpec(
+            app_bytes=serialize_application(benchmark.app),
+            decompiler=instance.decompiler,
+            granularity="item",
+            chaos=FaultPlan(kind="flaky", rate=0.1, seed=3),
+            chaos_key="b0:d0:our-reducer:item",
+            retries=4,
+            tool_latency_seconds=0.01,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+    def test_callable_spec_round_trips(self):
+        spec = ProbeTaskSpec(kind="callable", predicate=_SizePredicate(3))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestBuildWorkerPredicate:
+    def test_oracle_rebuild_matches_parent_predicate(self, pair):
+        """A worker's rebuilt chain answers exactly like the parent's."""
+        from repro.decompiler.oracle import build_reduction_problem
+
+        benchmark, instance = pair
+        problem = build_reduction_problem(benchmark.app, instance.decompiler)
+        spec = ProbeTaskSpec(
+            app_bytes=serialize_application(benchmark.app),
+            decompiler=instance.decompiler,
+            granularity="item",
+        )
+        rebuilt = build_worker_predicate(spec)
+        universe = frozenset(problem.variables)
+        half = frozenset(sorted(universe, key=repr)[: len(universe) // 2])
+        for probe in (universe, half):
+            assert rebuilt(probe) == problem.predicate(probe)
+
+    def test_callable_spec_ships_the_predicate(self):
+        spec = ProbeTaskSpec(kind="callable", predicate=_SizePredicate(2))
+        rebuilt = build_worker_predicate(spec)
+        assert rebuilt(frozenset({"a", "b", "c"})) is True
+        assert rebuilt(frozenset({"a"})) is False
+
+    def test_resilience_layer_added_for_chaos(self):
+        spec = ProbeTaskSpec(
+            kind="callable",
+            predicate=_SizePredicate(1),
+            chaos=FaultPlan(kind="flaky", rate=0.5, seed=11),
+            chaos_key="k",
+            retries=16,
+        )
+        rebuilt = build_worker_predicate(spec)
+        assert isinstance(rebuilt, ResilientPredicate)
+        # Retries absorb the transient faults: the truth comes through.
+        assert rebuilt(frozenset({"x"})) is True
+
+    def test_latency_layer_sits_innermost(self):
+        spec = ProbeTaskSpec(
+            kind="callable",
+            predicate=_SizePredicate(1),
+            retries=2,
+            tool_latency_seconds=0.001,
+        )
+        rebuilt = build_worker_predicate(spec)
+        assert isinstance(rebuilt, ResilientPredicate)
+        assert isinstance(rebuilt._predicate, ToolLatencyPredicate)
+
+    def test_zero_latency_adds_no_layer(self):
+        spec = ProbeTaskSpec(
+            kind="callable", predicate=_SizePredicate(1), retries=2
+        )
+        rebuilt = build_worker_predicate(spec)
+        assert isinstance(rebuilt._predicate, _SizePredicate)
+
+
+class TestEvaluateBatchProcessBackend:
+    def test_requires_a_task_spec(self, pool):
+        wrapped = InstrumentedPredicate(_SizePredicate(1))
+        with pytest.raises(ValueError, match="task_spec"):
+            wrapped.evaluate_batch([frozenset({"a"})], executor=pool)
+
+    def test_commits_like_the_thread_backend(self, pool):
+        spec = ProbeTaskSpec(kind="callable", predicate=_SizePredicate(2))
+        wrapped = InstrumentedPredicate(
+            _SizePredicate(2), cost_per_call=33.0, task_spec=spec
+        )
+        batch = [frozenset({"a"}), frozenset({"a", "b"}),
+                 frozenset({"a", "b", "c"})]
+        outcomes = wrapped.evaluate_batch(batch, executor=pool)
+        assert outcomes == [False, True, True]
+        assert wrapped.calls == 3
+        assert wrapped.virtual_now() == 33.0  # one charge per round
+        # Everything landed in the memo: a repeat round is free.
+        again = wrapped.evaluate_batch(batch, executor=pool)
+        assert again == outcomes
+        assert wrapped.calls == 3
+
+    def test_worker_exception_relayed_at_commit(self, pool):
+        spec = ProbeTaskSpec(kind="callable", predicate=_Crasher())
+        wrapped = InstrumentedPredicate(
+            _Crasher(), cost_per_call=33.0, task_spec=spec
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            wrapped.evaluate_batch(
+                [frozenset({"BOOM"}), frozenset({"b"})], executor=pool
+            )
+        # The raising probe sat at position 0: nothing committed.
+        assert wrapped.calls == 0
+        assert wrapped.virtual_now() == 0.0
+
+
+class _Crasher:
+    """Picklable predicate that raises on inputs containing 'BOOM'."""
+
+    def __call__(self, sub_input) -> bool:
+        if "BOOM" in sub_input:
+            raise RuntimeError("boom")
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Crasher)
+
+    def __hash__(self) -> int:
+        return hash("_Crasher")
+
+
+def _comparable(outcome):
+    fields = dataclasses.asdict(outcome)
+    fields.pop("real_seconds")
+    # Worker replica chains keep their own memo/retry counters, so the
+    # telemetry dict legitimately differs between backends; everything
+    # result-bearing must not.
+    fields.pop("metrics")
+    return fields
+
+
+def _run(pair, store=None, **knobs):
+    benchmark, instance = pair
+    config = ExperimentConfig(strategies=("our-reducer",), **knobs)
+    return run_instance(
+        benchmark, instance, "our-reducer", config, store=store
+    )
+
+
+class TestBackendDifferential:
+    """process == thread == sequential, on everything result-bearing."""
+
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_clean_runs_identical_across_backends(self, pair, width):
+        seq = _run(pair)
+        thread = _run(pair, speculate=width)
+        process = _run(pair, speculate=width, probe_backend="process")
+        assert _comparable(process) == _comparable(thread)
+        assert process.final_bytes == seq.final_bytes
+        assert process.final_classes == seq.final_classes
+        assert process.status == seq.status == "complete"
+
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_chaos_runs_identical_results(self, pair, width):
+        """Truth-preserving chaos: worker fault schedules differ from
+        the parent's, but retries recover the same outcomes, so the
+        reduction result must not move."""
+        chaos = dict(chaos=FaultPlan(kind="flaky", rate=0.1, seed=7),
+                     retries=8)
+        seq = _run(pair, **chaos)
+        process = _run(
+            pair, speculate=width, probe_backend="process", **chaos
+        )
+        assert process.final_bytes == seq.final_bytes
+        assert process.final_classes == seq.final_classes
+        assert process.status == seq.status == "complete"
+        assert process.metrics.get("speculate.rounds", 0) >= 1
+
+    def test_warm_and_cold_store_identical(self, pair, tmp_path):
+        from repro.parallel import PredicateStore
+
+        with PredicateStore(tmp_path / "thread.jsonl") as thread_store:
+            thread_cold = _run(pair, store=thread_store, speculate=4)
+            thread_warm = _run(pair, store=thread_store, speculate=4)
+        with PredicateStore(tmp_path / "proc.jsonl") as process_store:
+            process_cold = _run(
+                pair, store=process_store, speculate=4,
+                probe_backend="process",
+            )
+            process_warm = _run(
+                pair, store=process_store, speculate=4,
+                probe_backend="process",
+            )
+        assert _comparable(process_cold) == _comparable(thread_cold)
+        assert _comparable(process_warm) == _comparable(thread_warm)
+        # A warm store answers every probe: zero fresh calls.
+        assert process_warm.predicate_calls == 0
+        assert process_warm.simulated_seconds == 0.0
+
+    def test_limiting_budget_still_serializes(self, pair):
+        """speculation_allowed must downgrade the process backend too:
+        the anytime partial result equals the sequential run's."""
+        seq = _run(pair, budget_calls=5)
+        process = _run(
+            pair, budget_calls=5, speculate=4, probe_backend="process"
+        )
+        assert seq.status == "partial"
+        assert process.metrics.get("speculate.budget_serialized") == 1
+        assert "speculate.rounds" not in process.metrics
+        assert _comparable(process) == _comparable(seq)
+
+    def test_ledger_parity_with_thread_backend(self, pair):
+        """The provenance ledger reads identically across backends on
+        every deterministic field."""
+
+        def ledger(backend):
+            with tracing_session() as (tracer, _):
+                _run(pair, speculate=4, probe_backend=backend)
+                return [
+                    (
+                        e["key"], e["cache"], e["outcome"],
+                        e["virtual_charge"], e.get("round"),
+                        e.get("batch_pos"),
+                    )
+                    for e in tracer.raw_events()
+                    if e["type"] == "probe"
+                ]
+
+        assert ledger("process") == ledger("thread")
+
+    def test_process_backend_emits_worker_spans(self, pair):
+        with tracing_session() as (tracer, _):
+            _run(pair, speculate=4, probe_backend="process")
+            adopted = [
+                e for e in tracer.events()
+                if e.name == "predicate.call"
+                and e.attrs.get("backend") == "process"
+            ]
+        assert adopted, "no adopted worker spans in the trace"
+        assert all(e.worker.startswith("p") for e in adopted)
+        assert all(e.parent_id for e in adopted)
+
+
+class TestProcessProbePoolGuards:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessProbePool(max_workers=0)
+
+    def test_unknown_backend_rejected_by_probe_pool(self):
+        from repro.harness.experiments import probe_pool
+
+        config = ExperimentConfig(speculate=4, probe_backend="fiber")
+        with pytest.raises(ValueError, match="fiber"):
+            probe_pool(config)

@@ -333,3 +333,135 @@ class TestEvaluateBatch:
         wrapped.evaluate_batch([first, frozenset({"b"})], executor=pool)
         assert wrapped.calls == 2  # "a" answered from the memo
         assert wrapped.virtual_now() == 66.0
+
+
+def _raise_on(marker):
+    """A predicate that raises on inputs containing ``marker``.
+
+    Input-keyed, not call-counted, so it is deterministic under any
+    pool scheduling.
+    """
+
+    def predicate(sub_input):
+        if marker in sub_input:
+            raise RuntimeError(f"injected failure on {marker}")
+        return True
+
+    return predicate
+
+
+class TestRoundChargeOnRaise:
+    """Regression: the round's virtual charge used to be booked before
+    the commit loop, so a round whose lowest-index fresh probe raised
+    charged 33 simulated seconds the sequential run never charges."""
+
+    def test_first_probe_raising_charges_nothing(self, pool):
+        wrapped = InstrumentedPredicate(_raise_on("x0"), cost_per_call=33.0)
+        with pytest.raises(RuntimeError):
+            wrapped.evaluate_batch(
+                [frozenset({"x0"}), frozenset({"x1"}), frozenset({"x2"})],
+                executor=pool,
+            )
+        assert wrapped.virtual_now() == 0.0
+        assert wrapped.calls == 0
+
+    def test_matches_the_sequential_raising_call(self, pool):
+        """Differential: batch and sequential agree on the clock when
+        the first probe raises."""
+        sequential = InstrumentedPredicate(
+            _raise_on("x0"), cost_per_call=33.0
+        )
+        with pytest.raises(RuntimeError):
+            sequential(frozenset({"x0"}))
+        batched = InstrumentedPredicate(_raise_on("x0"), cost_per_call=33.0)
+        with pytest.raises(RuntimeError):
+            batched.evaluate_batch(
+                [frozenset({"x0"}), frozenset({"x1"})], executor=pool
+            )
+        assert batched.virtual_now() == sequential.virtual_now() == 0.0
+        assert batched.calls == sequential.calls == 0
+
+    def test_later_probe_raising_charges_exactly_once(self, pool):
+        """Commits before the raise book the round's single charge; the
+        raise adds nothing on top."""
+        wrapped = InstrumentedPredicate(_raise_on("x2"), cost_per_call=33.0)
+        with pytest.raises(RuntimeError):
+            wrapped.evaluate_batch(
+                [frozenset({"x0"}), frozenset({"x1"}), frozenset({"x2"})],
+                executor=pool,
+            )
+        assert wrapped.virtual_now() == 33.0
+        assert wrapped.calls == 2  # x0 and x1 committed
+
+    def test_seeded_crashing_oracle_differential(self):
+        """A CrashingOracle dying on its first call must leave batch
+        and sequential runs with identical clocks and counters."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.resilience.faults import CrashingOracle, OracleCrash
+
+        sequential = InstrumentedPredicate(
+            CrashingOracle(lambda s: True, crash_at_call=1),
+            cost_per_call=33.0,
+        )
+        with pytest.raises(OracleCrash):
+            sequential(frozenset({"a"}))
+        batched = InstrumentedPredicate(
+            CrashingOracle(lambda s: True, crash_at_call=1),
+            cost_per_call=33.0,
+        )
+        # One worker: submission order == fresh order, so the crash
+        # deterministically lands on batch position 0.
+        with ThreadPoolExecutor(max_workers=1) as serial_pool:
+            with pytest.raises(OracleCrash):
+                batched.evaluate_batch(
+                    [frozenset({"a"}), frozenset({"b"})],
+                    executor=serial_pool,
+                )
+        assert batched.virtual_now() == sequential.virtual_now() == 0.0
+        assert batched.calls == sequential.calls == 0
+        assert batched.timeline == sequential.timeline == []
+
+
+class TestDiscardedProbeEvents:
+    """Regression: probes that physically completed but were thrown
+    away because an earlier-in-order probe raised used to vanish from
+    the provenance ledger."""
+
+    def test_completed_discards_are_flagged(self, pool):
+        from repro.observability import tracing_session
+
+        with tracing_session() as (tracer, _):
+            wrapped = InstrumentedPredicate(
+                _raise_on("x0"), cost_per_call=33.0
+            )
+            with pytest.raises(RuntimeError):
+                wrapped.evaluate_batch(
+                    [frozenset({"x0"}), frozenset({"x1"}),
+                     frozenset({"x2"})],
+                    executor=pool,
+                )
+            probes = [
+                e for e in tracer.raw_events() if e["type"] == "probe"
+            ]
+        discarded = [p for p in probes if p.get("discarded")]
+        assert {p["batch_pos"] for p in discarded} == {1, 2}
+        assert all(p["virtual_charge"] == 0.0 for p in discarded)
+        assert all(p["cache"] == "fresh" for p in discarded)
+        assert all(p["outcome"] is True for p in discarded)
+
+    def test_no_flag_on_clean_rounds(self, pool):
+        from repro.observability import tracing_session
+
+        with tracing_session() as (tracer, _):
+            wrapped = InstrumentedPredicate(
+                lambda s: True, cost_per_call=33.0
+            )
+            wrapped.evaluate_batch(
+                [frozenset({"a"}), frozenset({"b"})], executor=pool
+            )
+            probes = [
+                e for e in tracer.raw_events() if e["type"] == "probe"
+            ]
+        assert probes
+        assert not any(p.get("discarded") for p in probes)

@@ -146,6 +146,67 @@ class TestThreadSafety:
             assert reloaded.lookup("oracle", frozenset({"3-5"})) is False
 
 
+def _append_records(path, tag, count):
+    """One appender process: write ``count`` records to a shared store.
+
+    Module-level so the spawn start method can pickle it by reference.
+    """
+    with PredicateStore(path) as store:
+        for i in range(count):
+            store.record("oracle", frozenset({f"{tag}-{i}"}), i % 2 == 0)
+
+
+class TestMultiProcessAppends:
+    """Regression: a buffered text handle could flush one logical line
+    as two OS writes, letting a concurrent process's record land
+    mid-line and tear both.  Single ``os.write`` calls on an
+    ``O_APPEND`` fd are atomic, so whole lines always interleave."""
+
+    def test_concurrent_appender_processes_never_tear_lines(self, tmp_path):
+        import multiprocessing
+
+        path = str(tmp_path / "shared.jsonl")
+        spawn = multiprocessing.get_context("spawn")
+        workers, per_worker = 4, 100
+        processes = [
+            spawn.Process(target=_append_records, args=(path, tag, per_worker))
+            for tag in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        with PredicateStore(path) as reloaded:
+            assert reloaded.corrupt_lines == 0
+            assert len(reloaded) == workers * per_worker
+            for tag in range(workers):
+                assert reloaded.lookup(
+                    "oracle", frozenset({f"{tag}-0"})
+                ) is True
+                assert reloaded.lookup(
+                    "oracle", frozenset({f"{tag}-{per_worker - 1}"})
+                ) is False
+
+    def test_every_line_is_whole_json(self, tmp_path):
+        import multiprocessing
+
+        path = str(tmp_path / "shared.jsonl")
+        spawn = multiprocessing.get_context("spawn")
+        processes = [
+            spawn.Process(target=_append_records, args=(path, tag, 50))
+            for tag in range(3)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                entry = json.loads(line)  # any tear would explode here
+                assert set(entry) == {"f", "k", "v"}
+
+
 class TestPredicateIntegration:
     def test_wrapper_requires_fingerprint_with_store(self, tmp_path):
         with PredicateStore(tmp_path / "s.jsonl") as store:

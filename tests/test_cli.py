@@ -234,6 +234,61 @@ class TestBenchParallel:
         assert "--jobs" in capsys.readouterr().err
 
 
+class TestProbeBackendCli:
+    @pytest.fixture()
+    def tiny_corpus(self, monkeypatch):
+        from repro.workloads.corpus import CorpusConfig
+
+        monkeypatch.setattr(
+            CorpusConfig,
+            "small",
+            classmethod(
+                lambda cls: cls(
+                    num_benchmarks=1, min_classes=8, max_classes=12
+                )
+            ),
+        )
+
+    def _outcomes(self, capsys, *extra_args):
+        assert main(["bench", "--json", *extra_args]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        return payload["outcomes"]
+
+    def test_bench_process_backend_matches_thread(self, tiny_corpus, capsys):
+        thread = self._outcomes(capsys, "--speculate", "2")
+        process = self._outcomes(
+            capsys, "--speculate", "2", "--probe-backend", "process"
+        )
+        assert len(thread) == len(process)
+        for expected, actual in zip(thread, process):
+            for key in ("real_seconds", "metrics"):
+                expected.pop(key)
+                actual.pop(key)
+            assert expected == actual
+
+    def test_reduce_process_backend_matches_default(self, fji_file, capsys):
+        assert main(
+            ["reduce", fji_file, "--keep", "[A.m()!code]", "--json"]
+        ) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert main(
+            ["reduce", fji_file, "--keep", "[A.m()!code]", "--json",
+             "--speculate", "2", "--probe-backend", "process"]
+        ) == 0
+        process = json.loads(capsys.readouterr().out)
+        assert process["solution"] == default["solution"]
+        assert process["status"] == default["status"]
+
+    def test_unknown_backend_rejected_by_argparse(self, fji_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["reduce", fji_file, "--probe-backend", "fiber"])
+        assert excinfo.value.code == 2
+
+    def test_negative_tool_latency_rejected(self, capsys):
+        assert main(["bench", "--tool-latency-ms", "-5"]) == 1
+        assert "--tool-latency-ms" in capsys.readouterr().err
+
+
 class TestResilienceCli:
     @pytest.fixture()
     def tiny_corpus(self, monkeypatch):
