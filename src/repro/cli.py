@@ -9,10 +9,17 @@ Subcommands:
   to the smallest valid sub-program whose kept-item set contains the
   named items (a containment predicate stands in for the buggy tool;
   item syntax matches the bracket rendering, e.g. ``[A.m()!code]``).
-- ``jlreduce bench [--profile small|paper] [--jobs N] [--store F]`` —
+- ``jlreduce bench [--profile small|paper] [--jobs N] [--store P]`` —
   run the corpus experiment and print the Section 5 reports; ``--jobs``
   fans instances out to a worker pool (0: one per CPU), ``--store``
   persists predicate outcomes so repeat runs skip fresh invocations.
+  The store is the sharded cache tier by default (``--store-backend
+  sharded``: lazily-loaded hash-selected shard files with compaction;
+  a v1 single-file store is migrated in place) with ``--store-shards
+  N`` / ``--store-max-entries M`` sizing knobs, ``--store-backend
+  sqlite`` for a WAL database, ``--store-backend v1`` for the legacy
+  single file, and ``--store-tenant NAME`` to namespace many tenants
+  into one shared warm store.
   Resilience flags: ``--budget-calls`` / ``--budget-seconds`` cap each
   run and yield anytime ``"partial"`` outcomes, ``--retries`` recovers
   transient oracle failures, ``--deadline-seconds`` bounds each call,
@@ -60,6 +67,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import ExitStack
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
@@ -159,9 +167,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--store",
-        metavar="FILE.jsonl",
+        metavar="PATH",
         help="persistent predicate cache; warm entries skip fresh "
-        "predicate invocations",
+        "predicate invocations.  The default sharded backend keeps a "
+        "directory of hash-selected shard files (a v1 single-file "
+        "store at PATH is migrated automatically)",
+    )
+    bench.add_argument(
+        "--store-backend",
+        choices=("sharded", "sqlite", "v1"),
+        default="sharded",
+        help="store implementation: 'sharded' lazily-loaded JSONL "
+        "shards (default), 'sqlite' WAL database, 'v1' legacy "
+        "single-file JSONL",
+    )
+    bench.add_argument(
+        "--store-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard files for a new sharded store (default 16; an "
+        "existing store keeps its manifest's count)",
+    )
+    bench.add_argument(
+        "--store-max-entries",
+        type=int,
+        default=None,
+        metavar="M",
+        help="bound the store's in-memory index to ~M entries; "
+        "least-recently-used shards are evicted and re-faulted from "
+        "disk on demand (default: unbounded)",
+    )
+    bench.add_argument(
+        "--store-tenant",
+        default="",
+        metavar="NAME",
+        help="namespace store entries under a tenant, so many tenants "
+        "can share one warm store without mixing cached outcomes",
     )
     bench.add_argument(
         "--trace",
@@ -388,6 +430,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.json,
             args.jobs,
             args.store,
+            store_backend=args.store_backend,
+            store_shards=args.store_shards,
+            store_max_entries=args.store_max_entries,
+            store_tenant=args.store_tenant,
             budget_calls=args.budget_calls,
             budget_seconds=args.budget_seconds,
             retries=args.retries,
@@ -675,6 +721,10 @@ def _bench(
     json_output: bool = False,
     jobs: int = 1,
     store_path: Optional[str] = None,
+    store_backend: str = "sharded",
+    store_shards: Optional[int] = None,
+    store_max_entries: Optional[int] = None,
+    store_tenant: str = "",
     budget_calls: Optional[int] = None,
     budget_seconds: Optional[float] = None,
     retries: int = 0,
@@ -689,15 +739,7 @@ def _bench(
     profile_phases: bool = False,
 ) -> int:
     from repro.harness.experiments import ExperimentConfig
-    from repro.observability import (
-        ShardSet,
-        metric_events,
-        new_run_id,
-        tracing_session,
-        write_trace,
-    )
-    from repro.reduction import ReductionError
-    from repro.resilience import Budget, OracleCrash, TransientOracleError
+    from repro.resilience import Budget
     from repro.workloads.corpus import CorpusConfig, build_corpus
 
     if jobs < 0:
@@ -750,6 +792,7 @@ def _bench(
         probe_backend=probe_backend,
         tool_latency_seconds=tool_latency_ms / 1000.0,
         profile_phases=profile_phases,
+        tenant=store_tenant,
     )
     config = (
         CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
@@ -760,18 +803,66 @@ def _bench(
     if not json_output:
         print(f"building corpus ({profile} profile) ...")
     corpus = build_corpus(config)
-    store = None
-    if store_path:
-        from repro.parallel import PredicateStore
+    # Every store backend is a context manager; the ExitStack guarantees
+    # the append descriptors close even when a reduction raises mid-run
+    # (the bare open/close pair used to leak the O_APPEND fd on error).
+    with ExitStack() as stack:
+        store = None
+        if store_path:
+            from repro.parallel import DEFAULT_SHARDS, open_store
 
-        try:
-            store = PredicateStore(store_path)
-        except OSError as exc:
-            print(
-                f"jlreduce: cannot open store {store_path}: {exc}",
-                file=sys.stderr,
-            )
+            try:
+                store = stack.enter_context(
+                    open_store(
+                        store_path,
+                        backend=store_backend,
+                        shards=(
+                            store_shards
+                            if store_shards is not None
+                            else DEFAULT_SHARDS
+                        ),
+                        max_entries=store_max_entries,
+                    )
+                )
+            except (OSError, ValueError) as exc:
+                print(
+                    f"jlreduce: cannot open store {store_path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+        outcomes = _run_bench_session(
+            corpus, profile, trace_path, json_output, progress, jobs,
+            store, experiment,
+        )
+        if outcomes is None:
             return 1
+
+    if json_output:
+        from dataclasses import asdict
+
+        payload = {
+            "profile": profile,
+            "outcomes": [asdict(outcome) for outcome in outcomes],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_bench_session(
+    corpus, profile, trace_path, json_output, progress, jobs, store,
+    experiment,
+):
+    """One bench run with its tracing plumbing; None on handled failure."""
+    from repro.observability import (
+        ShardSet,
+        metric_events,
+        new_run_id,
+        tracing_session,
+        write_trace,
+    )
+    from repro.reduction import ReductionError
+    from repro.resilience import OracleCrash, TransientOracleError
+
     try:
         if trace_path and jobs != 1:
             # Parallel run: stream per-worker shard files next to the
@@ -780,7 +871,7 @@ def _bench(
             # subcommands discover and merge the shard family.
             trace_handle = _open_trace(trace_path)
             if trace_handle is None:
-                return 1
+                return None
             trace_handle.close()
             run_id = new_run_id()
             with ShardSet(
@@ -798,7 +889,7 @@ def _bench(
         elif trace_path:
             trace_handle = _open_trace(trace_path)
             if trace_handle is None:
-                return 1
+                return None
             with trace_handle:
                 with tracing_session() as (tracer, metrics):
                     outcomes = _run_bench(
@@ -817,20 +908,8 @@ def _bench(
         print(f"jlreduce: instance failed: {exc}", file=sys.stderr)
         print("jlreduce: rerun with --keep-going to record failed "
               "instances and finish the corpus", file=sys.stderr)
-        return 1
-    finally:
-        if store is not None:
-            store.close()
-
-    if json_output:
-        from dataclasses import asdict
-
-        payload = {
-            "profile": profile,
-            "outcomes": [asdict(outcome) for outcome in outcomes],
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    return 0
+        return None
+    return outcomes
 
 
 def _run_bench(

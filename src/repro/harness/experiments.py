@@ -13,10 +13,12 @@ the Figure 8 reproductions plot.  The simulated clock is purely virtual
 and across serial/parallel execution; only ``real_seconds`` varies.
 
 ``run_corpus_experiment(..., jobs=N)`` fans instances out to the
-worker pool in :mod:`repro.parallel.runner`; passing a
-:class:`~repro.parallel.store.PredicateStore` makes predicate outcomes
-persist across runs (a warm store re-runs an instance with zero fresh
-predicate calls).
+worker pool in :mod:`repro.parallel.runner`; passing a predicate store
+(any :func:`repro.parallel.open_store` backend — the sharded cache
+tier, sqlite, or the v1 single file) makes predicate outcomes persist
+across runs (a warm store re-runs an instance with zero fresh
+predicate calls).  ``ExperimentConfig.tenant`` namespaces the store so
+many tenants can share one warm cache safely.
 """
 
 from __future__ import annotations
@@ -112,6 +114,11 @@ class ExperimentConfig:
     #: more expensive than tracing — never on by default, and excluded
     #: from the telemetry-overhead gate (BENCH_6).
     profile_phases: bool = False
+    #: Store-namespace tenant: runs with different tenants can share
+    #: one warm predicate store without ever reading each other's
+    #: cached outcomes (the tenant prefixes every oracle fingerprint).
+    #: Empty (the default) keeps the historical fingerprint scheme.
+    tenant: str = ""
 
     @property
     def wants_resilience(self) -> bool:
@@ -164,16 +171,22 @@ class InstanceOutcome:
 
 
 def oracle_fingerprint(
-    app: Application, decompiler: str, granularity: str
+    app: Application, decompiler: str, granularity: str, tenant: str = ""
 ) -> str:
-    """A stable :class:`~repro.parallel.store.PredicateStore` namespace.
+    """A stable predicate-store namespace (see :mod:`repro.parallel.store`).
 
     Hashes the serialized application bytes plus the decompiler name and
     predicate granularity (``"item"`` or ``"class"``), so two oracles
     share cached outcomes exactly when they are the same pure function.
+
+    ``tenant`` prefixes the namespace: many tenants' corpus runs can
+    share one warm sharded store without their entries ever mixing —
+    an empty tenant (the default) keeps the historical fingerprints, so
+    existing warm stores stay warm.
     """
     digest = hashlib.sha256(serialize_application(app)).hexdigest()
-    return f"{granularity}:{decompiler}:{digest}"
+    prefix = f"tenant={tenant}:" if tenant else ""
+    return f"{prefix}{granularity}:{decompiler}:{digest}"
 
 
 def run_instance(
@@ -186,7 +199,7 @@ def run_instance(
 ) -> InstanceOutcome:
     """Run one strategy on one instance.
 
-    ``store`` (a :class:`~repro.parallel.store.PredicateStore`) makes
+    ``store`` (any :func:`repro.parallel.open_store` backend) makes
     predicate outcomes persist: a repeat run of the same instance
     against a warm store reports ``predicate_calls == 0``.
 
@@ -275,7 +288,9 @@ def _run_instance_inner(
     def _fingerprint(granularity: str) -> Optional[str]:
         if store is None:
             return None
-        return oracle_fingerprint(app, instance.decompiler, granularity)
+        return oracle_fingerprint(
+            app, instance.decompiler, granularity, tenant=config.tenant
+        )
 
     def _chaos_key(granularity: str) -> str:
         return (
@@ -491,8 +506,9 @@ def run_corpus_experiment(
             :func:`repro.parallel.run_parallel_corpus_experiment`
             (None/0 there means one worker per CPU).  Outcomes are
             merged in serial order either way.
-        store: optional :class:`~repro.parallel.store.PredicateStore`
-            shared by every instance run.
+        store: optional predicate store (any
+            :func:`repro.parallel.open_store` backend) shared by every
+            instance run.
     """
     config = config or ExperimentConfig()
     if jobs != 1:

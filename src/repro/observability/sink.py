@@ -219,13 +219,17 @@ def summarize(
          "gauges": {name: value},
          "histograms": {name: {"count", "sum", "mean"}},
          "probes": {"count", "fresh", "store", "wall_seconds",
-                    "virtual_seconds", "retries"}}
+                    "virtual_seconds", "retries"},
+         "store": {"lookups", "hits", "misses", "hit_rate", "records",
+                   "evictions", "compactions", "shard_loads"}}
 
     Accepts either raw :class:`SpanEvent` objects (straight from a
     tracer) or dicts (from :func:`load_trace`); counter lines for the
     same name are summed, so concatenated traces aggregate sensibly.
     The ``probes`` section appears only when the trace carries a
-    provenance ledger.
+    provenance ledger; the ``store`` section (cache-tier hit rate,
+    evictions, compactions — see :mod:`repro.parallel.store`) only when
+    the run consulted a persistent predicate store.
     """
     durations: Dict[str, List[float]] = {}
     vtotals: Dict[str, float] = {}
@@ -294,6 +298,19 @@ def summarize(
     }
     if probes["count"]:
         summary["probes"] = probes
+    lookups = counters.get("store.lookups", 0)
+    if lookups:
+        hits = counters.get("store.hits", 0)
+        summary["store"] = {
+            "lookups": lookups,
+            "hits": hits,
+            "misses": counters.get("store.misses", 0),
+            "hit_rate": hits / lookups,
+            "records": counters.get("store.records", 0),
+            "evictions": counters.get("store.evictions", 0),
+            "compactions": counters.get("store.compactions", 0),
+            "shard_loads": counters.get("store.shard_loads", 0),
+        }
     return summary
 
 
@@ -333,6 +350,22 @@ def render_summary(summary: Dict[str, Any]) -> str:
         lines.append(
             f"  wall={probes['wall_seconds']:.4f}s "
             f"virtual={probes['virtual_seconds']:.1f}s"
+        )
+    store = summary.get("store")
+    if store:
+        if lines:
+            lines.append("")
+        lines.append("predicate store (cache tier)")
+        lines.append(
+            f"  lookups={store['lookups']:,} hits={store['hits']:,} "
+            f"misses={store['misses']:,} "
+            f"hit_rate={store['hit_rate']:.1%}"
+        )
+        lines.append(
+            f"  records={store['records']:,} "
+            f"evictions={store['evictions']:,} "
+            f"compactions={store['compactions']:,} "
+            f"shard_loads={store['shard_loads']:,}"
         )
     counters = summary.get("counters", {})
     if counters:

@@ -9,12 +9,16 @@ kept items).  This package amortizes both axes:
 - :mod:`repro.parallel.runner` — a worker-pool corpus runner that fans
   independent instances out and merges outcomes deterministically in
   serial order (``jlreduce bench --jobs N``),
-- :mod:`repro.parallel.store` — :class:`PredicateStore`, an append-only
-  JSONL cache of predicate outcomes keyed by oracle fingerprint +
-  canonical sub-input hash, which
+- :mod:`repro.parallel.store` — the persistent predicate cache tier,
+  keyed by oracle fingerprint + canonical sub-input hash, which
   :class:`~repro.reduction.predicate.InstrumentedPredicate` reads
   through and writes back, so repeat runs of the same instance cost
-  zero fresh predicate calls,
+  zero fresh predicate calls.  Three backends behind one interface
+  (:func:`open_store`): the sharded lazy-loading JSONL tier
+  (:class:`ShardedPredicateStore` — hash-selected shard files, LRU
+  size-bounded residency, threshold compaction, hit/miss/evict
+  telemetry), a sqlite-WAL variant (:class:`SqlitePredicateStore`),
+  and the v1 single-file :class:`PredicateStore` both migrate from,
 - :mod:`repro.parallel.speculate` — speculative k-ary prefix search for
   GBR's inner binary search (``--speculate K``): k probes per round run
   concurrently on a dedicated pool, committed in deterministic serial
@@ -48,16 +52,29 @@ from repro.parallel.speculate import (
     speculation_allowed,
     speculative_interval_search,
 )
-from repro.parallel.store import PredicateStore, fingerprint_of
+from repro.parallel.store import (
+    DEFAULT_SHARDS,
+    PredicateStore,
+    ShardedPredicateStore,
+    SqlitePredicateStore,
+    fingerprint_of,
+    key_of,
+    open_store,
+)
 
 __all__ = [
+    "DEFAULT_SHARDS",
     "PredicateStore",
+    "ShardedPredicateStore",
+    "SqlitePredicateStore",
     "ProbeTaskSpec",
     "ProcessProbePool",
     "ToolLatencyPredicate",
     "build_worker_predicate",
     "candidate_midpoints",
     "fingerprint_of",
+    "key_of",
+    "open_store",
     "resolve_jobs",
     "run_parallel_corpus_experiment",
     "speculation_allowed",

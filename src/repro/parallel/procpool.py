@@ -32,7 +32,10 @@ The contract (DESIGN.md §10) has three parts:
 - **Serial commit.**  The parent —
   :meth:`~repro.reduction.predicate.InstrumentedPredicate
   .evaluate_batch` — commits results in serial index order exactly as
-  the thread backend does: cache writes, store write-back, virtual
+  the thread backend does: cache writes, store write-back (the
+  persistent cache tier of :mod:`repro.parallel.store` stays entirely
+  parent-side — workers never open the store, so its single-``os.write``
+  shard-append discipline holds per parent process), virtual
   clock, and the probe provenance ledger all evolve as if the round
   had been issued sequentially, so results stay byte-identical across
   ``--probe-backend {thread,process}`` and sequential runs.

@@ -12,7 +12,8 @@ oracles, closures over both) are not picklable, and the simulated
 decompilers are microsecond-scale pure Python, so the run is dominated
 by many small GIL-released-free steps rather than one hot C loop.  A
 thread pool gets the structure right — per-run scoped metrics, a shared
-persistent :class:`~repro.parallel.store.PredicateStore`, thread-local
+persistent predicate store (any thread-safe
+:func:`~repro.parallel.store.open_store` backend), thread-local
 span nesting — and a process pool can slot in behind the same function
 once the corpus grows a serialized form.
 
@@ -84,10 +85,11 @@ def run_parallel_corpus_experiment(
             instance finished), so output is reproducible.
         jobs: worker threads (None/0: one per CPU; 1 degenerates to a
             serial run through the same code path).
-        store: optional :class:`~repro.parallel.store.PredicateStore`
-            shared by all workers (it is thread-safe).  Note that a warm
-            store changes ``predicate_calls`` — byte-for-byte serial
-            equality holds for cold or absent stores.
+        store: optional predicate store (any
+            :func:`~repro.parallel.store.open_store` backend) shared by
+            all workers (every backend is thread-safe).  Note that a
+            warm store changes ``predicate_calls`` — byte-for-byte
+            serial equality holds for cold or absent stores.
 
     Graceful degradation: with ``config.keep_going``, a worker whose
     instance crashes (an unrecoverable oracle error, retry exhaustion,

@@ -1,4 +1,4 @@
-"""A persistent, append-only predicate cache (JSONL on disk).
+"""Persistent predicate outcomes: a sharded, content-addressed cache tier.
 
 The paper's wall-clock is dominated by predicate invocations — one
 decompile+compile cycle averages ~33 s — and the outcome of a predicate
@@ -10,10 +10,11 @@ against a warm store costs zero fresh predicate calls.
 Key scheme (two-level, collision-resistant):
 
 - **fingerprint** — a stable identifier of the oracle: which program,
-  which decompiler, and at which granularity the predicate operates
-  (the harness hashes the serialized application bytes; see
-  ``repro.harness.experiments``).  Entries under different fingerprints
-  never mix, so one store file can serve a whole corpus.
+  which decompiler, at which granularity the predicate operates, and
+  (optionally) which *tenant* owns the run (the harness hashes the
+  serialized application bytes; see ``repro.harness.experiments``).
+  Entries under different fingerprints never mix, so one store can
+  serve a whole corpus — and many tenants — at once.
 - **key** — SHA-256 over the sorted, *length-prefixed* ``repr()``
   renderings of the kept items.  Canonical: independent of set
   iteration order and of the item objects' identity, so any process
@@ -24,24 +25,50 @@ Key scheme (two-level, collision-resistant):
   of different types that happen to print alike (``1`` vs ``"1"``, or
   two item dataclasses sharing a bracket rendering).
 
-File format: one JSON object per line, ``{"f": fingerprint, "k": key,
-"v": outcome}``.  Append-only, so concurrent writers on POSIX never
-corrupt earlier entries; a torn final line (killed process, full disk)
-is tolerated on load and overwritten by later appends.  Within one
-process the store is thread-safe (one lock around the memory index and
-the file descriptor).
+Three backends share one duck-typed interface (``lookup`` / ``record``
+/ ``close`` / context manager):
+
+- :class:`PredicateStore` — the v1 single-file JSONL store.  Eagerly
+  scans its whole history at startup; fine for a laptop, kept for
+  compatibility and as the migration source.
+- :class:`ShardedPredicateStore` — the cache tier.  A directory of N
+  JSONL shard files selected by key hash, loaded *lazily* (startup
+  cost is proportional to the shards a run actually touches, not to
+  total history), with an LRU, size-bounded in-memory index (whole
+  shards are evicted and re-faulted from disk, so eviction never loses
+  outcomes) and threshold-triggered compaction (a shard whose dead or
+  duplicate lines exceed a ratio is rewritten in place, guarded by an
+  exclusive lock file).  Opening a v1 single-file store migrates it
+  into shards automatically (the original is kept as ``<path>.v1``).
+- :class:`SqlitePredicateStore` — the same interface over a sqlite
+  database in WAL mode, for deployments that prefer a real database
+  file to a shard directory.  Also migrates a v1 JSONL file in place.
+
+File format (JSONL backends): one JSON object per line, ``{"f":
+fingerprint, "k": key, "v": outcome}``.  Append-only, so concurrent
+writers on POSIX never corrupt earlier entries; a torn final line
+(killed process, full disk) is tolerated on load and repaired by the
+next opener.  Two processes that open the same torn shard
+simultaneously may *both* append the repair newline — the resulting
+blank line is tolerated on load too.  Within one process every store
+is thread-safe (one lock around the memory index and the descriptors).
 
 Multi-process appends: each record is written as **one** ``os.write``
 on an ``O_APPEND`` file descriptor.  POSIX makes an ``O_APPEND`` write
 atomic with respect to the file offset, so concurrent appenders —
-several ``jlreduce`` processes sharing one store file, or the process
-probe backend's parents — interleave whole lines, never fragments.
-The old buffered text handle could flush one logical line as *two* OS
-writes (when the line straddled the buffer boundary), letting another
-process's record land mid-line and tear both; torn-line tolerance only
-forgives a torn *final* line, so interior tears silently dropped
-outcomes.  ``tests/parallel/test_store.py`` hammers this with real
-concurrent appender processes.
+several ``jlreduce`` processes sharing one store, or the process probe
+backend's parents — interleave whole lines, never fragments.  When two
+writers disagree on an outcome (a flaky oracle, a chaos run), the
+*last line wins* on the next load: every record of a key is appended,
+and the loader keeps the latest.  ``tests/parallel/test_store.py``
+hammers both properties with real concurrent appender processes.
+
+Telemetry: every backend feeds the active metrics registry —
+``store.lookups`` / ``store.hits`` / ``store.misses`` /
+``store.records`` / ``store.evictions`` / ``store.compactions`` /
+``store.shard_loads`` / ``store.lines_scanned`` /
+``store.migrated_entries`` — so warm-store hit rates land in JSONL
+traces, ``jlreduce trace summarize``, and ``jlreduce metrics export``.
 """
 
 from __future__ import annotations
@@ -49,12 +76,38 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sqlite3
 import threading
+import time
+from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
-__all__ = ["PredicateStore", "fingerprint_of"]
+from repro.observability import get_metrics
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "PredicateStore",
+    "ShardedPredicateStore",
+    "SqlitePredicateStore",
+    "fingerprint_of",
+    "key_of",
+    "open_store",
+]
 
 VarName = Hashable
+
+#: Default shard-file count for :class:`ShardedPredicateStore`.  Small
+#: enough that a cold corpus run touches most shards anyway, large
+#: enough that one shard holds ~1/16 of history (startup scans shrink
+#: proportionally) and concurrent appenders rarely contend.
+DEFAULT_SHARDS = 16
+
+#: A compaction lock file older than this is presumed leaked by a
+#: killed process and is broken.
+_LOCK_GRACE_SECONDS = 300.0
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
 
 def fingerprint_of(*parts: str) -> str:
     """A stable oracle fingerprint from arbitrary string parts.
@@ -71,23 +124,81 @@ def fingerprint_of(*parts: str) -> str:
     return digest.hexdigest()
 
 
+def key_of(sub_input: Iterable[VarName]) -> str:
+    """Canonical hash of a kept-item set (order-independent).
+
+    Each item's ``repr`` is length-prefixed before hashing, so the
+    encoding is injective over the sorted rendering list: an item
+    whose rendering contains a would-be separator can never alias a
+    different set, and distinct items never share an entry unless
+    their ``repr``\\ s are truly identical.
+    """
+    parts = sorted(repr(v) for v in sub_input)
+    rendered = "".join(f"{len(part)}:{part}" for part in parts)
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def _parse_line(stripped: str) -> Optional[Tuple[str, str, bool]]:
+    """One JSONL record as ``(fingerprint, key, outcome)``, or None."""
+    try:
+        entry = json.loads(stripped)
+        return entry["f"], entry["k"], bool(entry["v"])
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return None
+
+
+def _drain_v1_file(path: str) -> Tuple[Dict[Tuple[str, str], bool], int]:
+    """Read a v1 single-file store and move it aside to ``<path>.v1``.
+
+    Returns the surviving entries (last write wins) and the count of
+    malformed lines.  Raises :class:`ValueError` when the file is a
+    sqlite database — that is a different backend, not a v1 store.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(len(_SQLITE_MAGIC))
+    if head.startswith(_SQLITE_MAGIC):
+        raise ValueError(
+            f"{path} is a sqlite predicate store; open it with "
+            "backend='sqlite' (or open_store(path, backend='sqlite'))"
+        )
+    entries: Dict[Tuple[str, str], bool] = {}
+    corrupt = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            parsed = _parse_line(stripped)
+            if parsed is None:
+                corrupt += 1
+                continue
+            fingerprint, key, outcome = parsed
+            entries[(fingerprint, key)] = outcome
+    os.replace(path, path + ".v1")
+    return entries, corrupt
+
+
 class PredicateStore:
-    """On-disk predicate outcomes, keyed by (fingerprint, sub-input).
+    """The v1 store: one append-only JSONL file, eagerly loaded.
 
     Usage::
 
-        store = PredicateStore("outcomes.jsonl")
-        predicate = InstrumentedPredicate(
-            raw, store=store, fingerprint=fp
-        )
-        ...
-        store.close()
+        with PredicateStore("outcomes.jsonl") as store:
+            predicate = InstrumentedPredicate(
+                raw, store=store, fingerprint=fp
+            )
+            ...
 
     The constructor loads every well-formed line of an existing file
     (malformed lines — e.g. a truncated final line from a killed writer
     — are skipped and counted in :attr:`corrupt_lines`), then reopens
     the file for appending.  :meth:`record` writes through immediately,
-    one flushed line per new outcome.
+    one ``os.write`` per new outcome.
+
+    This is the compatibility/migration backend: startup scans *all*
+    history, the in-memory index is unbounded, and there is no
+    compaction.  Services and corpus runs should use
+    :class:`ShardedPredicateStore` (see :func:`open_store`).
     """
 
     def __init__(self, path) -> None:
@@ -95,13 +206,15 @@ class PredicateStore:
         self._lock = threading.Lock()
         self._entries: Dict[Tuple[str, str], bool] = {}
         self.corrupt_lines = 0
+        self.hits = 0
+        self.misses = 0
         self._needs_newline = False
         self._load()
         # An O_APPEND descriptor written with single os.write calls:
         # every record lands as one atomic append, so concurrent
         # multi-process appenders can never tear a line (a buffered
         # text handle may split one line across two OS writes).
-        self._fd = os.open(
+        self._fd: Optional[int] = os.open(
             self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         if self._needs_newline:
@@ -109,27 +222,32 @@ class PredicateStore:
             # fresh line so the next record isn't corrupted too.
             os.write(self._fd, b"\n")
 
-    @staticmethod
-    def key_of(sub_input: Iterable[VarName]) -> str:
-        """Canonical hash of a kept-item set (order-independent).
-
-        Each item's ``repr`` is length-prefixed before hashing, so the
-        encoding is injective over the sorted rendering list: an item
-        whose rendering contains a would-be separator can never alias a
-        different set, and distinct items never share an entry unless
-        their ``repr``\\ s are truly identical.
-        """
-        parts = sorted(repr(v) for v in sub_input)
-        rendered = "".join(f"{len(part)}:{part}" for part in parts)
-        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+    key_of = staticmethod(key_of)
 
     # -- lookup / record -----------------------------------------------------
 
     def lookup(
         self, fingerprint: str, sub_input: FrozenSet[VarName]
     ) -> Optional[bool]:
-        """The stored outcome for this oracle + sub-input, or None."""
-        return self._entries.get((fingerprint, self.key_of(sub_input)))
+        """The stored outcome for this oracle + sub-input, or None.
+
+        Taken under the store lock: :meth:`record` mutates the entry
+        dict concurrently (instance-runner threads, probe commits), and
+        an unlocked read is only safe by CPython-GIL accident — not on
+        free-threaded builds.
+        """
+        key = (fingerprint, key_of(sub_input))
+        metrics = get_metrics()
+        metrics.counter("store.lookups").inc()
+        with self._lock:
+            outcome = self._entries.get(key)
+        if outcome is None:
+            self.misses += 1
+            metrics.counter("store.misses").inc()
+        else:
+            self.hits += 1
+            metrics.counter("store.hits").inc()
+        return outcome
 
     def record(
         self, fingerprint: str, sub_input: FrozenSet[VarName], outcome: bool
@@ -140,17 +258,23 @@ class PredicateStore:
         ``O_APPEND`` descriptor — atomic against concurrent appenders
         in other processes, and unbuffered so a killed process loses at
         most the record it was writing.
+
+        Raises:
+            ValueError: the store has been :meth:`close`\\ d.
         """
-        key = (fingerprint, self.key_of(sub_input))
+        key = (fingerprint, key_of(sub_input))
         line = json.dumps(
             {"f": fingerprint, "k": key[1], "v": bool(outcome)}
         )
         payload = (line + "\n").encode("utf-8")
         with self._lock:
+            if self._fd is None:
+                raise ValueError("store is closed")
             if self._entries.get(key) == bool(outcome):
                 return
             self._entries[key] = bool(outcome)
             os.write(self._fd, payload)
+            get_metrics().counter("store.records").inc()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -161,7 +285,17 @@ class PredicateStore:
     def path(self) -> str:
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        return self._fd is None
+
     def close(self) -> None:
+        """Release the append descriptor.  Idempotent.
+
+        A closed store still answers :meth:`lookup` from memory (the v1
+        index is fully resident), but :meth:`record` raises a clear
+        :class:`ValueError` instead of handing ``None`` to ``os.write``.
+        """
         with self._lock:
             if self._fd is not None:
                 os.close(self._fd)
@@ -186,12 +320,618 @@ class PredicateStore:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    entry = json.loads(line)
-                    fingerprint = entry["f"]
-                    key = entry["k"]
-                    outcome = bool(entry["v"])
-                except (json.JSONDecodeError, KeyError, TypeError):
+                parsed = _parse_line(line)
+                if parsed is None:
                     self.corrupt_lines += 1
                     continue
+                fingerprint, key, outcome = parsed
                 self._entries[(fingerprint, key)] = outcome
+
+
+class ShardedPredicateStore:
+    """The cache tier: N lazily-loaded JSONL shards under one directory.
+
+    Layout::
+
+        <path>/
+            store.json        # manifest: {"version": 2, "shards": N}
+            shard-000.jsonl   # records whose key hashes to shard 0
+            ...
+
+    A record lands in shard ``int(key[:8], 16) % shards`` — content
+    addressing over the canonical sub-input hash, so every process
+    (and every tenant, via the fingerprint namespace) agrees on the
+    placement without coordination.
+
+    Lazy loading: opening the store reads only the manifest.  A shard
+    is scanned on the first lookup or record that touches it, so
+    startup cost is proportional to the shards a run actually uses —
+    not to total history (the v1 store's O(history) startup scan is
+    exactly what this tier removes; ``benchmarks/bench_store.py``
+    gates the ratio).
+
+    Eviction (``max_entries``): the in-memory index is an LRU over
+    *whole shards*.  When resident entries exceed the bound, the
+    least-recently-used shards are dropped (and their append
+    descriptors closed).  Disk is never touched by eviction — a later
+    lookup simply re-faults the shard — so the bound trades memory for
+    re-scan cost, never for correctness.
+
+    Compaction: a shard whose scan finds more than ``compact_ratio``
+    dead lines (duplicates superseded by last-write-wins, malformed
+    lines) across at least ``compact_min_lines`` lines is rewritten in
+    place — live entries only — before this process starts appending.
+    The rewrite is guarded by an exclusive ``.lock`` file (stale locks
+    older than five minutes are broken) and lands via atomic
+    ``os.replace``.  An append raced in by *another* process between
+    the scan and the replace can be lost; that is safe for a cache of
+    pure-function outcomes — the worst case is one redundant fresh
+    probe later, never a wrong answer.
+
+    Migration: pointing this class at an existing v1 single-file store
+    ingests every surviving entry into shards and keeps the original
+    as ``<path>.v1``.
+
+    Concurrent creation: all openers should agree on ``shards``; once a
+    manifest exists it wins over the constructor argument.  If two
+    creators race with different counts, the loser's records may land
+    in a shard the winner's layout never consults — which degrades to
+    a cache miss and one redundant probe, never a wrong outcome.
+    """
+
+    MANIFEST = "store.json"
+
+    def __init__(
+        self,
+        path,
+        shards: int = DEFAULT_SHARDS,
+        max_entries: Optional[int] = None,
+        compact_ratio: float = 0.5,
+        compact_min_lines: int = 256,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if not 0.0 < compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
+            )
+        self._path = os.fspath(path)
+        self._lock = threading.RLock()
+        self._max_entries = max_entries
+        self._compact_ratio = compact_ratio
+        self._compact_min_lines = compact_min_lines
+        self._closed = False
+        self.corrupt_lines = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.compactions = 0
+        self.shard_loads = 0
+        self.migrated_entries = 0
+        pending: Optional[Dict[Tuple[str, str], bool]] = None
+        if os.path.isfile(self._path):
+            pending, corrupt = _drain_v1_file(self._path)
+            self.corrupt_lines += corrupt
+        self._shards = self._init_layout(shards)
+        #: Resident shard indexes, LRU-ordered (oldest first).
+        self._resident: "OrderedDict[int, Dict[Tuple[str, str], bool]]" = (
+            OrderedDict()
+        )
+        self._resident_entries = 0
+        self._fds: Dict[int, int] = {}
+        self._needs_newline: Dict[int, bool] = {}
+        if pending is not None:
+            self._ingest(pending)
+
+    key_of = staticmethod(key_of)
+
+    # -- lookup / record -----------------------------------------------------
+
+    def lookup(
+        self, fingerprint: str, sub_input: FrozenSet[VarName]
+    ) -> Optional[bool]:
+        """The stored outcome for this oracle + sub-input, or None.
+
+        Faults the key's shard into memory on first touch (one scan of
+        that shard file, counted in ``store.shard_loads``).
+
+        Raises:
+            ValueError: the store has been :meth:`close`\\ d.
+        """
+        key = key_of(sub_input)
+        metrics = get_metrics()
+        metrics.counter("store.lookups").inc()
+        with self._lock:
+            if self._closed:
+                raise ValueError("store is closed")
+            entries = self._shard_entries(self._shard_of_key(key))
+            outcome = entries.get((fingerprint, key))
+        if outcome is None:
+            self.misses += 1
+            metrics.counter("store.misses").inc()
+        else:
+            self.hits += 1
+            metrics.counter("store.hits").inc()
+        return outcome
+
+    def record(
+        self, fingerprint: str, sub_input: FrozenSet[VarName], outcome: bool
+    ) -> None:
+        """Persist an outcome (idempotent; last write wins on conflict).
+
+        One ``os.write`` on the shard's ``O_APPEND`` descriptor —
+        atomic against concurrent appenders in other processes sharing
+        the shard, and unbuffered so a killed process loses at most the
+        record it was writing.
+
+        Raises:
+            ValueError: the store has been :meth:`close`\\ d.
+        """
+        key = key_of(sub_input)
+        outcome = bool(outcome)
+        payload = (
+            json.dumps({"f": fingerprint, "k": key, "v": outcome}) + "\n"
+        ).encode("utf-8")
+        with self._lock:
+            if self._closed:
+                raise ValueError("store is closed")
+            shard = self._shard_of_key(key)
+            entries = self._shard_entries(shard)
+            if entries.get((fingerprint, key)) == outcome:
+                return
+            if (fingerprint, key) not in entries:
+                self._resident_entries += 1
+            entries[(fingerprint, key)] = outcome
+            os.write(self._fd_of(shard), payload)
+            get_metrics().counter("store.records").inc()
+            self._evict(exclude=shard)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Resident (in-memory) entries — *not* total history on disk."""
+        return self._resident_entries
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every shard descriptor.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for fd in self._fds.values():
+                os.close(fd)
+            self._fds.clear()
+
+    def __enter__(self) -> "ShardedPredicateStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _init_layout(self, shards: int) -> int:
+        """Create or adopt the store directory; return the shard count."""
+        os.makedirs(self._path, exist_ok=True)
+        manifest_path = os.path.join(self._path, self.MANIFEST)
+        adopted = self._read_manifest(manifest_path)
+        if adopted is not None:
+            return adopted
+        payload = json.dumps(
+            {"version": 2, "backend": "jsonl", "shards": shards}
+        )
+        # Unique tmp per process so concurrent creators never tear each
+        # other's manifest; os.replace is atomic, last writer wins, and
+        # re-reading converges every opener on the winner.
+        tmp = f"{manifest_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        os.replace(tmp, manifest_path)
+        adopted = self._read_manifest(manifest_path)
+        return adopted if adopted is not None else shards
+
+    def _read_manifest(self, manifest_path: str) -> Optional[int]:
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            count = int(manifest["shards"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"corrupt store manifest {manifest_path}: {exc}"
+            ) from exc
+        if count < 1:
+            raise ValueError(
+                f"corrupt store manifest {manifest_path}: shards={count}"
+            )
+        return count
+
+    def _shard_of_key(self, key: str) -> int:
+        return int(key[:8], 16) % self._shards
+
+    def _shard_path(self, shard: int) -> str:
+        return os.path.join(self._path, f"shard-{shard:03d}.jsonl")
+
+    def _shard_entries(self, shard: int) -> Dict[Tuple[str, str], bool]:
+        """The shard's entry dict, faulting it from disk if needed."""
+        entries = self._resident.get(shard)
+        if entries is not None:
+            self._resident.move_to_end(shard)
+            return entries
+        entries, lines_total, corrupt, needs_newline = self._scan_shard(shard)
+        self.corrupt_lines += corrupt
+        self.shard_loads += 1
+        metrics = get_metrics()
+        metrics.counter("store.shard_loads").inc()
+        if lines_total:
+            metrics.counter("store.lines_scanned").inc(lines_total)
+        dead = lines_total - len(entries)
+        if (
+            lines_total >= self._compact_min_lines
+            and dead / lines_total >= self._compact_ratio
+        ):
+            if self._compact_shard(shard, entries):
+                needs_newline = False
+        self._resident[shard] = entries
+        self._resident_entries += len(entries)
+        self._needs_newline[shard] = needs_newline
+        self._evict(exclude=shard)
+        return entries
+
+    def _scan_shard(
+        self, shard: int
+    ) -> Tuple[Dict[Tuple[str, str], bool], int, int, bool]:
+        """Parse one shard file: (entries, lines, corrupt, torn-tail)."""
+        entries: Dict[Tuple[str, str], bool] = {}
+        lines_total = 0
+        corrupt = 0
+        needs_newline = False
+        try:
+            handle = open(self._shard_path(shard), "r", encoding="utf-8")
+        except FileNotFoundError:
+            return entries, 0, 0, False
+        with handle:
+            for line in handle:
+                needs_newline = not line.endswith("\n")
+                stripped = line.strip()
+                if not stripped:
+                    # A doubly-repaired torn tail (two openers each
+                    # appended the fix-up newline) reads as a blank
+                    # line; tolerated, not counted as history.
+                    continue
+                lines_total += 1
+                parsed = _parse_line(stripped)
+                if parsed is None:
+                    corrupt += 1
+                    continue
+                fingerprint, key, outcome = parsed
+                entries[(fingerprint, key)] = outcome
+        return entries, lines_total, corrupt, needs_newline
+
+    def _fd_of(self, shard: int) -> int:
+        """The shard's lazily-opened ``O_APPEND`` descriptor."""
+        fd = self._fds.get(shard)
+        if fd is None:
+            fd = os.open(
+                self._shard_path(shard),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            self._fds[shard] = fd
+            if self._needs_newline.pop(shard, False):
+                os.write(fd, b"\n")
+        return fd
+
+    def _evict(self, exclude: int) -> None:
+        """Drop LRU shards until resident entries fit ``max_entries``.
+
+        The just-touched shard (``exclude``) is always kept — evicting
+        the shard a lookup is mid-flight on would thrash — so a single
+        shard larger than the bound stays resident whole.
+        """
+        if self._max_entries is None:
+            return
+        while (
+            self._resident_entries > self._max_entries
+            and len(self._resident) > 1
+        ):
+            victim = next(iter(self._resident))
+            if victim == exclude:
+                break
+            dropped = self._resident.pop(victim)
+            self._resident_entries -= len(dropped)
+            self.evictions += len(dropped)
+            get_metrics().counter("store.evictions").inc(len(dropped))
+            fd = self._fds.pop(victim, None)
+            if fd is not None:
+                os.close(fd)
+            self._needs_newline.pop(victim, None)
+
+    def _compact_shard(
+        self, shard: int, entries: Dict[Tuple[str, str], bool]
+    ) -> bool:
+        """Rewrite a shard to live entries only.  True when it ran.
+
+        Cooperative exclusion via an ``O_EXCL`` lock file: losers skip
+        compaction (the shard stays readable either way).  A lock older
+        than the grace period is presumed leaked by a killed compactor
+        and is broken.
+        """
+        shard_path = self._shard_path(shard)
+        lock_path = shard_path + ".lock"
+        lock_fd = self._take_lock(lock_path)
+        if lock_fd is None:
+            return False
+        try:
+            stale = self._fds.pop(shard, None)
+            if stale is not None:
+                os.close(stale)
+            tmp = f"{shard_path}.compact.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for (fingerprint, key), outcome in entries.items():
+                    handle.write(
+                        json.dumps(
+                            {"f": fingerprint, "k": key, "v": outcome}
+                        )
+                        + "\n"
+                    )
+            os.replace(tmp, shard_path)
+            self.compactions += 1
+            get_metrics().counter("store.compactions").inc()
+            return True
+        finally:
+            os.close(lock_fd)
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _take_lock(lock_path: str) -> Optional[int]:
+        flags = os.O_CREAT | os.O_EXCL | os.O_WRONLY
+        try:
+            return os.open(lock_path, flags)
+        except FileExistsError:
+            pass
+        try:
+            age = time.time() - os.path.getmtime(lock_path)
+        except OSError:
+            return None
+        if age < _LOCK_GRACE_SECONDS:
+            return None
+        try:
+            os.unlink(lock_path)
+            return os.open(lock_path, flags)
+        except (FileExistsError, OSError):
+            return None
+
+    def _ingest(self, entries: Dict[Tuple[str, str], bool]) -> None:
+        """Append migrated v1 entries into their shards (batched)."""
+        grouped: Dict[int, list] = {}
+        for (fingerprint, key), outcome in entries.items():
+            grouped.setdefault(self._shard_of_key(key), []).append(
+                json.dumps({"f": fingerprint, "k": key, "v": outcome})
+            )
+        for shard, lines in grouped.items():
+            payload = ("\n".join(lines) + "\n").encode("utf-8")
+            os.write(self._fd_of(shard), payload)
+        self.migrated_entries = len(entries)
+        if entries:
+            get_metrics().counter("store.migrated_entries").inc(len(entries))
+
+
+class SqlitePredicateStore:
+    """The cache tier over a sqlite database (WAL mode).
+
+    Same interface and key scheme as the JSONL backends; conflict
+    resolution is ``INSERT OR REPLACE`` (last write wins, like the
+    JSONL loaders), multi-process safety comes from sqlite's own WAL
+    locking, and a bounded in-memory LRU (``max_entries``) keeps hot
+    lookups off the database.  Pointing it at a v1 single-file JSONL
+    store migrates the entries and keeps the original as ``<path>.v1``.
+    """
+
+    def __init__(self, path, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._max_entries = max_entries
+        self._cache: "OrderedDict[Tuple[str, str], bool]" = OrderedDict()
+        self.corrupt_lines = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.migrated_entries = 0
+        pending: Optional[Dict[Tuple[str, str], bool]] = None
+        if os.path.isfile(self._path) and os.path.getsize(self._path):
+            with open(self._path, "rb") as handle:
+                head = handle.read(len(_SQLITE_MAGIC))
+            if not head.startswith(_SQLITE_MAGIC):
+                pending, corrupt = _drain_v1_file(self._path)
+                self.corrupt_lines += corrupt
+        try:
+            self._conn: Optional[sqlite3.Connection] = sqlite3.connect(
+                self._path, check_same_thread=False
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS outcomes ("
+                "f TEXT NOT NULL, k TEXT NOT NULL, v INTEGER NOT NULL, "
+                "PRIMARY KEY (f, k)) WITHOUT ROWID"
+            )
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise OSError(
+                f"cannot open sqlite store {self._path}: {exc}"
+            ) from exc
+        if pending:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO outcomes (f, k, v) VALUES (?, ?, ?)",
+                [
+                    (fingerprint, key, int(outcome))
+                    for (fingerprint, key), outcome in pending.items()
+                ],
+            )
+            self._conn.commit()
+            self.migrated_entries = len(pending)
+            get_metrics().counter("store.migrated_entries").inc(len(pending))
+
+    key_of = staticmethod(key_of)
+
+    # -- lookup / record -----------------------------------------------------
+
+    def lookup(
+        self, fingerprint: str, sub_input: FrozenSet[VarName]
+    ) -> Optional[bool]:
+        """The stored outcome for this oracle + sub-input, or None.
+
+        Raises:
+            ValueError: the store has been :meth:`close`\\ d.
+        """
+        key = (fingerprint, key_of(sub_input))
+        metrics = get_metrics()
+        metrics.counter("store.lookups").inc()
+        with self._lock:
+            if self._conn is None:
+                raise ValueError("store is closed")
+            outcome = self._cache.get(key)
+            if outcome is not None:
+                self._cache.move_to_end(key)
+            else:
+                row = self._conn.execute(
+                    "SELECT v FROM outcomes WHERE f = ? AND k = ?", key
+                ).fetchone()
+                if row is not None:
+                    outcome = bool(row[0])
+                    self._cache_put(key, outcome)
+        if outcome is None:
+            self.misses += 1
+            metrics.counter("store.misses").inc()
+        else:
+            self.hits += 1
+            metrics.counter("store.hits").inc()
+        return outcome
+
+    def record(
+        self, fingerprint: str, sub_input: FrozenSet[VarName], outcome: bool
+    ) -> None:
+        """Persist an outcome (idempotent; last write wins on conflict).
+
+        Raises:
+            ValueError: the store has been :meth:`close`\\ d.
+        """
+        key = (fingerprint, key_of(sub_input))
+        outcome = bool(outcome)
+        with self._lock:
+            if self._conn is None:
+                raise ValueError("store is closed")
+            if self._cache.get(key) == outcome:
+                self._cache.move_to_end(key)
+                return
+            self._conn.execute(
+                "INSERT OR REPLACE INTO outcomes (f, k, v) VALUES (?, ?, ?)",
+                (key[0], key[1], int(outcome)),
+            )
+            self._conn.commit()
+            self._cache_put(key, outcome)
+            get_metrics().counter("store.records").inc()
+
+    def _cache_put(self, key: Tuple[str, str], outcome: bool) -> None:
+        self._cache[key] = outcome
+        self._cache.move_to_end(key)
+        if self._max_entries is None:
+            return
+        while len(self._cache) > self._max_entries:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+            get_metrics().counter("store.evictions").inc()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total entries in the database (0 once closed)."""
+        with self._lock:
+            if self._conn is None:
+                return 0
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM outcomes"
+            ).fetchone()
+            return int(row[0])
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        return self._conn is None
+
+    def close(self) -> None:
+        """Commit and release the connection.  Idempotent."""
+        with self._lock:
+            if self._conn is None:
+                return
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SqlitePredicateStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_store(
+    path,
+    backend: str = "sharded",
+    shards: int = DEFAULT_SHARDS,
+    max_entries: Optional[int] = None,
+):
+    """Open a predicate store of the requested backend.
+
+    - ``"sharded"`` (default) — :class:`ShardedPredicateStore`; a v1
+      single file at ``path`` is migrated into shards automatically.
+    - ``"sqlite"`` — :class:`SqlitePredicateStore`; likewise migrates a
+      v1 file.
+    - ``"v1"`` — the single-file :class:`PredicateStore` (``shards`` /
+      ``max_entries`` do not apply).
+
+    All backends share the ``lookup`` / ``record`` / ``close`` /
+    context-manager interface that
+    :class:`~repro.reduction.predicate.InstrumentedPredicate` and the
+    harness duck-type against.
+    """
+    if backend == "sharded":
+        return ShardedPredicateStore(
+            path, shards=shards, max_entries=max_entries
+        )
+    if backend == "sqlite":
+        return SqlitePredicateStore(path, max_entries=max_entries)
+    if backend == "v1":
+        return PredicateStore(path)
+    raise ValueError(
+        f"unknown store backend {backend!r} "
+        "(expected 'sharded', 'sqlite', or 'v1')"
+    )

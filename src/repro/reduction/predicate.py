@@ -35,7 +35,9 @@ byte-identical across backends (see DESIGN.md §10).
 
 Telemetry: every query also feeds the active metrics registry
 (``predicate.calls`` / ``predicate.queries`` / ``predicate.cache_hits``
-/ ``predicate.store_hits`` counters, ``predicate.virtual_seconds``
+/ ``predicate.store_hits`` / ``predicate.store_misses`` counters — the
+store itself additionally emits ``store.*`` hit/miss/evict/compaction
+counters, see :mod:`repro.parallel.store` — ``predicate.virtual_seconds``
 simulated-cost total, ``predicate.latency_seconds`` histogram of
 fresh-call latency), and fresh invocations open a ``predicate.call``
 span when tracing is enabled.  Every *physical* probe — a fresh call or
@@ -228,7 +230,9 @@ class InstrumentedPredicate:
         tracer = get_tracer()
         if self._store is not None:
             stored = self._store.lookup(self._fingerprint, sub_input)
-            if stored is not None:
+            if stored is None:
+                metrics.counter("predicate.store_misses").inc()
+            else:
                 self.store_hits += 1
                 metrics.counter("predicate.cache_hits").inc()
                 metrics.counter("predicate.store_hits").inc()
@@ -358,7 +362,9 @@ class InstrumentedPredicate:
                 continue
             if self._store is not None:
                 stored = self._store.lookup(self._fingerprint, sub_input)
-                if stored is not None:
+                if stored is None:
+                    metrics.counter("predicate.store_misses").inc()
+                else:
                     self.store_hits += 1
                     metrics.counter("predicate.cache_hits").inc()
                     metrics.counter("predicate.store_hits").inc()

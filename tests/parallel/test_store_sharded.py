@@ -1,0 +1,439 @@
+"""The sharded cache tier: layout, eviction, compaction, migration,
+backends, and the differential guarantee that *which* store backend sits
+behind a reduction never changes its result.
+"""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentConfig,
+    oracle_fingerprint,
+    probe_pool,
+    run_instance,
+)
+from repro.observability.metrics import MetricsRegistry, scoped_metrics
+from repro.parallel import (
+    DEFAULT_SHARDS,
+    PredicateStore,
+    ShardedPredicateStore,
+    SqlitePredicateStore,
+    open_store,
+)
+from repro.workloads.corpus import CorpusConfig, build_corpus
+
+
+def _fill(store, count, fingerprint="oracle"):
+    for i in range(count):
+        store.record(fingerprint, frozenset({f"k-{i}"}), i % 3 == 0)
+
+
+class TestLayout:
+    def test_creates_manifest_and_shard_files_lazily(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(path, shards=4) as store:
+            manifest = json.loads((path / "store.json").read_text())
+            assert manifest["shards"] == 4
+            assert manifest["backend"] == "jsonl"
+            _fill(store, 10)
+        shard_files = sorted(p.name for p in path.glob("shard-*.jsonl"))
+        # Only shards that received a record exist on disk.
+        assert 0 < len(shard_files) <= 4
+
+    def test_manifest_wins_over_constructor_shards(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(path, shards=4) as store:
+            _fill(store, 40)
+        with ShardedPredicateStore(path) as reopened:  # default 16
+            assert reopened.shards == 4
+            for i in range(40):
+                assert reopened.lookup(
+                    "oracle", frozenset({f"k-{i}"})
+                ) is (i % 3 == 0)
+
+    def test_key_routing_is_stable(self, tmp_path):
+        with ShardedPredicateStore(tmp_path / "store", shards=8) as store:
+            key = store.key_of(frozenset({"a", "b"}))
+            assert store._shard_of_key(key) == int(key[:8], 16) % 8
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedPredicateStore(tmp_path / "s", shards=0)
+        with pytest.raises(ValueError):
+            ShardedPredicateStore(tmp_path / "s", max_entries=0)
+        with pytest.raises(ValueError):
+            ShardedPredicateStore(tmp_path / "s", compact_ratio=0.0)
+
+
+class TestLazyLoading:
+    def test_open_reads_no_shards(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(path, shards=8) as store:
+            _fill(store, 200)
+        with ShardedPredicateStore(path) as reopened:
+            assert reopened.shard_loads == 0
+            assert len(reopened) == 0  # nothing resident yet
+
+    def test_lookup_faults_only_the_owning_shard(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(path, shards=8) as store:
+            _fill(store, 200)
+        with ShardedPredicateStore(path) as reopened:
+            assert reopened.lookup(
+                "oracle", frozenset({"k-0"})
+            ) is True
+            assert reopened.shard_loads == 1
+            # A key on the same shard costs no further load.
+            key0 = reopened.key_of(frozenset({"k-0"}))
+            same_shard = reopened._shard_of_key(key0)
+            for i in range(1, 200):
+                key = reopened.key_of(frozenset({f"k-{i}"}))
+                if reopened._shard_of_key(key) == same_shard:
+                    reopened.lookup("oracle", frozenset({f"k-{i}"}))
+                    assert reopened.shard_loads == 1
+                    break
+
+    def test_missing_key_does_not_create_shard_file(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(path, shards=4) as store:
+            assert store.lookup("oracle", frozenset({"nope"})) is None
+        assert list(path.glob("shard-*.jsonl")) == []
+
+
+class TestEviction:
+    def test_eviction_never_loses_outcomes(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(
+            path, shards=8, max_entries=10
+        ) as store:
+            _fill(store, 120)
+            assert store.evictions > 0
+            assert len(store) <= 120  # resident subset only
+            for i in range(120):  # evicted shards refault from disk
+                assert store.lookup(
+                    "oracle", frozenset({f"k-{i}"})
+                ) is (i % 3 == 0)
+
+    def test_eviction_counter_flows_to_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        with scoped_metrics(registry):
+            with ShardedPredicateStore(
+                tmp_path / "store", shards=8, max_entries=5
+            ) as store:
+                _fill(store, 80)
+        values = registry.counter_values()
+        assert values["store.records"] == 80
+        assert values["store.evictions"] >= 1
+
+    def test_hot_shard_larger_than_budget_stays_usable(self, tmp_path):
+        # A single shard can exceed max_entries; the last resident shard
+        # is never evicted, so lookups keep working.
+        with ShardedPredicateStore(
+            tmp_path / "store", shards=1, max_entries=3
+        ) as store:
+            _fill(store, 50)
+            for i in range(50):
+                assert store.lookup(
+                    "oracle", frozenset({f"k-{i}"})
+                ) is (i % 3 == 0)
+
+
+class TestCompaction:
+    def test_reload_compacts_duplicate_heavy_shard(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(
+            path, shards=1, compact_min_lines=64
+        ) as store:
+            for i in range(300):  # same key over and over
+                store.record("oracle", frozenset({"dup"}), i % 2 == 0)
+        shard = path / "shard-000.jsonl"
+        assert len(shard.read_text().splitlines()) == 300
+        with ShardedPredicateStore(path) as reopened:
+            # Last write wins: i=299 -> False.
+            assert reopened.lookup("oracle", frozenset({"dup"})) is False
+            assert reopened.compactions == 1
+        assert len(shard.read_text().splitlines()) == 1
+        entry = json.loads(shard.read_text())
+        assert entry["v"] is False
+
+    def test_small_shards_are_left_alone(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(path, shards=1) as store:
+            for i in range(40):  # conflicts, but < compact_min_lines
+                store.record("oracle", frozenset({"dup"}), i % 2 == 0)
+        with ShardedPredicateStore(path) as reopened:
+            assert reopened.lookup("oracle", frozenset({"dup"})) is False
+            assert reopened.compactions == 0
+        shard = path / "shard-000.jsonl"
+        assert len(shard.read_text().splitlines()) == 40
+
+    def test_held_lock_skips_compaction_without_data_loss(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(
+            path, shards=1, compact_min_lines=64
+        ) as store:
+            for i in range(300):
+                store.record("oracle", frozenset({"dup"}), i % 2 == 0)
+        lock = path / "shard-000.jsonl.lock"
+        lock.write_text("held by another process")
+        with ShardedPredicateStore(path) as reopened:
+            assert reopened.lookup("oracle", frozenset({"dup"})) is False
+            assert reopened.compactions == 0
+        # File untouched while the lock is held.
+        shard = path / "shard-000.jsonl"
+        assert len(shard.read_text().splitlines()) == 300
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = tmp_path / "store"
+        with ShardedPredicateStore(
+            path, shards=1, compact_min_lines=64
+        ) as store:
+            for i in range(300):
+                store.record("oracle", frozenset({"dup"}), i % 2 == 0)
+        lock = path / "shard-000.jsonl.lock"
+        lock.write_text("crashed compactor")
+        stale = lock.stat().st_mtime - 3600
+        os.utime(lock, (stale, stale))
+        with ShardedPredicateStore(path) as reopened:
+            reopened.lookup("oracle", frozenset({"dup"}))
+            assert reopened.compactions == 1
+
+
+class TestMigration:
+    def _make_v1(self, path, count=30):
+        with PredicateStore(path) as v1:
+            for i in range(count):
+                v1.record("oracle", frozenset({f"k-{i}"}), i % 2 == 0)
+
+    def test_v1_file_migrates_into_sharded_layout(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        self._make_v1(path)
+        with ShardedPredicateStore(path, shards=4) as store:
+            assert store.migrated_entries == 30
+            for i in range(30):
+                assert store.lookup(
+                    "oracle", frozenset({f"k-{i}"})
+                ) is (i % 2 == 0)
+        assert path.is_dir()
+        assert (tmp_path / "outcomes.jsonl.v1").is_file()
+
+    def test_v1_file_migrates_into_sqlite(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        self._make_v1(path)
+        with SqlitePredicateStore(path) as store:
+            assert len(store) == 30
+            for i in range(30):
+                assert store.lookup(
+                    "oracle", frozenset({f"k-{i}"})
+                ) is (i % 2 == 0)
+        assert (tmp_path / "outcomes.jsonl.v1").is_file()
+
+    def test_sqlite_file_refused_by_sharded_backend(self, tmp_path):
+        path = tmp_path / "outcomes.db"
+        with SqlitePredicateStore(path) as store:
+            store.record("oracle", frozenset({"a"}), True)
+        with pytest.raises(ValueError, match="sqlite"):
+            ShardedPredicateStore(path)
+
+    def test_migration_counter_flows_to_metrics(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        self._make_v1(path, count=12)
+        registry = MetricsRegistry()
+        with scoped_metrics(registry):
+            with ShardedPredicateStore(path, shards=4):
+                pass
+        assert registry.counter_values()["store.migrated_entries"] == 12
+
+
+class TestSqliteBackend:
+    def test_round_trip_and_reopen(self, tmp_path):
+        path = tmp_path / "outcomes.db"
+        with SqlitePredicateStore(path) as store:
+            _fill(store, 50)
+            assert len(store) == 50
+        with SqlitePredicateStore(path) as reopened:
+            for i in range(50):
+                assert reopened.lookup(
+                    "oracle", frozenset({f"k-{i}"})
+                ) is (i % 3 == 0)
+
+    def test_last_write_wins(self, tmp_path):
+        path = tmp_path / "outcomes.db"
+        with SqlitePredicateStore(path) as store:
+            store.record("oracle", frozenset({"a"}), True)
+            store.record("oracle", frozenset({"a"}), False)
+            assert store.lookup("oracle", frozenset({"a"})) is False
+            assert len(store) == 1
+        with SqlitePredicateStore(path) as reopened:
+            assert reopened.lookup("oracle", frozenset({"a"})) is False
+
+    def test_wal_mode_enabled(self, tmp_path):
+        path = tmp_path / "outcomes.db"
+        with SqlitePredicateStore(path):
+            pass
+        conn = sqlite3.connect(path)
+        try:
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+        finally:
+            conn.close()
+        assert mode.lower() == "wal"
+
+    def test_closed_store_raises_clearly(self, tmp_path):
+        store = SqlitePredicateStore(tmp_path / "outcomes.db")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            store.record("oracle", frozenset({"a"}), True)
+        with pytest.raises(ValueError, match="closed"):
+            store.lookup("oracle", frozenset({"a"}))
+
+
+class TestOpenStoreFactory:
+    def test_dispatch(self, tmp_path):
+        with open_store(tmp_path / "a", backend="sharded") as store:
+            assert isinstance(store, ShardedPredicateStore)
+            assert store.shards == DEFAULT_SHARDS
+        with open_store(tmp_path / "b", backend="sqlite") as store:
+            assert isinstance(store, SqlitePredicateStore)
+        with open_store(tmp_path / "c.jsonl", backend="v1") as store:
+            assert isinstance(store, PredicateStore)
+
+    def test_options_forwarded(self, tmp_path):
+        with open_store(
+            tmp_path / "a", backend="sharded", shards=3, max_entries=7
+        ) as store:
+            assert store.shards == 3
+            assert store._max_entries == 7
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            open_store(tmp_path / "a", backend="redis")
+
+    def test_backends_interchange_through_v1_format(self, tmp_path):
+        # v1 writes, sharded migrates and reads: the upgrade path CI
+        # smoke runs exercise implicitly.
+        path = tmp_path / "outcomes.jsonl"
+        with open_store(path, backend="v1") as v1:
+            v1.record("oracle", frozenset({"a"}), True)
+        with open_store(path, backend="sharded") as upgraded:
+            assert upgraded.lookup("oracle", frozenset({"a"})) is True
+
+
+class TestTenantNamespace:
+    def test_tenants_do_not_cross_hit(self, tmp_path):
+        corpus = build_corpus(
+            CorpusConfig(num_benchmarks=1, min_classes=8, max_classes=10)
+        )
+        app = corpus[0].app
+        fp_a = oracle_fingerprint(app, "alpha", "item", tenant="team-a")
+        fp_b = oracle_fingerprint(app, "alpha", "item", tenant="team-b")
+        fp_default = oracle_fingerprint(app, "alpha", "item")
+        assert fp_a != fp_b != fp_default
+        assert fp_a.startswith("tenant=team-a:")
+        assert not fp_default.startswith("tenant=")
+        with ShardedPredicateStore(tmp_path / "store") as store:
+            store.record(fp_a, frozenset({"x"}), True)
+            assert store.lookup(fp_a, frozenset({"x"})) is True
+            assert store.lookup(fp_b, frozenset({"x"})) is None
+            assert store.lookup(fp_default, frozenset({"x"})) is None
+
+    def test_same_tenant_warm_across_runs(self, tmp_path):
+        corpus = build_corpus(
+            CorpusConfig(num_benchmarks=1, min_classes=8, max_classes=10)
+        )
+        benchmark = corpus[0]
+        instance = benchmark.instances[0]
+        config = ExperimentConfig(tenant="team-a")
+        with ShardedPredicateStore(tmp_path / "store") as store:
+            cold = run_instance(
+                benchmark, instance, "our-reducer", config, store
+            )
+            warm = run_instance(
+                benchmark, instance, "our-reducer", config, store
+            )
+            other = run_instance(
+                benchmark,
+                instance,
+                "our-reducer",
+                ExperimentConfig(tenant="team-b"),
+                store,
+            )
+        assert cold.predicate_calls > 0
+        assert warm.predicate_calls == 0
+        assert other.predicate_calls == cold.predicate_calls
+        assert warm.final_bytes == cold.final_bytes == other.final_bytes
+
+
+def _comparable(outcome):
+    return (
+        outcome.final_bytes,
+        outcome.final_classes,
+        outcome.predicate_calls,
+        outcome.simulated_seconds,
+        outcome.status,
+        tuple(outcome.timeline),
+    )
+
+
+class TestDifferentialBackends:
+    """Byte-identical reduction results regardless of store backend,
+    across sequential, speculative-thread, and speculative-process
+    probe configurations (acceptance criterion of the cache tier)."""
+
+    @pytest.mark.parametrize(
+        "probe_config",
+        [
+            {"speculate": 1},
+            {"speculate": 2, "probe_backend": "thread"},
+            {"speculate": 2, "probe_backend": "process"},
+        ],
+        ids=["sequential", "thread", "process"],
+    )
+    def test_backends_agree_cold_and_warm(self, tmp_path, probe_config):
+        corpus = build_corpus(
+            CorpusConfig(num_benchmarks=1, min_classes=12, max_classes=18)
+        )
+        benchmark = corpus[0]
+        instance = benchmark.instances[0]
+        config = ExperimentConfig(**probe_config)
+        pool = probe_pool(config)
+        try:
+            results = {}
+            warm = {}
+            for backend in ("v1", "sharded", "sqlite"):
+                suffix = "jsonl" if backend == "v1" else backend
+                path = tmp_path / f"store-{backend}.{suffix}"
+                with open_store(path, backend=backend) as store:
+                    results[backend] = run_instance(
+                        benchmark,
+                        instance,
+                        "our-reducer",
+                        config,
+                        store,
+                        probe_executor=pool,
+                    )
+                # Reopen: the warm run must replay entirely from disk.
+                with open_store(path, backend=backend) as store:
+                    warm[backend] = run_instance(
+                        benchmark,
+                        instance,
+                        "our-reducer",
+                        config,
+                        store,
+                        probe_executor=pool,
+                    )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+        baseline = _comparable(results["v1"])
+        assert _comparable(results["sharded"]) == baseline
+        assert _comparable(results["sqlite"]) == baseline
+        assert baseline[4] == "complete"
+        for backend in ("v1", "sharded", "sqlite"):
+            assert warm[backend].predicate_calls == 0
+            assert warm[backend].final_bytes == baseline[0]
+            assert warm[backend].final_classes == baseline[1]
