@@ -9,10 +9,20 @@ Subcommands:
   to the smallest valid sub-program whose kept-item set contains the
   named items (a containment predicate stands in for the buggy tool;
   item syntax matches the bracket rendering, e.g. ``[A.m()!code]``).
-- ``jlreduce bench [--profile small|paper] [--jobs N] [--store P]`` —
-  run the corpus experiment and print the Section 5 reports; ``--jobs``
-  fans instances out to a worker pool (0: one per CPU), ``--store``
-  persists predicate outcomes so repeat runs skip fresh invocations.
+- ``jlreduce bench [--profile small|paper|njr] [--jobs N] [--store P]``
+  — run the corpus experiment and print the Section 5 reports;
+  ``--jobs`` fans instances out to a worker *thread* pool (0: one per
+  CPU), ``--store`` persists predicate outcomes so repeat runs skip
+  fresh invocations.  ``--corpus-jobs N`` switches to the
+  process-parallel corpus scheduler instead (whole instances on worker
+  processes, longest-job-first, serial-order commit; 0: one per CPU),
+  with ``--worker-budget T`` capping corpus workers + per-worker probe
+  pools at T live workers total, ``--results FILE.jsonl`` streaming
+  per-instance outcomes to disk (no O(corpus) memory in the parent),
+  ``--debloat`` adding the coverage-debloating row-group, and
+  ``--corpus-dir DIR`` running a corpus persisted by ``jlreduce corpus
+  generate`` from its manifest instead of building one in memory.
+  ``--num-benchmarks N`` overrides the profile's corpus size.
   The store is the sharded cache tier by default (``--store-backend
   sharded``: lazily-loaded hash-selected shard files with compaction;
   a v1 single-file store is migrated in place) with ``--store-shards
@@ -32,9 +42,13 @@ Subcommands:
   GIL-bound thread pool, and ``--tool-latency-ms MS`` models the
   paper's external tool as a real per-attempt sleep the concurrent
   probes overlap.
+- ``jlreduce corpus generate DIR`` — build a corpus profile and persist
+  it (manifest + per-app files) for later ``bench --corpus-dir`` runs.
+- ``jlreduce report FILE.jsonl`` — render the paper-style corpus table
+  from a streamed ``--results`` file.
 - ``jlreduce trace summarize FILE...`` — aggregate JSONL traces written
   by ``--trace`` (per-span totals/mean/p95, counter totals, probe
-  ledger).  All ``trace`` subcommands accept multiple files and globs
+  ledger, and the slowest per-instance blocks).  All ``trace`` subcommands accept multiple files and globs
   and transparently merge per-worker shard files
   (``FILE.shard-w0.jsonl`` ...) in serial commit order.
 - ``jlreduce trace timeline FILE...`` — the merged causal timeline
@@ -154,9 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile",
-        choices=("small", "paper"),
+        choices=("small", "paper", "njr"),
         default="small",
-        help="corpus size profile (default: small)",
+        help="corpus size profile; 'njr' is the 1000-app corpus whose "
+        "geo-mean classes/bytes/items/clauses match the paper's Table 1 "
+        "(default: small)",
+    )
+    bench.add_argument(
+        "--num-benchmarks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the profile's corpus size",
     )
     bench.add_argument(
         "--jobs",
@@ -164,6 +187,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="worker threads for instance runs (0: one per CPU; default 1)",
+    )
+    bench.add_argument(
+        "--corpus-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run whole instances on N worker processes via the corpus "
+        "scheduler (longest-job-first dispatch, serial-order commit; "
+        "outcomes match --jobs 1 byte for byte; 0: one per CPU)",
+    )
+    bench.add_argument(
+        "--worker-budget",
+        type=int,
+        default=None,
+        metavar="T",
+        help="cap total live workers (corpus workers + their probe "
+        "pools) at T so --corpus-jobs x --speculate never "
+        "oversubscribes (default: one per CPU when --corpus-jobs is "
+        "used)",
+    )
+    bench.add_argument(
+        "--results",
+        metavar="FILE.jsonl",
+        help="stream per-instance outcomes to FILE as JSONL "
+        "(append-ordered, one row per instance; with --corpus-jobs the "
+        "parent holds no per-outcome state)",
+    )
+    bench.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        help="run a corpus persisted by 'jlreduce corpus generate' from "
+        "its manifest (requires --corpus-jobs; apps load lazily in the "
+        "workers)",
+    )
+    bench.add_argument(
+        "--debloat",
+        action="store_true",
+        help="add the coverage-based debloating scenario as a second "
+        "row-group (same Problem/predicate interface, observed-coverage "
+        "predicate)",
     )
     bench.add_argument(
         "--store",
@@ -303,6 +366,51 @@ def build_parser() -> argparse.ArgumentParser:
         "trace (requires --trace; adds noticeable overhead)",
     )
 
+    corpus_cmd = sub.add_parser(
+        "corpus", help="generate and persist benchmark corpora"
+    )
+    corpus_sub = corpus_cmd.add_subparsers(
+        dest="corpus_command", required=True
+    )
+    generate_cmd = corpus_sub.add_parser(
+        "generate",
+        help="build a corpus profile and persist it (manifest + apps)",
+    )
+    generate_cmd.add_argument(
+        "directory", metavar="DIR", help="output directory for the corpus"
+    )
+    generate_cmd.add_argument(
+        "--profile",
+        choices=("small", "paper", "njr"),
+        default="njr",
+        help="corpus size profile (default: njr)",
+    )
+    generate_cmd.add_argument(
+        "--num-benchmarks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the profile's corpus size",
+    )
+    generate_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the profile's master seed (per-benchmark seeds "
+        "derive from the benchmark id, so N only relabels the corpus)",
+    )
+
+    report_cmd = sub.add_parser(
+        "report",
+        help="render the paper-style corpus table from streamed results",
+    )
+    report_cmd.add_argument(
+        "results",
+        metavar="FILE.jsonl",
+        help="results file written by bench --results",
+    )
+
     trace = sub.add_parser("trace", help="inspect JSONL trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
 
@@ -430,6 +538,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.json,
             args.jobs,
             args.store,
+            num_benchmarks=args.num_benchmarks,
+            corpus_jobs=args.corpus_jobs,
+            worker_budget=args.worker_budget,
+            results_path=args.results,
+            corpus_dir=args.corpus_dir,
+            debloat=args.debloat,
             store_backend=args.store_backend,
             store_shards=args.store_shards,
             store_max_entries=args.store_max_entries,
@@ -447,6 +561,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             tool_latency_ms=args.tool_latency_ms,
             profile_phases=args.profile_phases,
         )
+    if args.command == "corpus":
+        if args.corpus_command == "generate":
+            return _corpus_generate(
+                args.directory, args.profile, args.num_benchmarks, args.seed
+            )
+        raise AssertionError(
+            f"unhandled corpus command {args.corpus_command!r}"
+        )
+    if args.command == "report":
+        return _report(args.results)
     if args.command == "trace":
         if args.trace_command == "summarize":
             return _trace_summarize(args.files, args.json)
@@ -721,6 +845,12 @@ def _bench(
     json_output: bool = False,
     jobs: int = 1,
     store_path: Optional[str] = None,
+    num_benchmarks: Optional[int] = None,
+    corpus_jobs: Optional[int] = None,
+    worker_budget: Optional[int] = None,
+    results_path: Optional[str] = None,
+    corpus_dir: Optional[str] = None,
+    debloat: bool = False,
     store_backend: str = "sharded",
     store_shards: Optional[int] = None,
     store_max_entries: Optional[int] = None,
@@ -744,6 +874,31 @@ def _bench(
 
     if jobs < 0:
         print(f"jlreduce: --jobs must be >= 0, got {jobs}", file=sys.stderr)
+        return 1
+    if corpus_jobs is not None and corpus_jobs < 0:
+        print(f"jlreduce: --corpus-jobs must be >= 0, got {corpus_jobs}",
+              file=sys.stderr)
+        return 1
+    if worker_budget is not None and worker_budget <= 0:
+        print(f"jlreduce: --worker-budget must be > 0, got {worker_budget}",
+              file=sys.stderr)
+        return 1
+    if num_benchmarks is not None and num_benchmarks <= 0:
+        print(f"jlreduce: --num-benchmarks must be > 0, got "
+              f"{num_benchmarks}", file=sys.stderr)
+        return 1
+    if corpus_dir is not None and corpus_jobs is None:
+        print("jlreduce: --corpus-dir needs --corpus-jobs (the corpus "
+              "scheduler plans from the manifest)", file=sys.stderr)
+        return 1
+    if debloat and corpus_jobs is None:
+        print("jlreduce: --debloat needs --corpus-jobs (row-groups render "
+              "through the scheduler's streaming report)", file=sys.stderr)
+        return 1
+    if corpus_jobs is not None and store_path and store_tenant:
+        print("jlreduce: --store-tenant is not supported with "
+              "--corpus-jobs (worker processes open the store from an "
+              "untenanted spec)", file=sys.stderr)
         return 1
     plan = None
     if chaos is not None:
@@ -793,13 +948,37 @@ def _bench(
         tool_latency_seconds=tool_latency_ms / 1000.0,
         profile_phases=profile_phases,
         tenant=store_tenant,
+        worker_budget=worker_budget,
     )
-    config = (
-        CorpusConfig.paper() if profile == "paper" else CorpusConfig.small()
-    )
+    config = {
+        "paper": CorpusConfig.paper,
+        "njr": CorpusConfig.njr,
+        "small": CorpusConfig.small,
+    }[profile]()
+    if num_benchmarks is not None:
+        from dataclasses import replace
+
+        config = replace(config, num_benchmarks=num_benchmarks)
     progress = (
         None if json_output else lambda line: print(f"  {line}")
     )
+    if corpus_jobs is not None:
+        return _bench_scheduled(
+            config,
+            experiment,
+            corpus_jobs,
+            profile=profile,
+            trace_path=trace_path,
+            json_output=json_output,
+            progress=progress,
+            results_path=results_path,
+            corpus_dir=corpus_dir,
+            debloat=debloat,
+            store_path=store_path,
+            store_backend=store_backend,
+            store_shards=store_shards,
+            store_max_entries=store_max_entries,
+        )
     if not json_output:
         print(f"building corpus ({profile} profile) ...")
     corpus = build_corpus(config)
@@ -837,6 +1016,18 @@ def _bench(
         if outcomes is None:
             return 1
 
+    if results_path:
+        from repro.harness.report import ResultsWriter
+
+        try:
+            with ResultsWriter(results_path) as writer:
+                for outcome in outcomes:
+                    writer.write(outcome)
+        except OSError as exc:
+            print(f"jlreduce: cannot write {results_path}: {exc}",
+                  file=sys.stderr)
+            return 1
+
     if json_output:
         from dataclasses import asdict
 
@@ -845,6 +1036,227 @@ def _bench(
             "outcomes": [asdict(outcome) for outcome in outcomes],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _bench_scheduled(
+    config,
+    experiment,
+    corpus_jobs: int,
+    *,
+    profile: str,
+    trace_path: Optional[str],
+    json_output: bool,
+    progress,
+    results_path: Optional[str],
+    corpus_dir: Optional[str],
+    debloat: bool,
+    store_path: Optional[str],
+    store_backend: str,
+    store_shards: Optional[int],
+    store_max_entries: Optional[int],
+) -> int:
+    """``bench`` routed through the process-parallel corpus scheduler.
+
+    Outcomes stream through a :class:`StreamingReport` (and, with
+    ``--results``, to JSONL) instead of the Section 5 report stack, so
+    the parent never holds the corpus's outcomes in memory and the
+    debloating scenario renders as its own row-group.
+    """
+    import os
+
+    from repro.harness.report import ResultsWriter, StreamingReport
+    from repro.observability import (
+        ShardSet,
+        metric_events,
+        new_run_id,
+        tracing_session,
+        write_trace,
+    )
+    from repro.parallel.scheduler import (
+        StoreSpec,
+        run_scheduled_corpus_experiment,
+    )
+    from repro.reduction import ReductionError
+    from repro.resilience import OracleCrash, TransientOracleError
+
+    store_spec = None
+    if store_path:
+        from repro.parallel import DEFAULT_SHARDS
+
+        store_spec = StoreSpec(
+            path=store_path,
+            backend=store_backend,
+            shards=(
+                store_shards if store_shards is not None else DEFAULT_SHARDS
+            ),
+            max_entries=store_max_entries,
+        )
+
+    kwargs = {}
+    if corpus_dir is not None:
+        from repro.workloads.corpus import MANIFEST_NAME
+
+        if not os.path.isfile(os.path.join(corpus_dir, MANIFEST_NAME)):
+            print(
+                f"jlreduce: {corpus_dir}: no corpus manifest (persist one "
+                "with 'jlreduce corpus generate' first)",
+                file=sys.stderr,
+            )
+            return 1
+        kwargs["corpus_path"] = corpus_dir
+        kwargs["include_debloat"] = debloat
+    else:
+        from repro.workloads.corpus import build_corpus
+
+        if not json_output:
+            print(f"building corpus ({profile} profile) ...")
+        corpus = build_corpus(config)
+        if debloat:
+            from repro.workloads.debloat import add_debloat_instances
+
+            add_debloat_instances(corpus)
+        kwargs["benchmarks"] = corpus
+
+    report = StreamingReport()
+
+    def run():
+        with ExitStack() as stack:
+            writer = (
+                stack.enter_context(ResultsWriter(results_path))
+                if results_path
+                else None
+            )
+
+            def on_outcome(outcome):
+                report.add(outcome)
+                if writer is not None:
+                    writer.write(outcome)
+
+            return run_scheduled_corpus_experiment(
+                config=experiment,
+                progress=progress,
+                jobs=corpus_jobs,
+                store_spec=store_spec,
+                on_outcome=on_outcome,
+                collect=json_output,
+                **kwargs,
+            )
+
+    def session():
+        if trace_path and corpus_jobs != 1:
+            handle = _open_trace(trace_path)
+            if handle is None:
+                return None
+            handle.close()
+            run_id = new_run_id()
+            with ShardSet(
+                trace_path, run_id=run_id, label=f"bench {profile}"
+            ) as shards:
+                with tracing_session(
+                    run_id=run_id, shards=shards
+                ) as (tracer, metrics):
+                    result = run()
+                    for event in metric_events(metrics, run_id=run_id):
+                        shards.emit_main(event)
+            return result
+        if trace_path:
+            handle = _open_trace(trace_path)
+            if handle is None:
+                return None
+            with handle:
+                with tracing_session() as (tracer, metrics):
+                    result = run()
+                write_trace(
+                    handle, tracer, metrics, label=f"bench {profile}"
+                )
+            return result
+        return run()
+
+    try:
+        result = session()
+    except (ReductionError, OracleCrash, TransientOracleError) as exc:
+        print(f"jlreduce: instance failed: {exc}", file=sys.stderr)
+        print("jlreduce: rerun with --keep-going to record failed "
+              "instances and finish the corpus", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"jlreduce: {exc}", file=sys.stderr)
+        return 1
+    if result is None:
+        return 1
+
+    if json_output:
+        from dataclasses import asdict
+
+        payload = {
+            "profile": profile,
+            "outcomes": [asdict(outcome) for outcome in result],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print()
+        print(report.render())
+    return 0
+
+
+def _corpus_generate(
+    directory: str,
+    profile: str,
+    num_benchmarks: Optional[int],
+    seed: Optional[int],
+) -> int:
+    from repro.workloads.corpus import CorpusConfig, iter_corpus, save_corpus
+
+    if num_benchmarks is not None and num_benchmarks <= 0:
+        print(f"jlreduce: --num-benchmarks must be > 0, got "
+              f"{num_benchmarks}", file=sys.stderr)
+        return 1
+    config = {
+        "paper": CorpusConfig.paper,
+        "njr": CorpusConfig.njr,
+        "small": CorpusConfig.small,
+    }[profile]()
+    overrides = {}
+    if num_benchmarks is not None:
+        overrides["num_benchmarks"] = num_benchmarks
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    print(f"generating {config.num_benchmarks} benchmarks ({profile} "
+          f"profile) -> {directory}")
+    done = [0]
+
+    def progress(benchmark):
+        done[0] += 1
+        if done[0] % 50 == 0:
+            print(f"  {done[0]}/{config.num_benchmarks}")
+
+    try:
+        save_corpus(iter_corpus(config), directory, progress=progress)
+    except OSError as exc:
+        print(f"jlreduce: cannot write {directory}: {exc}", file=sys.stderr)
+        return 1
+    print(f"persisted {done[0]} benchmarks (manifest + apps) in {directory}")
+    return 0
+
+
+def _report(results_path: str) -> int:
+    from repro.harness.report import report_from_results
+
+    try:
+        report = report_from_results(results_path)
+    except OSError as exc:
+        print(f"jlreduce: cannot read {results_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"jlreduce: {results_path}: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
     return 0
 
 

@@ -25,8 +25,17 @@ from __future__ import annotations
 
 import hashlib
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.bytecode.classfile import Application
 from repro.bytecode.constraints import class_dependency_graph
@@ -52,6 +61,9 @@ __all__ = [
     "InstanceOutcome",
     "error_outcome",
     "oracle_fingerprint",
+    "outcome_signature",
+    "RESIDENCY_METRICS",
+    "probe_cap_for",
     "probe_pool",
     "progress_line",
     "run_instance",
@@ -119,6 +131,14 @@ class ExperimentConfig:
     #: cached outcomes (the tenant prefixes every oracle fingerprint).
     #: Empty (the default) keeps the historical fingerprint scheme.
     tenant: str = ""
+    #: Total live workers (corpus workers + probe-pool workers) the run
+    #: may hold at once; corpus runners size their probe pools down so
+    #: the sum never exceeds it (see
+    #: :class:`repro.parallel.scheduler.WorkerBudget`).  ``None`` (the
+    #: default) keeps historical sizing: probe pools get exactly
+    #: ``speculate`` workers, which deliberately oversubscribes CPUs to
+    #: overlap external tool latency.  Set it on CPU-bound runs.
+    worker_budget: Optional[int] = None
 
     @property
     def wants_resilience(self) -> bool:
@@ -150,6 +170,10 @@ class InstanceOutcome:
     #: Telemetry for this run (solver stats, cache hit rates, probe
     #: counts) — the strategy's ``ReductionResult.extras['metrics']``.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: ``"reduction"`` (the paper's decompiler-bug predicate) or
+    #: ``"debloat"`` (coverage-based debloating) — report row-groups
+    #: key on it.
+    scenario: str = "reduction"
     #: ``"complete"`` | ``"partial"`` (budget exhausted; anytime
     #: best-so-far result) | ``"error"`` (the run crashed and
     #: ``keep_going`` recorded it instead of aborting the bench).
@@ -235,19 +259,28 @@ def run_instance(
             local_pool.shutdown(wait=True)
 
 
-def probe_pool(config: ExperimentConfig):
+def probe_pool(config: ExperimentConfig, max_workers: Optional[int] = None):
     """The worker pool for speculative probes, or None when sequential.
 
     Kept separate from the instance-level pool of
     :mod:`repro.parallel.runner` — an instance worker blocking on probe
     futures scheduled into its *own* pool could deadlock.
+
+    ``max_workers`` caps the pool's *physical* size (the worker-budget
+    hook; see :class:`repro.parallel.scheduler.WorkerBudget`) without
+    touching ``config.speculate`` — the speculation width K governs
+    batch semantics and virtual-clock accounting, so results stay
+    byte-identical however small the pool is squeezed.
     """
     if config.speculate <= 1:
         return None
+    workers = config.speculate
+    if max_workers is not None:
+        workers = max(1, min(workers, max_workers))
     if config.probe_backend == "process":
         from repro.parallel.procpool import ProcessProbePool
 
-        return ProcessProbePool(max_workers=config.speculate)
+        return ProcessProbePool(max_workers=workers)
     if config.probe_backend != "thread":
         raise ValueError(
             f"unknown probe backend {config.probe_backend!r} "
@@ -256,7 +289,25 @@ def probe_pool(config: ExperimentConfig):
     from concurrent.futures import ThreadPoolExecutor
 
     return ThreadPoolExecutor(
-        max_workers=config.speculate, thread_name_prefix="jlreduce-probe"
+        max_workers=workers, thread_name_prefix="jlreduce-probe"
+    )
+
+
+def probe_cap_for(
+    config: Optional[ExperimentConfig], corpus_jobs: int, shared: bool = True
+) -> Optional[int]:
+    """The probe-pool size cap the worker budget imposes, or None.
+
+    ``shared`` distinguishes the thread runner's one pool shared by all
+    corpus workers from the process scheduler's per-worker pools (where
+    the leftover budget divides across ``corpus_jobs``).
+    """
+    if config is None or config.worker_budget is None:
+        return None
+    from repro.parallel.scheduler import WorkerBudget
+
+    return WorkerBudget(config.worker_budget).probe_pool_cap(
+        corpus_jobs, shared=shared
     )
 
 
@@ -336,6 +387,11 @@ def _run_instance_inner(
         """
         if config.probe_backend != "process" or config.speculate <= 1:
             return None
+        if getattr(instance, "scenario", "reduction") != "reduction":
+            # Worker processes rebuild predicates from decompiler names;
+            # scenario oracles (debloat) have no registry entry, so
+            # their probes stay in-parent (thread-pool semantics).
+            return None
         from repro.parallel.procpool import ProbeTaskSpec
 
         return ProbeTaskSpec(
@@ -379,19 +435,32 @@ def _run_instance_inner(
                 )
                 instrumented_cell.append(instrumented)
                 graph = class_dependency_graph(app)
+                # Scenario oracles (debloat) pin more than the entry
+                # class — duck-typed so DecompilerOracle needs no hook.
+                required = list(
+                    getattr(oracle, "required_classes", None)
+                    or [app.entry_class]
+                )
             with tracer.span("instance.reduce", strategy=strategy), (
                 _maybe_profile(config, tracer)
             ):
                 result = binary_reduction(
                     graph,
                     instrumented,
-                    required=[app.entry_class],
+                    required=required,
                 )
             with tracer.span("instance.measure", strategy=strategy):
                 reduced = _class_subset(app, result.solution)
         else:
             with tracer.span("instance.setup", strategy=strategy):
-                problem = build_reduction_problem(app, oracle.decompiler)
+                # Scenario oracles build their own problem (on a fresh
+                # oracle, keeping memo telemetry deterministic); the
+                # default is the paper's decompiler-bug problem.
+                builder = getattr(oracle, "build_problem", None)
+                if builder is not None:
+                    problem = builder()
+                else:
+                    problem = build_reduction_problem(app, oracle.decompiler)
                 instrumented = InstrumentedPredicate(
                     _resilient(problem.predicate, "item"),
                     cost_per_call=config.simulated_seconds_per_run,
@@ -429,6 +498,7 @@ def _run_instance_inner(
         benchmark_id=benchmark.benchmark_id,
         decompiler=instance.decompiler,
         strategy=strategy,
+        scenario=getattr(instance, "scenario", "reduction"),
         total_bytes=total_bytes,
         total_classes=total_classes,
         final_bytes=application_size_bytes(reduced),
@@ -463,6 +533,7 @@ def error_outcome(
         benchmark_id=benchmark.benchmark_id,
         decompiler=instance.decompiler,
         strategy=strategy,
+        scenario=getattr(instance, "scenario", "reduction"),
         total_bytes=total_bytes,
         total_classes=len(app.classes),
         final_bytes=total_bytes,
@@ -473,6 +544,42 @@ def error_outcome(
         status="error",
         error=f"{type(error).__name__}: {error}",
     )
+
+
+#: Per-run metric names that report cache-tier *residency* rather than
+#: semantics: which process's store handle had a shard loaded, how many
+#: foreign lines its scan walked, what its LRU evicted.  They are
+#: faithful telemetry but inherently placement-dependent — two runs with
+#: identical probe traffic report different values depending on which
+#: worker's handle served them — so outcome comparisons exclude them.
+RESIDENCY_METRICS = (
+    "store.shard_loads",
+    "store.lines_scanned",
+    "store.evictions",
+    "store.compactions",
+)
+
+
+def outcome_signature(outcome: InstanceOutcome) -> Dict[str, Any]:
+    """The deterministic identity of an outcome, for differential tests.
+
+    Everything except wall time (``real_seconds``) and the
+    placement-dependent residency counters (:data:`RESIDENCY_METRICS`)
+    in the per-run metrics extras.  Two runs of the same corpus agree on
+    this signature across sequential / thread / process backends, any
+    job count, and any dispatch order — including warm-store and chaos
+    lanes.
+    """
+    record = asdict(outcome)
+    record.pop("real_seconds", None)
+    metrics = record.get("metrics")
+    if metrics:
+        record["metrics"] = {
+            name: value
+            for name, value in metrics.items()
+            if name not in RESIDENCY_METRICS
+        }
+    return record
 
 
 def progress_line(outcome: InstanceOutcome) -> str:
@@ -518,7 +625,7 @@ def run_corpus_experiment(
             benchmarks, config, progress=progress, jobs=jobs, store=store
         )
     outcomes: List[InstanceOutcome] = []
-    probes = probe_pool(config)
+    probes = probe_pool(config, max_workers=probe_cap_for(config, 1))
     try:
         for benchmark in benchmarks:
             for instance in benchmark.instances:

@@ -24,7 +24,11 @@ def geometric_mean(values: Iterable[float]) -> float:
         if value <= 0:
             raise ValueError(f"geometric mean needs positive values, got {value}")
         total += math.log(value)
-    return math.exp(total / len(values))
+    result = math.exp(total / len(values))
+    # The geometric mean lies in [min, max] mathematically; the log/exp
+    # round-trip can land an ulp outside (e.g. gmean([17, 17]) = 17+eps),
+    # so clamp it back into its bounds.
+    return min(max(result, min(values)), max(values))
 
 
 def quantile(values: Sequence[float], q: float) -> float:

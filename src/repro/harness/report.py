@@ -10,22 +10,236 @@ regenerable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.harness.experiments import InstanceOutcome
 from repro.harness.metrics import geometric_mean, quantile
 from repro.harness.stats import CorpusStatistics
 
 __all__ = [
+    "ResultsWriter",
+    "StreamingReport",
     "by_strategy",
+    "iter_results",
     "render_cfd_table",
     "render_headline",
     "render_lossy_comparison",
     "render_statistics",
     "render_timeline",
+    "report_from_results",
 ]
 
 _QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 1.00)
+
+
+# ----------------------------------------------------------------------
+# Streaming results (paper-scale corpora)
+# ----------------------------------------------------------------------
+#
+# A 1000-app corpus run must not hold its outcomes in the parent: the
+# scheduler streams each InstanceOutcome (serial order) to a JSONL
+# results file via ResultsWriter, and StreamingReport folds each row
+# into O(#row-groups) aggregates — geometric means kept as running
+# log-sums — so the paper-style table costs no O(corpus) memory at
+# either end.  ``jlreduce report`` re-renders the table from the file.
+
+
+class ResultsWriter:
+    """Append InstanceOutcomes to a JSONL results file, one per line.
+
+    Flushes per row, so a killed run keeps everything committed before
+    it (at worst one torn final line — the tolerant readers skip it,
+    same policy as the trace shards and the predicate store).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = open(path, "a", encoding="utf-8")
+        self.rows = 0
+
+    def write(self, outcome: Union[InstanceOutcome, Dict[str, Any]]) -> None:
+        row = asdict(outcome) if not isinstance(outcome, dict) else outcome
+        self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.rows += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "ResultsWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_results(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream result rows back from a JSONL file (O(1) memory).
+
+    A torn final line — the partial write of a killed run — is skipped;
+    a malformed line elsewhere raises.
+    """
+    with open(path, encoding="utf-8") as handle:
+        pending: Optional[str] = None
+        lineno = 0
+        for lineno, line in enumerate(handle, start=1):
+            if pending is not None:
+                raise ValueError(
+                    f"bad results JSONL at line {lineno - 1}: {pending}"
+                )
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                row = json.loads(stripped)
+            except ValueError as exc:
+                if line.endswith("\n"):
+                    pending = str(exc)
+                continue
+            if not isinstance(row, dict):
+                raise ValueError(
+                    f"bad results JSONL at line {lineno}: not an object"
+                )
+            yield row
+        if pending is not None:
+            raise ValueError(
+                f"bad results JSONL at line {lineno}: {pending}"
+            )
+
+
+@dataclass
+class _GroupAggregate:
+    """Streaming aggregates for one (scenario, strategy) row."""
+
+    count: int = 0
+    errors: int = 0
+    partial: int = 0
+    calls: int = 0
+    log_bytes: float = 0.0
+    log_classes: float = 0.0
+    log_sim: float = 0.0
+    real_seconds: float = 0.0
+
+    def add(self, row: Dict[str, Any]) -> None:
+        self.count += 1
+        status = row.get("status", "complete")
+        if status == "error":
+            self.errors += 1
+            return  # error rows carry no-reduction placeholders
+        if status == "partial":
+            self.partial += 1
+        self.calls += int(row.get("predicate_calls", 0))
+        total_b = max(float(row.get("total_bytes", 0)), 1.0)
+        total_c = max(float(row.get("total_classes", 0)), 1.0)
+        self.log_bytes += math.log(
+            max(float(row.get("final_bytes", total_b)) / total_b, 1e-9)
+        )
+        self.log_classes += math.log(
+            max(float(row.get("final_classes", total_c)) / total_c, 1e-9)
+        )
+        self.log_sim += math.log(
+            max(float(row.get("simulated_seconds", 0.0)), 1e-9)
+        )
+        self.real_seconds += float(row.get("real_seconds", 0.0))
+
+    @property
+    def reduced(self) -> int:
+        return self.count - self.errors
+
+    def _geo(self, log_sum: float) -> float:
+        return math.exp(log_sum / self.reduced) if self.reduced else 0.0
+
+    def row(self, strategy: str) -> str:
+        line = (
+            f"{strategy:<15s} {self.count:>5d}  "
+            f"{self._geo(self.log_bytes):7.1%}  "
+            f"{self._geo(self.log_classes):7.1%}  "
+            f"{self.calls / self.reduced if self.reduced else 0.0:8.1f}  "
+            f"{self._geo(self.log_sim) / 3600:7.2f}h  "
+            f"{self.real_seconds:9.0f}s"
+        )
+        flags = []
+        if self.partial:
+            flags.append(f"{self.partial} partial")
+        if self.errors:
+            flags.append(f"{self.errors} errors")
+        return line + ("  (" + ", ".join(flags) + ")" if flags else "")
+
+
+class StreamingReport:
+    """Fold outcomes (or result rows) into a paper-style corpus table.
+
+    Row-groups are scenarios (the paper's decompiler-bug reduction
+    first, then debloating and any other predicate riding the same
+    ``Problem`` interface); rows are strategies.  Geometric means are
+    maintained as running log-sums, so memory is O(scenarios ×
+    strategies) however large the corpus — feed it a million rows.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[Tuple[str, str], _GroupAggregate] = {}
+        self._order: List[Tuple[str, str]] = []
+        self.rows = 0
+
+    def add(self, outcome: Union[InstanceOutcome, Dict[str, Any]]) -> None:
+        row = asdict(outcome) if not isinstance(outcome, dict) else outcome
+        key = (
+            row.get("scenario", "reduction"),
+            row.get("strategy", "unknown"),
+        )
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _GroupAggregate()
+            self._order.append(key)
+        group.add(row)
+        self.rows += 1
+
+    def render(self) -> str:
+        lines = [
+            "Corpus report",
+            "=============",
+        ]
+        header = (
+            f"{'strategy':<15s} {'n':>5s}  {'bytes':>7s}  {'classes':>7s}  "
+            f"{'calls':>8s}  {'simtime':>8s}  {'walltime':>10s}"
+        )
+        scenarios: List[str] = []
+        for scenario, _ in self._order:
+            if scenario not in scenarios:
+                scenarios.append(scenario)
+        for scenario in scenarios:
+            lines.append("")
+            title = f"scenario: {scenario}"
+            lines.append(title)
+            lines.append("-" * len(title))
+            lines.append(header)
+            for key in self._order:
+                if key[0] != scenario:
+                    continue
+                lines.append(self._groups[key].row(key[1]))
+        lines.append("")
+        lines.append(f"{self.rows} result rows")
+        return "\n".join(lines)
+
+
+def report_from_results(path: str) -> StreamingReport:
+    """Build the streaming report by replaying a results JSONL file."""
+    report = StreamingReport()
+    for row in iter_results(path):
+        report.add(row)
+    return report
 
 
 def by_strategy(

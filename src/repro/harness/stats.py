@@ -57,7 +57,15 @@ def corpus_statistics(benchmarks: List[Benchmark]) -> CorpusStatistics:
     instances = 0
 
     for benchmark in benchmarks:
-        if not benchmark.instances:
+        # Debloating instances are not part of the paper's statistics
+        # row (their "error count" is zero by construction, which would
+        # also poison the geometric mean).
+        reduction = [
+            instance
+            for instance in benchmark.instances
+            if getattr(instance, "scenario", "reduction") == "reduction"
+        ]
+        if not reduction:
             continue
         app = benchmark.app
         cnf = generate_constraints(app)
@@ -66,7 +74,7 @@ def corpus_statistics(benchmarks: List[Benchmark]) -> CorpusStatistics:
         app_items = len(items_of(app))
         app_clauses = len(cnf)
         app_edges = cnf.graph_clause_fraction()
-        for instance in benchmark.instances:
+        for instance in reduction:
             instances += 1
             classes.append(app_classes)
             kilobytes.append(app_kb)
@@ -76,7 +84,14 @@ def corpus_statistics(benchmarks: List[Benchmark]) -> CorpusStatistics:
             edge_fractions.append(app_edges)
 
     return CorpusStatistics(
-        num_benchmarks=sum(1 for b in benchmarks if b.instances),
+        num_benchmarks=sum(
+            1
+            for b in benchmarks
+            if any(
+                getattr(i, "scenario", "reduction") == "reduction"
+                for i in b.instances
+            )
+        ),
         num_instances=instances,
         classes=geometric_mean(classes),
         kilobytes=geometric_mean(kilobytes),

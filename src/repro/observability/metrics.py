@@ -139,6 +139,19 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge(
+        self, counts: Sequence[int], total: float, count: int
+    ) -> None:
+        """Fold another histogram's tallies in (forwards up the chain)."""
+        with self._lock:
+            for i, n in enumerate(counts):
+                if i < len(self.counts):
+                    self.counts[i] += n
+            self.sum += total
+            self.count += count
+        if self._parent is not None:
+            self._parent.merge(counts, total, count)
+
     def reset(self) -> None:
         with self._lock:
             self.counts = [0] * (len(self.buckets) + 1)
@@ -233,6 +246,33 @@ class MetricsRegistry:
                     for n, h in self._histograms.items()
                 },
             }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The corpus scheduler's worker processes run under their own
+        registries and ship snapshots home with each result; merging at
+        serial commit time keeps the parent's totals identical to an
+        in-process run.  Counters add, gauges last-write-win, histogram
+        bucket counts and sums add (bucket bounds must match — they are
+        the module-constant latency buckets everywhere today).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            if not data.get("count"):
+                continue
+            histogram = self.histogram(
+                name, tuple(data.get("buckets") or DEFAULT_LATENCY_BUCKETS)
+            )
+            histogram.merge(
+                data.get("counts", []),
+                data.get("sum", 0.0),
+                data.get("count", 0),
+            )
 
     def reset(self) -> None:
         """Zero every metric (registrations are kept; parents untouched)."""

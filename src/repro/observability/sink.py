@@ -56,6 +56,9 @@ __all__ = [
 
 TRACE_SCHEMA_VERSION = 2
 
+#: How many of the slowest ``instance.run`` spans ``summarize`` keeps.
+INSTANCE_TOP = 10
+
 
 class JsonlSink:
     """Writes JSON-serializable event dicts, one per line.
@@ -221,7 +224,10 @@ def summarize(
          "probes": {"count", "fresh", "store", "wall_seconds",
                     "virtual_seconds", "retries"},
          "store": {"lookups", "hits", "misses", "hit_rate", "records",
-                   "evictions", "compactions", "shard_loads"}}
+                   "evictions", "compactions", "shard_loads"},
+         "instances": [{"benchmark", "decompiler", "strategy", "serial",
+                        "worker", "wall_seconds", "virtual_seconds",
+                        "probes", "fresh", "store_hits"}, ...]}
 
     Accepts either raw :class:`SpanEvent` objects (straight from a
     tracer) or dicts (from :func:`load_trace`); counter lines for the
@@ -230,6 +236,13 @@ def summarize(
     provenance ledger; the ``store`` section (cache-tier hit rate,
     evictions, compactions — see :mod:`repro.parallel.store`) only when
     the run consulted a persistent predicate store.
+
+    ``instances`` lists the slowest ``instance.run`` spans (at most
+    :data:`INSTANCE_TOP`, by wall clock) with their probe tallies
+    joined by serial commit number.  Traces without serials (a
+    ``--jobs 1`` bench writes every event with serial ``-1``) still
+    list the slow instances, but their probe columns read ``None`` —
+    probes cannot be attributed to one instance without the serial.
     """
     durations: Dict[str, List[float]] = {}
     vtotals: Dict[str, float] = {}
@@ -244,6 +257,8 @@ def summarize(
         "virtual_seconds": 0.0,
         "retries": 0,
     }
+    instance_runs: List[Dict[str, Any]] = []
+    probes_by_serial: Dict[int, Dict[str, int]] = {}
 
     for event in events:
         if isinstance(event, SpanEvent):
@@ -255,6 +270,17 @@ def summarize(
             vtotals[name] = vtotals.get(name, 0.0) + float(
                 event.get("vduration", 0.0)
             )
+            if name == "instance.run":
+                attrs = event.get("attrs") or {}
+                instance_runs.append({
+                    "benchmark": attrs.get("benchmark", "?"),
+                    "decompiler": attrs.get("decompiler", "?"),
+                    "strategy": attrs.get("strategy", "?"),
+                    "serial": event.get("serial"),
+                    "worker": event.get("worker", ""),
+                    "wall_seconds": float(event["duration"]),
+                    "virtual_seconds": float(event.get("vduration", 0.0)),
+                })
         elif kind == "counter":
             name = event["name"]
             counters[name] = counters.get(name, 0) + event["value"]
@@ -278,6 +304,16 @@ def summarize(
                 event.get("virtual_charge", 0.0)
             )
             probes["retries"] += int(event.get("retries") or 0)
+            serial = event.get("serial")
+            if isinstance(serial, int) and serial >= 0:
+                tally = probes_by_serial.setdefault(
+                    serial, {"probes": 0, "fresh": 0, "store_hits": 0}
+                )
+                tally["probes"] += 1
+                if cache == "fresh":
+                    tally["fresh"] += 1
+                elif cache == "store":
+                    tally["store_hits"] += 1
 
     spans = {
         name: {
@@ -298,6 +334,20 @@ def summarize(
     }
     if probes["count"]:
         summary["probes"] = probes
+    if instance_runs:
+        for row in instance_runs:
+            serial = row["serial"]
+            tally = (
+                probes_by_serial.get(serial)
+                if isinstance(serial, int) and serial >= 0
+                else None
+            )
+            row["probes"] = tally["probes"] if tally else None
+            row["fresh"] = tally["fresh"] if tally else None
+            row["store_hits"] = tally["store_hits"] if tally else None
+        instance_runs.sort(key=lambda row: -row["wall_seconds"])
+        summary["instances"] = instance_runs[:INSTANCE_TOP]
+        summary["instance_count"] = len(instance_runs)
     lookups = counters.get("store.lookups", 0)
     if lookups:
         hits = counters.get("store.hits", 0)
@@ -337,6 +387,32 @@ def render_summary(summary: Dict[str, Any]) -> str:
             lines.append(
                 f"  {name:<28} {stats['count']:>7} {stats['total']:>10.4f} "
                 f"{stats['mean']:>10.6f} {stats['p95']:>10.6f}"
+            )
+    instances = summary.get("instances")
+    if instances:
+        if lines:
+            lines.append("")
+        shown = len(instances)
+        total = summary.get("instance_count", shown)
+        title = "slowest instances"
+        if total > shown:
+            title += f" (top {shown} of {total})"
+        lines.append(title)
+        lines.append(
+            f"  {'benchmark':<14} {'decompiler':<10} {'strategy':<12} "
+            f"{'probes':>7} {'fresh':>7} {'store':>7} "
+            f"{'wall':>9} {'virtual':>10}"
+        )
+        for row in instances:
+            def _cell(value) -> str:
+                return "-" if value is None else f"{value:,}"
+
+            lines.append(
+                f"  {row['benchmark']:<14} {row['decompiler']:<10} "
+                f"{row['strategy']:<12} {_cell(row['probes']):>7} "
+                f"{_cell(row['fresh']):>7} {_cell(row['store_hits']):>7} "
+                f"{row['wall_seconds']:>8.3f}s "
+                f"{row['virtual_seconds']:>9.1f}s"
             )
     probes = summary.get("probes")
     if probes:

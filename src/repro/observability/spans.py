@@ -460,6 +460,59 @@ class Tracer:
                 self._events.append(event)
         return span_id
 
+    def ingest(
+        self, payload: Dict[str, Any], time_offset: float = 0.0
+    ) -> None:
+        """Commit a worker-tracer event verbatim, preserving its ids.
+
+        The corpus scheduler's worker processes run a *real* tracer
+        (unlike probe workers, which handcraft payloads for
+        :meth:`adopt`): their events already carry globally-unique span
+        ids (``"p<pid>:<seq>"``) and correct intra-instance parent
+        links, which must survive the hop — re-minting ids here would
+        orphan every child span.  Worker seqs are preserved too: the
+        shard merge key is ``(serial, seq, position)``, one task's
+        events all come from one worker, and serials never straddle
+        tasks, so intra-task order is exactly the worker's emit order.
+
+        ``time_offset`` re-bases the worker's wall clock (its ``start``
+        / ``t`` are relative to *its* tracer epoch) onto this tracer's:
+        pass ``worker_epoch_unix - parent.epoch_unix``.
+        """
+        if not self._enabled:
+            return
+        payload = dict(payload)
+        worker = payload.get("worker", "main")
+        if payload.get("type") == "span":
+            event = SpanEvent(
+                name=payload.get("name", "ingested"),
+                start=float(payload.get("start", 0.0)) + time_offset,
+                duration=float(payload.get("duration", 0.0)),
+                vstart=float(payload.get("vstart", 0.0)),
+                vduration=float(payload.get("vduration", 0.0)),
+                span_id=payload.get("span_id", f"{worker}:?"),
+                parent_id=payload.get("parent_span_id"),
+                run_id=payload.get("run_id") or self.run_id,
+                trace_id=payload.get("trace_id") or self.run_id,
+                serial=int(payload.get("serial", -1)),
+                worker=worker,
+                seq=int(payload.get("seq", 0)),
+                attrs=dict(payload.get("attrs") or {}),
+            )
+            if self._shards is not None:
+                self._shards.emit(event.worker, event.to_dict())
+            else:
+                with self._lock:
+                    self._events.append(event)
+            return
+        if "t" in payload:
+            payload["t"] = float(payload["t"]) + time_offset
+        if self._shards is not None:
+            self._shards.emit(worker, payload)
+        else:
+            with self._lock:
+                self._raw.append(payload)
+
     def events(self) -> List[SpanEvent]:
         """Snapshot of the finished spans, in finish order.
 

@@ -28,7 +28,13 @@ kept items).  This package amortizes both axes:
   rebuild the predicate chain from a picklable :class:`ProbeTaskSpec`,
   beating the GIL on the pure-Python probe work the thread pool cannot
   overlap; the parent commits results serially, so outcomes stay
-  byte-identical across backends.
+  byte-identical across backends,
+- :mod:`repro.parallel.scheduler` — the corpus-level analogue: whole
+  reduction instances fanned to spawn-safe worker processes
+  (:class:`InstanceTaskSpec`), dispatched adaptive longest-job-first,
+  committed in serial order (outcomes, metrics, spans, ledger), with a
+  shared :class:`WorkerBudget` so corpus workers × probe workers never
+  oversubscribe the machine (``jlreduce bench --corpus-jobs N``).
 
 Both lean on the concurrency-safe telemetry in
 :mod:`repro.observability`: lock-protected metrics and thread-scoped
@@ -46,6 +52,13 @@ from repro.parallel.procpool import (
 from repro.parallel.runner import (
     resolve_jobs,
     run_parallel_corpus_experiment,
+)
+from repro.parallel.scheduler import (
+    InstanceTaskSpec,
+    StoreSpec,
+    WorkerBudget,
+    load_cost_hints,
+    run_scheduled_corpus_experiment,
 )
 from repro.parallel.speculate import (
     candidate_midpoints,
@@ -67,16 +80,21 @@ __all__ = [
     "PredicateStore",
     "ShardedPredicateStore",
     "SqlitePredicateStore",
+    "InstanceTaskSpec",
     "ProbeTaskSpec",
     "ProcessProbePool",
+    "StoreSpec",
     "ToolLatencyPredicate",
+    "WorkerBudget",
     "build_worker_predicate",
     "candidate_midpoints",
     "fingerprint_of",
     "key_of",
+    "load_cost_hints",
     "open_store",
     "resolve_jobs",
     "run_parallel_corpus_experiment",
+    "run_scheduled_corpus_experiment",
     "speculation_allowed",
     "speculative_interval_search",
 ]

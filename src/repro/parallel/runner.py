@@ -36,6 +36,7 @@ from repro.harness.experiments import (
     ExperimentConfig,
     InstanceOutcome,
     error_outcome,
+    probe_cap_for,
     probe_pool,
     progress_line,
     run_instance,
@@ -133,8 +134,10 @@ def run_parallel_corpus_experiment(
     # The probe pool is shared across instances but deliberately
     # separate from the instance pool: an instance worker blocks on its
     # probe futures, and blocking on futures scheduled into one's own
-    # pool deadlocks once every worker does it.
-    probes = probe_pool(config)
+    # pool deadlocks once every worker does it.  A worker budget (when
+    # set) caps its physical size so corpus workers + probe workers
+    # never exceed the configured total.
+    probes = probe_pool(config, max_workers=probe_cap_for(config, jobs))
     try:
         with ThreadPoolExecutor(
             max_workers=max(1, jobs), thread_name_prefix="jlreduce-worker"

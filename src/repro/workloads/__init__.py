@@ -23,9 +23,28 @@ __all__ = [
     "WorkloadConfig",
     "generate_application",
     "Benchmark",
+    "BuggyInstance",
     "CorpusConfig",
     "build_corpus",
+    "iter_corpus",
+    "save_corpus",
+    "load_corpus",
+    "iter_saved_corpus",
+    "load_manifest",
+    "add_debloat_instances",
 ]
+
+_CORPUS_NAMES = (
+    "Benchmark",
+    "BuggyInstance",
+    "CorpusConfig",
+    "build_corpus",
+    "iter_corpus",
+    "save_corpus",
+    "load_corpus",
+    "iter_saved_corpus",
+    "load_manifest",
+)
 
 
 def __getattr__(name):
@@ -34,8 +53,12 @@ def __getattr__(name):
         from repro.workloads import generator
 
         return getattr(generator, name)
-    if name in ("Benchmark", "CorpusConfig", "build_corpus"):
+    if name in _CORPUS_NAMES:
         from repro.workloads import corpus
 
         return getattr(corpus, name)
+    if name == "add_debloat_instances":
+        from repro.workloads import debloat
+
+        return getattr(debloat, name)
     raise AttributeError(f"module 'repro.workloads' has no attribute {name!r}")

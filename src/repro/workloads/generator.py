@@ -13,6 +13,7 @@ CNF is satisfied by the full item set (property-tested).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -81,6 +82,15 @@ class WorkloadConfig:
     module_locality: float = 0.85
     #: How many modules the entry point touches.
     entry_modules: int = 1
+    #: Extra debug-info payload characters appended to each class's
+    #: ``SourceFile`` attribute.  Real NJR class files average ~1.5 KB
+    #: per class (constant pools, line tables, signatures); our minimal
+    #: encoding is an order of magnitude leaner, so corpus profiles that
+    #: target the paper's byte distribution pad attributes to match.
+    #: The padding is derived from the class name (not the rng), so a
+    #: padded corpus has the same structure as an unpadded one.  Unique
+    #: per class, or the serializer's string pool would dedup it away.
+    attribute_payload_chars: int = 0
 
 
 def generate_application(
@@ -173,7 +183,13 @@ class _Generator:
     def _attributes(self, name: str) -> Tuple[Attribute, ...]:
         if self.rng.random() < self.config.attribute_probability:
             simple = name.rsplit("/", 1)[-1]
-            return (Attribute("SourceFile", f"{simple}.java"),)
+            payload = f"{simple}.java"
+            pad = self.config.attribute_payload_chars
+            if pad > 0:
+                digest = hashlib.sha256(name.encode("utf-8")).hexdigest()
+                reps = pad // len(digest) + 1
+                payload += "//" + (digest * reps)[:pad]
+            return (Attribute("SourceFile", payload),)
         return ()
 
     # ------------------------------------------------------------------

@@ -233,3 +233,87 @@ class TestSummaryStats:
 
     def test_render_empty_summary(self):
         assert "empty" in render_summary(summarize([]))
+
+
+class TestSummarizeInstances:
+    """The per-instance block of ``trace summarize``."""
+
+    @staticmethod
+    def _span(serial, wall, benchmark="b000", decompiler="alpha",
+              strategy="our-reducer", worker="p1"):
+        return {
+            "type": "span",
+            "name": "instance.run",
+            "start": 0.0,
+            "duration": wall,
+            "vduration": wall * 100.0,
+            "serial": serial,
+            "worker": worker,
+            "attrs": {
+                "benchmark": benchmark,
+                "decompiler": decompiler,
+                "strategy": strategy,
+            },
+        }
+
+    @staticmethod
+    def _probe(serial, cache):
+        return {
+            "type": "probe",
+            "serial": serial,
+            "cache": cache,
+            "wall_seconds": 0.01,
+            "virtual_charge": 33.0,
+        }
+
+    def test_probe_tallies_join_by_serial(self):
+        events = [
+            self._span(0, 2.0),
+            self._span(1, 5.0, strategy="jreduce"),
+            self._probe(0, "fresh"),
+            self._probe(0, "store"),
+            self._probe(1, "fresh"),
+        ]
+        summary = summarize(events)
+        rows = summary["instances"]
+        # Sorted slowest-first.
+        assert [row["serial"] for row in rows] == [1, 0]
+        assert rows[0]["probes"] == 1
+        assert rows[0]["fresh"] == 1
+        assert rows[0]["store_hits"] == 0
+        assert rows[1]["probes"] == 2
+        assert rows[1]["store_hits"] == 1
+        assert summary["instance_count"] == 2
+
+    def test_serial_free_traces_leave_probe_columns_unset(self):
+        # jobs=1 traces stamp serial -1 everywhere: the slow-instance
+        # list still renders, but probes cannot be attributed.
+        events = [self._span(-1, 1.0), self._probe(-1, "fresh")]
+        summary = summarize(events)
+        (row,) = summary["instances"]
+        assert row["probes"] is None
+        rendered = render_summary(summary)
+        assert "slowest instances" in rendered
+        assert " - " in rendered
+
+    def test_top_n_keeps_slowest(self):
+        from repro.observability.sink import INSTANCE_TOP
+
+        events = [
+            self._span(i, float(i), benchmark=f"b{i:03d}")
+            for i in range(INSTANCE_TOP + 5)
+        ]
+        summary = summarize(events)
+        assert len(summary["instances"]) == INSTANCE_TOP
+        assert summary["instance_count"] == INSTANCE_TOP + 5
+        walls = [row["wall_seconds"] for row in summary["instances"]]
+        assert walls == sorted(walls, reverse=True)
+        rendered = render_summary(summary)
+        assert f"top {INSTANCE_TOP} of {INSTANCE_TOP + 5}" in rendered
+
+    def test_traces_without_instances_omit_the_block(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _sample_trace(str(path))
+        summary = summarize(load_trace(str(path)))
+        assert "instances" not in summary
+        assert "slowest instances" not in render_summary(summary)

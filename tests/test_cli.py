@@ -630,3 +630,90 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["explode"])
+
+
+class TestCorpusScheduler:
+    """The --corpus-jobs / corpus generate / report surface."""
+
+    def test_corpus_generate_then_scheduled_bench_then_report(
+        self, tmp_path, capsys
+    ):
+        corpus_dir = str(tmp_path / "corpus")
+        results = str(tmp_path / "results.jsonl")
+        assert main([
+            "corpus", "generate", corpus_dir,
+            "--profile", "small", "--num-benchmarks", "2",
+        ]) == 0
+        assert "persisted 2 benchmarks" in capsys.readouterr().out
+
+        assert main([
+            "bench", "--corpus-jobs", "1", "--corpus-dir", corpus_dir,
+            "--debloat", "--results", results,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: reduction" in out
+        assert "scenario: debloat" in out
+
+        assert main(["report", results]) == 0
+        replay = capsys.readouterr().out
+        assert "scenario: debloat" in replay
+
+    def test_scheduled_bench_in_memory_json(self, capsys):
+        assert main([
+            "bench", "--corpus-jobs", "1", "--num-benchmarks", "1",
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcomes"]
+        assert all(
+            o["scenario"] == "reduction" for o in payload["outcomes"]
+        )
+
+    def test_corpus_dir_requires_corpus_jobs(self, capsys):
+        assert main(["bench", "--corpus-dir", "/nope"]) == 1
+        assert "--corpus-jobs" in capsys.readouterr().err
+
+    def test_debloat_requires_corpus_jobs(self, capsys):
+        assert main(["bench", "--debloat"]) == 1
+        assert "--corpus-jobs" in capsys.readouterr().err
+
+    def test_missing_manifest_reported(self, tmp_path, capsys):
+        assert main([
+            "bench", "--corpus-jobs", "1",
+            "--corpus-dir", str(tmp_path),
+        ]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent.jsonl"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_negative_corpus_jobs_rejected(self, capsys):
+        assert main(["bench", "--corpus-jobs", "-1"]) == 1
+        assert "--corpus-jobs" in capsys.readouterr().err
+
+    def test_worker_budget_validated(self, capsys):
+        assert main(["bench", "--corpus-jobs", "1",
+                     "--worker-budget", "0"]) == 1
+        assert "--worker-budget" in capsys.readouterr().err
+
+    def test_store_tenant_incompatible(self, tmp_path, capsys):
+        assert main([
+            "bench", "--corpus-jobs", "1",
+            "--store", str(tmp_path / "s"), "--store-tenant", "t",
+        ]) == 1
+        assert "--store-tenant" in capsys.readouterr().err
+
+
+class TestTraceSummarizeInstances:
+    def test_summarize_lists_slowest_instances(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main([
+            "bench", "--corpus-jobs", "2", "--num-benchmarks", "1",
+            "--trace", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "slowest instances" in out
+        assert "b000" in out
