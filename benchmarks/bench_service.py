@@ -1,0 +1,333 @@
+"""Service-tier load benchmark: the throughput/latency curve.
+
+Emits ``BENCH_10.json`` by standing up the real ``jlreduce serve``
+stack — asyncio HTTP front-end, multi-tenant admission control,
+process-pool fan-out, one shared tenant-namespaced warm store — and
+driving it with the asyncio load generator at 100+ concurrent jobs:
+
+- **cold** — a balanced three-tenant mix against a fresh store:
+  jobs/sec and end-to-end p50/p95/p99 as tenants would see them.
+- **warm** — the *same* job list again: repeat specs hit the shared
+  warm store, so per-job p50 collapses (the repeat-job lane).
+- **skewed** — a 4:1 heavy/light mix: weighted-fair dispatch must not
+  starve the light tenant while the heavy one floods the queue.
+- **identity** — a sample of specs run through the service (fresh
+  tenant namespace, so a cold store lane) and re-run offline via
+  ``run_instance_task``; the full ``outcome_signature`` must match
+  byte-for-byte — the service adds scheduling, never semantics.
+
+Run it directly (pytest does not collect it — ``testpaths`` excludes
+``benchmarks/``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_10.json
+
+CI regression gate: ``--check`` exits non-zero when cold throughput
+drops under ``--min-jobs-per-second``, the warm lane's p50 fails to
+collapse under ``--warm-p50-ratio`` of cold, any lane loses a job
+(errors, give-ups, incomplete tenants), or any identity signature
+diverges from its offline run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from repro.harness.experiments import (
+    ExperimentConfig,
+    InstanceOutcome,
+    outcome_signature,
+)
+from repro.parallel.scheduler import (
+    StoreSpec,
+    close_worker_caches,
+    run_instance_task,
+)
+from repro.service import ServiceClient, ServiceConfig
+from repro.service.jobs import Job, JobRequest, job_spec, workload_pairs
+from repro.service.loadgen import build_jobs, run_loadgen
+from repro.service.server import serve
+
+PROFILE = "tiny"
+BENCHMARKS = 4
+IDENTITY_SAMPLES = 3
+
+
+def _start_server(workers: int, store_path: str):
+    """A live process-backend server on a free port."""
+    config = ServiceConfig(
+        host="127.0.0.1",
+        port=0,
+        workers=workers,
+        backend="process",
+        store_spec=StoreSpec(path=store_path),
+        base_config=ExperimentConfig(strategies=("our-reducer",)),
+    )
+    ready = {}
+    up = threading.Event()
+
+    def _ready(host, port):
+        ready.update(host=host, port=port)
+        up.set()
+
+    thread = threading.Thread(
+        target=serve, args=(config,), kwargs={"ready": _ready}, daemon=True
+    )
+    thread.start()
+    if not up.wait(60):
+        raise RuntimeError("service did not come up")
+    client = ServiceClient(ready["host"], ready["port"], timeout=120)
+    client.wait_until_up()
+    return thread, client, ready["host"], ready["port"]
+
+
+def _identity_lane(client, host: str, port: int, workdir: str) -> dict:
+    """Service vs offline signatures on a fresh-tenant (cold) namespace."""
+    pairs = workload_pairs(PROFILE, BENCHMARKS)[:IDENTITY_SAMPLES]
+    matched = 0
+    mismatches = []
+    for index, (benchmark_id, decompiler) in enumerate(pairs):
+        payload = {
+            "tenant": "identity",
+            "benchmark_id": benchmark_id,
+            "decompiler": decompiler,
+            "profile": PROFILE,
+        }
+        record = client.wait(
+            client.submit(payload)["job_id"], timeout=300
+        )
+        if record["status"] != "success":
+            mismatches.append(
+                f"{benchmark_id}/{decompiler}: service error "
+                f"{record.get('error')}"
+            )
+            continue
+        offline_job = Job(
+            job_id=f"offline-{index}",
+            request=JobRequest.from_payload(payload),
+            serial=record["serial"],
+        )
+        spec = job_spec(
+            offline_job,
+            base=ExperimentConfig(strategies=("our-reducer",)),
+            store_spec=StoreSpec(
+                path=os.path.join(workdir, f"offline-store-{index}")
+            ),
+        )
+        result = run_instance_task(spec)
+        if result.error is not None or not result.strategies:
+            mismatches.append(
+                f"{benchmark_id}/{decompiler}: offline error "
+                f"{result.error}"
+            )
+            continue
+        service_sig = json.loads(json.dumps(
+            outcome_signature(InstanceOutcome(**record["outcome"])),
+            sort_keys=True,
+        ))
+        offline_sig = json.loads(json.dumps(
+            outcome_signature(result.strategies[0].outcome),
+            sort_keys=True,
+        ))
+        if service_sig == offline_sig:
+            matched += 1
+        else:
+            diff = sorted(
+                key for key in set(service_sig) | set(offline_sig)
+                if service_sig.get(key) != offline_sig.get(key)
+            )
+            mismatches.append(
+                f"{benchmark_id}/{decompiler}: signatures differ on "
+                f"{diff}"
+            )
+    close_worker_caches()
+    return {
+        "jobs": len(pairs),
+        "matched": matched,
+        "mismatches": mismatches,
+        "ok": matched == len(pairs) and not mismatches,
+    }
+
+
+def _lane_ok(curve: dict) -> bool:
+    return (
+        curve["completed"] == curve["jobs"]
+        and curve["errors"] == 0
+        and curve["gave_up"] == 0
+    )
+
+
+def bench(jobs: int, concurrency: int, workers: int) -> dict:
+    workdir = tempfile.mkdtemp(prefix="bench-service-")
+    store_path = os.path.join(workdir, "store")
+    thread, client, host, port = _start_server(workers, store_path)
+    try:
+        balanced = build_jobs(
+            {"acme": 1, "beta": 1, "gamma": 1},
+            jobs,
+            profile=PROFILE,
+            benchmarks=BENCHMARKS,
+        )
+        print(
+            f"cold lane: {jobs} jobs, 3 tenants, "
+            f"concurrency {concurrency}, {workers} workers ...",
+            flush=True,
+        )
+        cold = run_loadgen(host, port, balanced, concurrency=concurrency)
+        print(
+            f"  {cold['jobs_per_second']:.2f} jobs/s "
+            f"p50={cold['latency']['p50']:.2f}s "
+            f"p95={cold['latency']['p95']:.2f}s",
+            flush=True,
+        )
+        print("warm lane: same jobs against the warm store ...", flush=True)
+        warm = run_loadgen(host, port, balanced, concurrency=concurrency)
+        print(
+            f"  {warm['jobs_per_second']:.2f} jobs/s "
+            f"p50={warm['latency']['p50']:.2f}s",
+            flush=True,
+        )
+        skew_jobs = max(10, jobs // 2)
+        skewed_list = build_jobs(
+            {"heavy": 4, "light": 1},
+            skew_jobs,
+            profile=PROFILE,
+            benchmarks=BENCHMARKS,
+        )
+        print(f"skewed lane: {skew_jobs} jobs at 4:1 ...", flush=True)
+        skewed = run_loadgen(
+            host, port, skewed_list, concurrency=concurrency
+        )
+        print("identity lane: service vs offline signatures ...", flush=True)
+        identity = _identity_lane(client, host, port, workdir)
+        stats = client.stats()
+    finally:
+        try:
+            client.shutdown()
+        except Exception:  # noqa: BLE001 — best-effort teardown
+            pass
+        thread.join(timeout=120)
+        shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "bench": "service",
+        "created_unix": time.time(),
+        "env": {
+            "cpus": os.cpu_count(),
+            "workers": workers,
+            "backend": "process",
+            "profile": PROFILE,
+            "benchmarks": BENCHMARKS,
+        },
+        "lanes": {"cold": cold, "warm": warm, "skewed": skewed},
+        "identity": identity,
+        "tenants": stats["tenants"],
+    }
+
+
+def check(payload: dict, min_jobs_per_second: float,
+          warm_p50_ratio: float) -> int:
+    failures = []
+    cold = payload["lanes"]["cold"]
+    warm = payload["lanes"]["warm"]
+    skewed = payload["lanes"]["skewed"]
+    if cold["concurrency"] < 100:
+        failures.append(
+            f"cold lane ran at concurrency {cold['concurrency']} < 100"
+        )
+    for name, lane in (("cold", cold), ("warm", warm),
+                       ("skewed", skewed)):
+        if not _lane_ok(lane):
+            failures.append(
+                f"{name} lane lost jobs: completed "
+                f"{lane['completed']}/{lane['jobs']}, "
+                f"errors={lane['errors']} gave_up={lane['gave_up']}"
+            )
+    if cold["jobs_per_second"] < min_jobs_per_second:
+        failures.append(
+            f"cold throughput {cold['jobs_per_second']:.2f} jobs/s "
+            f"under the {min_jobs_per_second} floor"
+        )
+    cold_p50 = cold["latency"]["p50"]
+    warm_p50 = warm["latency"]["p50"]
+    if cold_p50 > 0 and warm_p50 > warm_p50_ratio * cold_p50:
+        failures.append(
+            f"warm p50 {warm_p50:.2f}s did not collapse under "
+            f"{warm_p50_ratio:.0%} of cold p50 {cold_p50:.2f}s"
+        )
+    light = skewed["per_tenant"].get("light", {})
+    if not light.get("count"):
+        failures.append("skewed lane starved the light tenant entirely")
+    if not payload["identity"]["ok"]:
+        failures.append(
+            "identity lane diverged: "
+            + "; ".join(payload["identity"]["mismatches"])
+        )
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"gates ok: {cold['jobs_per_second']:.2f} jobs/s cold "
+        f"(floor {min_jobs_per_second}), warm p50 "
+        f"{warm_p50 / cold_p50:.0%} of cold, "
+        f"{payload['identity']['matched']}/"
+        f"{payload['identity']['jobs']} identities matched"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="FILE", help="write JSON here")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when any gate fails",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=120,
+        help="jobs in the cold/warm lanes (default 120)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=120,
+        help="concurrent in-flight jobs (default 120; the gate "
+        "requires >= 100)",
+    )
+    parser.add_argument(
+        "--workers", type=int,
+        default=min(8, max(2, os.cpu_count() or 2)),
+        help="service pool workers (default min(8, cpus))",
+    )
+    parser.add_argument(
+        "--min-jobs-per-second", type=float, default=0.8,
+        help="cold-lane throughput floor (default 0.8; conservative "
+        "for 2-core CI runners)",
+    )
+    parser.add_argument(
+        "--warm-p50-ratio", type=float, default=0.85,
+        help="warm p50 must be under this fraction of cold p50 "
+        "(default 0.85)",
+    )
+    args = parser.parse_args()
+    payload = bench(args.jobs, args.concurrency, args.workers)
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    if args.check:
+        return check(
+            payload, args.min_jobs_per_second, args.warm_p50_ratio
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

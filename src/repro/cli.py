@@ -65,6 +65,14 @@ Subcommands:
   event stream as one JSONL file.
 - ``jlreduce metrics export FILE...`` — metric events as
   Prometheus-style text exposition.
+- ``jlreduce serve`` — the reduction-as-a-service job server: an
+  asyncio HTTP front-end accepting JSON reduction jobs, multi-tenant
+  admission control (per-tenant queues, quotas, weighted fair
+  dispatch, 429 backpressure), fan-out to the process pool, one shared
+  tenant-namespaced warm store, graceful SIGTERM/SIGINT drain.
+- ``jlreduce submit`` — send one job to a running server and wait.
+- ``jlreduce loadgen`` — drive a server with a concurrent tenant mix
+  and print the measured throughput/latency curve.
 
 ``reduce`` and ``bench`` accept ``--trace FILE.jsonl`` (record spans and
 metrics for the run; a parallel ``bench --jobs N`` streams per-worker
@@ -510,6 +518,157 @@ def build_parser() -> argparse.ArgumentParser:
         default="jlreduce",
         help="metric name prefix (default jlreduce)",
     )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the reduction-as-a-service asyncio job server",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8437,
+        help="listen port; 0 picks a free port (default 8437)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="pool workers == max concurrently running jobs (default 2)",
+    )
+    serve_cmd.add_argument(
+        "--backend", choices=("process", "thread"), default="process",
+        help="instance pool backend (default process)",
+    )
+    serve_cmd.add_argument(
+        "--store", metavar="DIR",
+        help="shared warm predicate store, namespaced per tenant",
+    )
+    serve_cmd.add_argument(
+        "--store-backend", choices=("plain", "sharded"), default="sharded",
+        help="predicate store backend (default sharded)",
+    )
+    serve_cmd.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help="shard count for --store-backend sharded",
+    )
+    serve_cmd.add_argument(
+        "--store-max-entries", type=int, default=None, metavar="N",
+        help="in-memory cache-tier bound per store handle",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="per-tenant queue bound before 429 backpressure "
+        "(default 64)",
+    )
+    serve_cmd.add_argument(
+        "--tenant-quota-jobs", type=int, default=None, metavar="N",
+        help="per-tenant admission quota: max jobs per session",
+    )
+    serve_cmd.add_argument(
+        "--tenant-quota-seconds", type=float, default=None, metavar="S",
+        help="per-tenant admission quota: max simulated seconds",
+    )
+    serve_cmd.add_argument(
+        "--tenant-weight", action="append", default=[], metavar="NAME=W",
+        help="fair-dispatch weight override (repeatable, default 1.0)",
+    )
+    serve_cmd.add_argument(
+        "--trace", metavar="FILE.jsonl",
+        help="stream the service session's sharded trace here",
+    )
+    serve_cmd.add_argument(
+        "--ready-file", metavar="PATH",
+        help="write 'host port' here once listening (CI handshake)",
+    )
+    serve_cmd.add_argument(
+        "--sample-seconds", type=float, default=0.5, metavar="S",
+        help="queue-depth gauge sampling period (default 0.5)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit", help="submit one reduction job to a running server"
+    )
+    submit_cmd.add_argument(
+        "--server", default="127.0.0.1:8437", metavar="HOST:PORT"
+    )
+    submit_cmd.add_argument("--tenant", required=True)
+    submit_cmd.add_argument(
+        "--benchmark", default="b000", metavar="ID",
+        help="workload benchmark id, e.g. b003 (default b000)",
+    )
+    submit_cmd.add_argument(
+        "--profile", default="small",
+        help="corpus profile naming the workload (default small)",
+    )
+    submit_cmd.add_argument(
+        "--decompiler", default=None,
+        help="decompiler under test (default: first runnable pair "
+        "of the benchmark)",
+    )
+    submit_cmd.add_argument(
+        "--strategy", default="our-reducer",
+        help="reduction strategy (default our-reducer)",
+    )
+    submit_cmd.add_argument(
+        "--scenario", choices=("reduction", "debloat"),
+        default="reduction",
+    )
+    submit_cmd.add_argument(
+        "--app", metavar="FILE",
+        help="submit this serialized application instead of a "
+        "server-generated workload",
+    )
+    submit_cmd.add_argument(
+        "--app-seed", type=int, default=0, metavar="N",
+        help="app seed accompanying --app (default 0)",
+    )
+    submit_cmd.add_argument(
+        "--no-wait", action="store_true",
+        help="return after the 202, do not poll for completion",
+    )
+    submit_cmd.add_argument(
+        "--timeout", type=float, default=300.0, metavar="S",
+        help="polling timeout with --wait (default 300)",
+    )
+    submit_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the final job record as JSON",
+    )
+
+    loadgen_cmd = sub.add_parser(
+        "loadgen",
+        help="drive a running server with a concurrent tenant mix",
+    )
+    loadgen_cmd.add_argument(
+        "--server", default="127.0.0.1:8437", metavar="HOST:PORT"
+    )
+    loadgen_cmd.add_argument(
+        "--jobs", type=int, default=100, metavar="N",
+        help="total jobs across all tenants (default 100)",
+    )
+    loadgen_cmd.add_argument(
+        "--concurrency", type=int, default=100, metavar="N",
+        help="jobs concurrently in flight (default 100)",
+    )
+    loadgen_cmd.add_argument(
+        "--tenants", default="acme=1,beta=1,gamma=1", metavar="SPEC",
+        help="comma-separated name=share mix "
+        "(default acme=1,beta=1,gamma=1)",
+    )
+    loadgen_cmd.add_argument(
+        "--profile", default="tiny",
+        help="corpus profile for the generated jobs (default tiny)",
+    )
+    loadgen_cmd.add_argument(
+        "--benchmarks", type=int, default=4, metavar="N",
+        help="cycle jobs over the profile's first N benchmarks "
+        "(default 4)",
+    )
+    loadgen_cmd.add_argument(
+        "--strategy", default="our-reducer",
+        help="reduction strategy (default our-reducer)",
+    )
+    loadgen_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the measured curve as JSON",
+    )
     return parser
 
 
@@ -591,6 +750,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise AssertionError(
             f"unhandled metrics command {args.metrics_command!r}"
         )
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "submit":
+        return _submit(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -1539,6 +1704,201 @@ def _metrics_export(patterns: List[str], prefix: str = "jlreduce") -> int:
     if events is None:
         return 1
     sys.stdout.write(prometheus_exposition(events, prefix=prefix))
+    return 0
+
+
+def _parse_server(spec: str) -> tuple:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(
+            f"jlreduce: --server must be HOST:PORT, got {spec!r}"
+        )
+    return host, int(port)
+
+
+def _serve(args) -> int:
+    from repro.parallel.scheduler import StoreSpec
+    from repro.service import ServiceConfig, TenantPolicy
+    from repro.service.server import serve
+
+    policies = {}
+    for spec in args.tenant_weight:
+        name, sep, weight = spec.partition("=")
+        if not sep or not name:
+            print(
+                f"jlreduce: --tenant-weight must be NAME=WEIGHT, "
+                f"got {spec!r}",
+                file=sys.stderr,
+            )
+            return 1
+        policies[name] = TenantPolicy(
+            weight=float(weight),
+            max_queue_depth=args.queue_depth,
+            max_jobs=args.tenant_quota_jobs,
+            max_seconds=args.tenant_quota_seconds,
+        )
+    store_spec = None
+    if args.store:
+        kwargs = {"path": args.store, "backend": args.store_backend}
+        if args.store_shards is not None:
+            kwargs["shards"] = args.store_shards
+        if args.store_max_entries is not None:
+            kwargs["max_entries"] = args.store_max_entries
+        store_spec = StoreSpec(**kwargs)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        store_spec=store_spec,
+        default_policy=TenantPolicy(
+            max_queue_depth=args.queue_depth,
+            max_jobs=args.tenant_quota_jobs,
+            max_seconds=args.tenant_quota_seconds,
+        ),
+        policies=policies,
+        sample_seconds=args.sample_seconds,
+    )
+
+    def _ready(host: str, port: int) -> None:
+        print(f"jlreduce serve: listening on {host}:{port}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+
+    return serve(
+        config,
+        trace_path=args.trace,
+        ready=_ready,
+        log=lambda message: print(f"jlreduce serve: {message}", flush=True),
+    )
+
+
+def _submit(args) -> int:
+    import base64
+
+    from repro.service import ServiceClient, ServiceError
+
+    host, port = _parse_server(args.server)
+    job: dict = {
+        "tenant": args.tenant,
+        "benchmark_id": args.benchmark,
+        "strategy": args.strategy,
+        "scenario": args.scenario,
+        "profile": args.profile,
+    }
+    if args.app:
+        try:
+            with open(args.app, "rb") as handle:
+                job["app_b64"] = base64.b64encode(
+                    handle.read()
+                ).decode("ascii")
+        except OSError as exc:
+            print(f"jlreduce: cannot read {args.app}: {exc}",
+                  file=sys.stderr)
+            return 1
+        job["app_seed"] = args.app_seed
+        if args.decompiler:
+            job["decompiler"] = args.decompiler
+    elif args.decompiler:
+        job["decompiler"] = args.decompiler
+    else:
+        # Pick a decompiler the requested benchmark actually
+        # miscompiles — any other pair has no failure to preserve.
+        from repro.service.jobs import workload_pairs
+
+        index = int(args.benchmark.lstrip("b") or 0)
+        pairs = [
+            pair for pair in workload_pairs(args.profile, index + 1)
+            if pair[0] == args.benchmark
+        ]
+        if not pairs:
+            print(
+                f"jlreduce: {args.benchmark} has no runnable "
+                f"decompiler in profile {args.profile!r}",
+                file=sys.stderr,
+            )
+            return 1
+        job["decompiler"] = pairs[0][1]
+    client = ServiceClient(host, port)
+    try:
+        accepted = client.submit(job)
+        if args.no_wait:
+            record = accepted
+        else:
+            record = client.wait(accepted["job_id"], timeout=args.timeout)
+    except (ServiceError, OSError, TimeoutError) as exc:
+        print(f"jlreduce: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(record, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        status = record.get("status", "queued")
+        line = f"job {record['job_id']}: {status}"
+        if record.get("latency_seconds") is not None:
+            line += f" in {record['latency_seconds']:.3f}s"
+        print(line)
+        if record.get("error"):
+            print(f"  error: {record['error']}")
+    return 0 if record.get("status") != "error" else 1
+
+
+def _loadgen(args) -> int:
+    from repro.service.loadgen import build_jobs, run_loadgen
+
+    host, port = _parse_server(args.server)
+    tenants = {}
+    for spec in args.tenants.split(","):
+        name, sep, share = spec.partition("=")
+        if not name:
+            print(
+                f"jlreduce: bad --tenants entry {spec!r}",
+                file=sys.stderr,
+            )
+            return 1
+        tenants[name.strip()] = int(share) if sep else 1
+    try:
+        jobs = build_jobs(
+            tenants,
+            args.jobs,
+            profile=args.profile,
+            benchmarks=args.benchmarks,
+            strategy=args.strategy,
+        )
+    except ValueError as exc:
+        print(f"jlreduce: {exc}", file=sys.stderr)
+        return 1
+    curve = run_loadgen(host, port, jobs, concurrency=args.concurrency)
+    if args.json:
+        json.dump(curve, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0 if not curve["errors"] and not curve["gave_up"] else 1
+    latency = curve["latency"]
+    print(
+        f"{curve['completed']}/{curve['jobs']} jobs in "
+        f"{curve['wall_seconds']:.1f}s — "
+        f"{curve['jobs_per_second']:.2f} jobs/s "
+        f"(concurrency {curve['concurrency']})"
+    )
+    print(
+        f"latency p50={latency['p50']:.3f}s p95={latency['p95']:.3f}s "
+        f"p99={latency['p99']:.3f}s max={latency['max']:.3f}s"
+    )
+    for tenant in sorted(curve["per_tenant"]):
+        stats = curve["per_tenant"][tenant]
+        print(
+            f"  {tenant:<14} n={stats['count']:<5} "
+            f"p50={stats['p50']:.3f}s p95={stats['p95']:.3f}s"
+        )
+    if curve["retries_429"]:
+        print(f"backpressure: {curve['retries_429']} retried 429s")
+    if curve["errors"] or curve["gave_up"]:
+        print(
+            f"errors={curve['errors']} gave_up={curve['gave_up']}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -23,6 +23,7 @@ many tenants can share one warm cache safely.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
@@ -59,6 +60,8 @@ from repro.workloads.corpus import Benchmark, BuggyInstance
 __all__ = [
     "ExperimentConfig",
     "InstanceOutcome",
+    "config_from_payload",
+    "config_to_payload",
     "error_outcome",
     "oracle_fingerprint",
     "outcome_signature",
@@ -149,6 +152,77 @@ class ExperimentConfig:
             or self.retries > 0
             or self.deadline_seconds is not None
         )
+
+
+#: ExperimentConfig fields a service job payload may carry / override.
+#: ``chaos`` travels as the FaultPlan's field dict; everything else is
+#: a JSON scalar (tuples serialize as lists).  ``worker_budget`` stays
+#: server-side: pool sizing is an operator concern, not a tenant knob.
+CONFIG_PAYLOAD_FIELDS = (
+    "strategies",
+    "simulated_seconds_per_run",
+    "budget_calls",
+    "budget_seconds",
+    "retries",
+    "deadline_seconds",
+    "keep_going",
+    "chaos",
+    "speculate",
+    "probe_backend",
+    "tool_latency_seconds",
+    "profile_phases",
+    "tenant",
+)
+
+
+def config_to_payload(config: "ExperimentConfig") -> Dict[str, Any]:
+    """An :class:`ExperimentConfig` as a JSON-safe dict.
+
+    The wire form of a reduction job's knobs: round-trips through
+    :func:`config_from_payload` (the service's job ⇄ config bridge)
+    and stays diffable in JSONL progress events.
+    """
+    payload: Dict[str, Any] = {}
+    for name in CONFIG_PAYLOAD_FIELDS:
+        value = getattr(config, name)
+        if name == "strategies":
+            value = list(value)
+        elif name == "chaos" and value is not None:
+            value = dataclasses.asdict(value)
+        payload[name] = value
+    return payload
+
+
+def config_from_payload(
+    payload: Dict[str, Any],
+    base: Optional["ExperimentConfig"] = None,
+) -> "ExperimentConfig":
+    """Rebuild an :class:`ExperimentConfig` from a job payload.
+
+    ``base`` supplies every field the payload omits (the service's
+    per-server defaults); unknown keys raise ``ValueError`` so a typoed
+    tenant knob fails the submission instead of silently running with
+    defaults.
+    """
+    unknown = sorted(set(payload) - set(CONFIG_PAYLOAD_FIELDS))
+    if unknown:
+        raise ValueError(f"unknown config fields: {', '.join(unknown)}")
+    updates: Dict[str, Any] = {}
+    for name, value in payload.items():
+        if name == "strategies" and value is not None:
+            if isinstance(value, str):
+                value = (value,)
+            value = tuple(value)
+            for strategy in value:
+                if strategy not in STRATEGY_NAMES:
+                    raise ValueError(f"unknown strategy {strategy!r}")
+        elif name == "chaos" and value is not None:
+            if not isinstance(value, dict):
+                raise ValueError("chaos must be a fault-plan object")
+            value = FaultPlan(**value)
+        updates[name] = value
+    base = base if base is not None else ExperimentConfig()
+    return dataclasses.replace(base, **updates)
 
 
 @dataclass

@@ -235,10 +235,21 @@ class StreamingReport:
 
 
 def report_from_results(path: str) -> StreamingReport:
-    """Build the streaming report by replaying a results JSONL file."""
+    """Build the streaming report by replaying a results JSONL file.
+
+    Raises ``ValueError`` if the file holds no result rows — rendering
+    an all-empty table for a results file that streamed nothing (a
+    bench that crashed before its first commit, or the wrong path)
+    hides the real failure; ``OSError`` propagates for a missing file.
+    """
     report = StreamingReport()
     for row in iter_results(path):
         report.add(row)
+    if not report.rows:
+        raise ValueError(
+            "no result rows (did the bench run stream anything "
+            "with --results?)"
+        )
     return report
 
 

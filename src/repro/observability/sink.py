@@ -220,11 +220,13 @@ def summarize(
                           "vtotal"}},
          "counters": {name: total},
          "gauges": {name: value},
-         "histograms": {name: {"count", "sum", "mean"}},
+         "histograms": {name: {"count", "sum", "mean", "p50", "p95"}},
          "probes": {"count", "fresh", "store", "wall_seconds",
                     "virtual_seconds", "retries"},
          "store": {"lookups", "hits", "misses", "hit_rate", "records",
                    "evictions", "compactions", "shard_loads"},
+         "service": {"submitted", "admitted", "rejected", "completed",
+                     "failed", "queue_depth": {...}, "tenants": {...}},
          "instances": [{"benchmark", "decompiler", "strategy", "serial",
                         "worker", "wall_seconds", "virtual_seconds",
                         "probes", "fresh", "store_hits"}, ...]}
@@ -237,6 +239,18 @@ def summarize(
     evictions, compactions — see :mod:`repro.parallel.store`) only when
     the run consulted a persistent predicate store.
 
+    Histogram events carrying bucket bounds and counts (the
+    :class:`~repro.observability.metrics.MetricsRegistry` snapshot
+    shape) get interpolated ``p50``/``p95`` estimates; repeated
+    histogram lines for the same name fold their bucket counts
+    together, matching counter semantics.  The ``service`` section
+    appears only when a service-tier run emitted ``service.*``
+    counters: total and per-tenant admission/completion tallies, tenant
+    latency quantiles from the ``service.latency.<tenant>`` histograms,
+    and the queue-depth time series sampled into the trace by the
+    server's gauge events (their ``t`` field is seconds since the run
+    epoch).
+
     ``instances`` lists the slowest ``instance.run`` spans (at most
     :data:`INSTANCE_TOP`, by wall clock) with their probe tallies
     joined by serial commit number.  Traces without serials (a
@@ -248,7 +262,8 @@ def summarize(
     vtotals: Dict[str, float] = {}
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
-    histograms: Dict[str, Dict[str, float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    depth_samples: List[Dict[str, float]] = []
     probes = {
         "count": 0,
         "fresh": 0,
@@ -286,14 +301,31 @@ def summarize(
             counters[name] = counters.get(name, 0) + event["value"]
         elif kind == "gauge":
             gauges[event["name"]] = event["value"]
+            if event["name"] == "service.queue_depth" and "t" in event:
+                depth_samples.append(
+                    {"t": float(event["t"]), "value": float(event["value"])}
+                )
         elif kind == "histogram":
+            name = event["name"]
             count = event.get("count", 0)
             total = event.get("sum", 0.0)
-            histograms[event["name"]] = {
-                "count": count,
-                "sum": total,
-                "mean": total / count if count else 0.0,
-            }
+            buckets = list(event.get("buckets") or [])
+            bucket_counts = list(event.get("counts") or [])
+            existing = histograms.get(name)
+            if existing is not None and existing["buckets"] == buckets:
+                existing["count"] += count
+                existing["sum"] += total
+                existing["counts"] = [
+                    a + b
+                    for a, b in zip(existing["counts"], bucket_counts)
+                ] or existing["counts"]
+            else:
+                histograms[name] = {
+                    "count": count,
+                    "sum": total,
+                    "buckets": buckets,
+                    "counts": bucket_counts,
+                }
         elif kind == "probe":
             probes["count"] += 1
             cache = event.get("cache")
@@ -326,6 +358,10 @@ def summarize(
         }
         for name, values in durations.items()
     }
+    for hist in histograms.values():
+        hist["mean"] = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        hist["p50"] = _histogram_quantile(hist, 0.50)
+        hist["p95"] = _histogram_quantile(hist, 0.95)
     summary: Dict[str, Any] = {
         "spans": spans,
         "counters": counters,
@@ -361,7 +397,64 @@ def summarize(
             "compactions": counters.get("store.compactions", 0),
             "shard_loads": counters.get("store.shard_loads", 0),
         }
+    service = _service_block(counters, histograms, depth_samples)
+    if service is not None:
+        summary["service"] = service
     return summary
+
+
+def _service_block(
+    counters: Dict[str, float],
+    histograms: Dict[str, Dict[str, Any]],
+    depth_samples: List[Dict[str, float]],
+) -> Optional[Dict[str, Any]]:
+    """The service-tier section of a summary, or None for offline runs."""
+    if not any(name.startswith("service.") for name in counters):
+        return None
+    tenants: Dict[str, Dict[str, Any]] = {}
+
+    def _tenant(name: str) -> Dict[str, Any]:
+        return tenants.setdefault(name, {
+            "admitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+        })
+
+    for name, value in counters.items():
+        if not name.startswith("service.tenant."):
+            continue
+        tenant, _, what = name[len("service.tenant."):].rpartition(".")
+        if tenant and what in ("admitted", "rejected", "completed",
+                               "failed", "started"):
+            _tenant(tenant)[what] = value
+    for name, hist in histograms.items():
+        if name.startswith("service.latency."):
+            tenant = name[len("service.latency."):]
+            _tenant(tenant)["latency"] = {
+                "count": hist["count"],
+                "mean": hist["mean"],
+                "p50": hist["p50"],
+                "p95": hist["p95"],
+            }
+    block: Dict[str, Any] = {
+        "submitted": counters.get("service.submitted", 0),
+        "admitted": counters.get("service.admitted", 0),
+        "rejected": counters.get("service.rejected", 0),
+        "completed": counters.get("service.completed", 0),
+        "failed": counters.get("service.failed", 0),
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+    }
+    if depth_samples:
+        depths = [sample["value"] for sample in depth_samples]
+        block["queue_depth"] = {
+            "samples": len(depths),
+            "mean": sum(depths) / len(depths),
+            "max": max(depths),
+            "last": depths[-1],
+            "series": depth_samples,
+        }
+    return block
 
 
 def _percentile(values: List[float], q: float) -> float:
@@ -369,6 +462,34 @@ def _percentile(values: List[float], q: float) -> float:
     ordered = sorted(values)
     rank = max(0, math.ceil(q * len(ordered)) - 1)
     return ordered[rank]
+
+
+def _histogram_quantile(hist: Dict[str, Any], q: float) -> float:
+    """A quantile estimate from fixed-bucket tallies.
+
+    Linear interpolation inside the bucket holding the target rank,
+    Prometheus-style; the overflow bucket reports its lower bound (the
+    last edge) since its upper edge is unbounded.  0.0 when empty or
+    when the event carried no buckets (a schema-1 trace).
+    """
+    buckets = hist.get("buckets") or []
+    bucket_counts = hist.get("counts") or []
+    total = sum(bucket_counts)
+    if not buckets or not total:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    for i, n in enumerate(bucket_counts):
+        if not n:
+            continue
+        if seen + n >= rank:
+            if i >= len(buckets):
+                return float(buckets[-1])
+            lower = buckets[i - 1] if i else 0.0
+            upper = buckets[i]
+            return lower + (upper - lower) * ((rank - seen) / n)
+        seen += n
+    return float(buckets[-1])
 
 
 def render_summary(summary: Dict[str, Any]) -> str:
@@ -427,6 +548,45 @@ def render_summary(summary: Dict[str, Any]) -> str:
             f"  wall={probes['wall_seconds']:.4f}s "
             f"virtual={probes['virtual_seconds']:.1f}s"
         )
+    service = summary.get("service")
+    if service:
+        if lines:
+            lines.append("")
+        lines.append("service tier")
+        lines.append(
+            f"  submitted={service['submitted']:,} "
+            f"admitted={service['admitted']:,} "
+            f"rejected={service['rejected']:,} "
+            f"completed={service['completed']:,} "
+            f"failed={service['failed']:,}"
+        )
+        depth = service.get("queue_depth")
+        if depth:
+            lines.append(
+                f"  queue depth: mean={depth['mean']:.1f} "
+                f"max={depth['max']:.0f} last={depth['last']:.0f} "
+                f"({depth['samples']} samples)"
+            )
+        tenants = service.get("tenants", {})
+        if tenants:
+            lines.append(
+                f"  {'tenant':<14} {'admitted':>9} {'rejected':>9} "
+                f"{'completed':>10} {'failed':>7} {'p50':>9} {'p95':>9}"
+            )
+            for name in sorted(tenants):
+                row = tenants[name]
+                latency = row.get("latency") or {}
+
+                def _secs(value) -> str:
+                    return "-" if value is None else f"{value:.3f}s"
+
+                lines.append(
+                    f"  {name:<14} {row['admitted']:>9,} "
+                    f"{row['rejected']:>9,} {row['completed']:>10,} "
+                    f"{row['failed']:>7,} "
+                    f"{_secs(latency.get('p50')):>9} "
+                    f"{_secs(latency.get('p95')):>9}"
+                )
     store = summary.get("store")
     if store:
         if lines:
@@ -462,10 +622,15 @@ def render_summary(summary: Dict[str, Any]) -> str:
         lines.append("histograms")
         for name in sorted(histograms):
             stats = histograms[name]
-            lines.append(
+            line = (
                 f"  {name:<28} count={stats['count']:<8,} "
                 f"mean={stats['mean']:.6f}"
             )
+            if stats.get("buckets"):
+                line += (
+                    f" p50={stats['p50']:.6f} p95={stats['p95']:.6f}"
+                )
+            lines.append(line)
     if not lines:
         lines.append("(empty trace)")
     return "\n".join(lines)

@@ -228,6 +228,16 @@ class Tracer:
         return self._enabled
 
     @property
+    def streaming(self) -> bool:
+        """Are events streaming to shard files (vs buffering in memory)?
+
+        The service tier keys on this: thread-backend workers share the
+        parent's tracer, which is only safe to use concurrently when
+        events bypass the snapshot-and-clear in-memory buffer.
+        """
+        return self._shards is not None
+
+    @property
     def sample_every(self) -> int:
         return self._sample_every
 

@@ -54,10 +54,13 @@ from repro.parallel.runner import (
     run_parallel_corpus_experiment,
 )
 from repro.parallel.scheduler import (
+    InstancePool,
     InstanceTaskSpec,
     StoreSpec,
     WorkerBudget,
+    close_worker_caches,
     load_cost_hints,
+    run_instance_task,
     run_scheduled_corpus_experiment,
 )
 from repro.parallel.speculate import (
@@ -80,6 +83,7 @@ __all__ = [
     "PredicateStore",
     "ShardedPredicateStore",
     "SqlitePredicateStore",
+    "InstancePool",
     "InstanceTaskSpec",
     "ProbeTaskSpec",
     "ProcessProbePool",
@@ -88,9 +92,11 @@ __all__ = [
     "WorkerBudget",
     "build_worker_predicate",
     "candidate_midpoints",
+    "close_worker_caches",
     "fingerprint_of",
     "key_of",
     "load_cost_hints",
+    "run_instance_task",
     "open_store",
     "resolve_jobs",
     "run_parallel_corpus_experiment",

@@ -92,10 +92,13 @@ from repro.workloads.corpus import Benchmark, BuggyInstance, load_manifest
 __all__ = [
     "WorkerBudget",
     "StoreSpec",
+    "InstancePool",
     "InstanceTaskSpec",
     "StrategyResult",
     "InstanceTaskResult",
+    "close_worker_caches",
     "load_cost_hints",
+    "run_instance_task",
     "run_scheduled_corpus_experiment",
 ]
 
@@ -398,6 +401,111 @@ def _run_instance_task(spec: InstanceTaskSpec) -> InstanceTaskResult:
         wall_seconds=time.perf_counter() - start,
         strategies=results,
     )
+
+
+#: The public name of the pool-executable task entry point: the service
+#: tier (:mod:`repro.service`) submits these directly to a long-lived
+#: :class:`InstancePool` instead of going through
+#: :func:`run_scheduled_corpus_experiment`'s one-shot planner.
+run_instance_task = _run_instance_task
+
+
+def close_worker_caches() -> None:
+    """Close this process's cached store handles and probe pools.
+
+    Worker processes never need this — their O_APPEND fds die with the
+    process when the pool shuts down.  It exists for *thread*-backend
+    executors (the service's test/bench mode), where
+    :func:`run_instance_task` runs in the parent process and parks its
+    store handle in the module-global cache: a graceful service
+    shutdown drains the pool, then calls this so no fd outlives the
+    server (the satellite "no leaked O_APPEND fds" guarantee).
+    """
+    for store in _WORKER_STORES.values():
+        try:
+            store.close()
+        except OSError:
+            pass  # a close-time flush failure must not mask shutdown
+    _WORKER_STORES.clear()
+    for pool in _WORKER_PROBE_POOLS.values():
+        if pool is not None:
+            pool.shutdown(wait=True)
+    _WORKER_PROBE_POOLS.clear()
+
+
+class InstancePool:
+    """A long-lived executor for whole-instance reduction tasks.
+
+    PR 9's scheduler built a ``ProcessPoolExecutor`` per corpus run and
+    tore it down at the end — the right lifecycle for a one-shot CLI,
+    and exactly the wrong one for a service that field jobs all day:
+    spawn-imports cost hundreds of milliseconds per worker, and the
+    per-process store/probe-pool caches (:data:`_WORKER_STORES`) only
+    pay off if workers survive across jobs.  ``InstancePool`` owns the
+    executor for the owner's lifetime instead: created lazily on first
+    submit, reused for every job, drained once at shutdown.
+
+    ``backend="process"`` is the production configuration (spawn-safe,
+    GIL-free, per-worker warm caches).  ``backend="thread"`` runs
+    :func:`run_instance_task` in-process — byte-identical results, no
+    spawn latency — which tests and latency-focused benches use;
+    shutdown then also closes the parent-side worker caches the thread
+    workers populated.
+    """
+
+    def __init__(self, max_workers: int, backend: str = "process"):
+        if backend not in ("process", "thread"):
+            raise ValueError(
+                f"unknown instance-pool backend {backend!r}; "
+                "expected 'process' or 'thread'"
+            )
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.backend = backend
+        self._executor = None
+
+    @property
+    def executor(self):
+        if self._executor is None:
+            if self.backend == "process":
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            else:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="instance-pool",
+                )
+        return self._executor
+
+    def submit(self, spec: InstanceTaskSpec):
+        """Submit one task recipe; returns its ``Future``."""
+        return self.executor.submit(run_instance_task, spec)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain and release the executor (idempotent).
+
+        Process workers close their cached fds by exiting; a thread
+        backend cleans the caches it left in *this* process.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+        if self.backend == "thread":
+            close_worker_caches()
+
+    def __enter__(self) -> "InstancePool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown(wait=True)
 
 
 # ----------------------------------------------------------------------
@@ -797,9 +905,6 @@ def _run_pooled(
     committer: _Committer,
     cost_hints: Dict[Tuple[str, str], float],
 ) -> None:
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
-
     if store is not None and store_spec is None:
         raise ValueError(
             "a live store cannot cross process workers; pass store_spec "
@@ -845,10 +950,7 @@ def _run_pooled(
     buffered: Dict[int, Tuple[_Task, InstanceTaskResult]] = {}
     next_commit = 0
 
-    mp_context = multiprocessing.get_context("spawn")
-    with ProcessPoolExecutor(
-        max_workers=jobs, mp_context=mp_context
-    ) as pool:
+    with InstancePool(max_workers=jobs, backend="process") as pool:
         while pending or inflight:
             while pending and len(inflight) < jobs:
                 # Longest predicted job first (live argmax: estimates
@@ -860,7 +962,7 @@ def _run_pooled(
                     task, config, store_spec=store_spec,
                     probe_workers=probe_workers, ctx=ctx,
                 )
-                inflight[pool.submit(_run_instance_task, spec)] = task
+                inflight[pool.submit(spec)] = task
             done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
             for future in done:
                 task = inflight.pop(future)

@@ -1,0 +1,103 @@
+"""PR 3's :class:`Budget` repurposed as service admission control.
+
+The service tier (:mod:`repro.service`) needs per-tenant quotas with
+exactly the semantics :class:`~repro.resilience.budget.Budget` already
+implements for per-run predicate caps: thread-safe accounting of calls
+and (virtual) seconds against optional limits, with *latched*
+exhaustion — once a budget refuses an attempt it refuses every later
+one, so a tenant cannot oscillate around its cap.
+
+What admission control cannot use is the raising API: a reduction run
+converts :class:`BudgetExhausted` into an anytime partial result, but
+an HTTP front-end wants a non-raising verdict it can turn into a 429.
+:class:`AdmissionBudget` is that adapter — a thin, non-raising facade
+over one private ``Budget`` per tenant:
+
+- :meth:`try_admit` spends one call at submission time (the job-count
+  quota, ``max_jobs``) and answers ``None`` (admitted) or the refusal
+  reason;
+- :meth:`settle` charges the job's *simulated* seconds after it
+  completes (the cost quota, ``max_seconds``) — charging may latch the
+  budget, so the next :meth:`try_admit` refuses, but it never raises
+  into the service loop.
+
+Keeping one ``AdmissionBudget`` per tenant is what makes exhaustion
+isolation structural: a latched budget is a latched *instance*, and no
+other tenant holds a reference to it (tested by
+``tests/service/test_admission.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.reduction.problem import BudgetExhausted
+from repro.resilience.budget import Budget
+
+__all__ = ["AdmissionBudget"]
+
+
+class AdmissionBudget:
+    """Non-raising per-tenant admission quota over one :class:`Budget`.
+
+    Args:
+        max_jobs: total jobs the tenant may ever have admitted
+            (None: unlimited).
+        max_seconds: total *simulated* seconds the tenant's completed
+            jobs may consume (None: unlimited).  Charged by
+            :meth:`settle`, checked at the next :meth:`try_admit`.
+    """
+
+    def __init__(
+        self,
+        max_jobs: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ):
+        self._budget = Budget(
+            max_calls=max_jobs,
+            max_seconds=max_seconds,
+            seconds_per_call=0.0,
+        )
+
+    def try_admit(self) -> Optional[str]:
+        """Spend one admission slot; None if admitted, else the reason.
+
+        Mirrors ``Budget.spend_call``: a refused admission charges
+        nothing, and the refusal latches — every later call refuses
+        too, even if limits would nominally allow it again.
+        """
+        try:
+            self._budget.spend_call()
+        except BudgetExhausted as exc:
+            return str(exc)
+        return None
+
+    def settle(self, simulated_seconds: float) -> None:
+        """Charge a completed job's simulated cost against the quota.
+
+        Over-spending latches the budget (the *next* admission is
+        refused) but never raises — the job already ran; admission
+        control only shapes the future.
+        """
+        if simulated_seconds <= 0:
+            return
+        try:
+            self._budget.charge_seconds(simulated_seconds)
+        except BudgetExhausted:
+            pass  # latched; surfaces as the next try_admit's refusal
+
+    @property
+    def exhausted(self) -> bool:
+        return self._budget.exhausted
+
+    @property
+    def limited(self) -> bool:
+        return self._budget.limited
+
+    @property
+    def calls(self) -> int:
+        return self._budget.calls
+
+    @property
+    def seconds(self) -> float:
+        return self._budget.seconds

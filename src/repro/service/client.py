@@ -1,0 +1,144 @@
+"""A blocking HTTP client for the reduction service.
+
+``jlreduce submit`` and the test-suite both need a dependency-free way
+to talk to :mod:`repro.service.server`; stdlib ``http.client`` is
+enough because the protocol is one JSON request per connection.  The
+async load generator lives separately in :mod:`repro.service.loadgen`
+— a blocking client cannot hold 100+ jobs in flight.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure, carrying the status and decoded body."""
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        super().__init__(
+            f"service returned {status}: {body.get('error', body)}"
+        )
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """One service endpoint, one blocking request at a time."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> tuple:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        status, body = self._request("GET", "/v1/healthz")
+        if status != 200:
+            raise ServiceError(status, body)
+        return body
+
+    def submit(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one job; raises :class:`ServiceError` on refusal.
+
+        A 429 refusal's ``body["retry_after"]`` is the server's
+        backpressure hint — callers that want to wait-and-retry should
+        honor it (``jlreduce loadgen`` does).
+        """
+        status, body = self._request("POST", "/v1/jobs", job)
+        if status != 202:
+            raise ServiceError(status, body)
+        return body
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        status, body = self._request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            raise ServiceError(status, body)
+        return body
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        status, body = self._request("GET", path)
+        if status != 200:
+            raise ServiceError(status, body)
+        return body["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        status, body = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise ServiceError(status, body)
+        return body
+
+    def drain(self) -> Dict[str, Any]:
+        status, body = self._request("POST", "/v1/drain")
+        if status != 202:
+            raise ServiceError(status, body)
+        return body
+
+    def shutdown(self) -> Dict[str, Any]:
+        status, body = self._request("POST", "/v1/shutdown")
+        if status != 202:
+            raise ServiceError(status, body)
+        return body
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_seconds: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in ("success", "error"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']!r} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)
+
+    def wait_until_up(self, timeout: float = 30.0) -> None:
+        """Block until the server answers /v1/healthz (CI startup)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.health()
+                return
+            except (OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)

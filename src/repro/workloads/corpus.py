@@ -93,6 +93,17 @@ class CorpusConfig:
     max_fields: int = 2
 
     @classmethod
+    def tiny(cls) -> "CorpusConfig":
+        """Sub-second apps for service latency/throughput benches.
+
+        The service tier's BENCH_10 holds 100+ jobs in flight; at that
+        fan-in the interesting costs are queueing, dispatch, and
+        store-hit latency — not GBR search depth — so its jobs must be
+        cheap enough that a curve finishes in CI time.
+        """
+        return cls(num_benchmarks=4, min_classes=10, max_classes=18)
+
+    @classmethod
     def small(cls) -> "CorpusConfig":
         """Fast profile for tests and default bench runs."""
         return cls(num_benchmarks=6, min_classes=24, max_classes=60)

@@ -135,3 +135,37 @@ class TestStreamingReport:
         replayed = report_from_results(str(path))
         assert replayed.render() == inline.render()
         assert replayed.rows == inline.rows
+
+
+class TestReportErrors:
+    """``jlreduce report`` must refuse empty/missing inputs loudly."""
+
+    def test_zero_row_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no result rows"):
+            report_from_results(str(path))
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            report_from_results(str(tmp_path / "nope.jsonl"))
+
+    def test_cli_report_empty_file_one_line_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "results.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "no result rows" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_cli_report_missing_file_one_line_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot read" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
